@@ -1,0 +1,82 @@
+"""E1 — Ordered sharing buys concurrency.
+
+Throughput, makespan, latency, and mean concurrency versus
+multiprogramming level for all five protocols.  Expected shape (the
+paper's motivating claim): process locking ≥ pure OSL ≫ exclusive S2PL
+and ACA ≫ serial in admitted concurrency, with the gap widening as the
+multiprogramming level grows.
+"""
+
+import pytest
+
+from harness import SEEDS, averaged_metrics, print_experiment
+from repro.sim.workload import WorkloadSpec
+
+PROTOCOLS = ["serial", "s2pl", "aca", "osl-pure", "process-locking"]
+LEVELS = [4, 8, 16]
+
+BASE = WorkloadSpec(
+    n_activity_types=14,
+    conflict_density=0.3,
+    failure_probability=0.04,
+    pivot_probability=0.7,
+)
+
+
+def run_e1():
+    table = {}
+    for level in LEVELS:
+        spec = BASE.with_(n_processes=level)
+        table[level] = {
+            protocol: averaged_metrics(spec, protocol)
+            for protocol in PROTOCOLS
+        }
+    return table
+
+
+@pytest.mark.benchmark(group="experiments")
+def test_e1_concurrency(benchmark):
+    table = benchmark.pedantic(run_e1, rounds=1, iterations=1)
+    rows = []
+    for level, by_protocol in table.items():
+        for protocol in PROTOCOLS:
+            metrics = by_protocol[protocol]
+            rows.append(
+                {
+                    "processes": level,
+                    "protocol": protocol,
+                    "makespan": round(metrics["makespan"], 1),
+                    "throughput": round(metrics["throughput"], 4),
+                    "latency": round(metrics["latency"], 1),
+                    "concurrency": round(metrics["concurrency"], 2),
+                }
+            )
+    print_experiment(
+        "E1: concurrency vs multiprogramming level "
+        f"(mean of {len(SEEDS)} seeds)", rows,
+    )
+
+    for level in LEVELS:
+        by = table[level]
+        # Serial is the lower bound on concurrency at every level.
+        assert (
+            by["process-locking"]["concurrency"]
+            > by["serial"]["concurrency"]
+        )
+        # Process locking beats serial on makespan...
+        assert by["process-locking"]["makespan"] < by["serial"]["makespan"]
+        # ...and is at least competitive with exclusive S2PL.
+        assert (
+            by["process-locking"]["makespan"]
+            <= by["s2pl"]["makespan"] * 1.10
+        )
+    # The advantage over serial grows with the multiprogramming level.
+    gain_low = (
+        table[LEVELS[0]]["serial"]["makespan"]
+        / table[LEVELS[0]]["process-locking"]["makespan"]
+    )
+    gain_high = (
+        table[LEVELS[-1]]["serial"]["makespan"]
+        / table[LEVELS[-1]]["process-locking"]["makespan"]
+    )
+    assert gain_high > gain_low

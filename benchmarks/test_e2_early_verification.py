@@ -1,0 +1,69 @@
+"""E2 — Early timestamp verification vs pure OSL's late validation.
+
+Sweeps the conflict density and compares pure ordered shared locking
+against process locking.  Expected shape: OSL's unresolvable violations
+(completing processes that a cascading abort could not reach) appear and
+grow with density, while process locking stays at zero by construction;
+process locking converts those situations into early aborts of *running*
+processes instead.
+"""
+
+import pytest
+
+from harness import SEEDS, averaged_metrics, print_experiment
+from repro.sim.workload import WorkloadSpec
+
+DENSITIES = [0.2, 0.4, 0.6, 0.8]
+
+BASE = WorkloadSpec(
+    n_processes=10,
+    n_activity_types=12,
+    failure_probability=0.12,
+    pivot_probability=0.8,
+)
+
+
+def run_e2():
+    table = {}
+    for density in DENSITIES:
+        spec = BASE.with_(conflict_density=density)
+        table[density] = {
+            "osl-pure": averaged_metrics(spec, "osl-pure"),
+            "process-locking": averaged_metrics(
+                spec, "process-locking"
+            ),
+        }
+    return table
+
+
+@pytest.mark.benchmark(group="experiments")
+def test_e2_early_verification(benchmark):
+    table = benchmark.pedantic(run_e2, rounds=1, iterations=1)
+    rows = []
+    for density, by_protocol in table.items():
+        for protocol, metrics in by_protocol.items():
+            rows.append(
+                {
+                    "density": density,
+                    "protocol": protocol,
+                    "unresolvable": round(metrics["unresolvable"], 2),
+                    "cascades": round(metrics["cascades"], 1),
+                    "comp_cost": round(metrics["comp_cost"], 1),
+                    "makespan": round(metrics["makespan"], 1),
+                }
+            )
+    print_experiment(
+        "E2: late validation (osl-pure) vs early verification "
+        f"(process locking), mean of {len(SEEDS)} seeds", rows,
+    )
+
+    # Process locking never violates correctness.
+    for density in DENSITIES:
+        assert table[density]["process-locking"]["unresolvable"] == 0
+    # Pure OSL does, and increasingly so at higher contention.
+    osl_series = [
+        table[density]["osl-pure"]["unresolvable"]
+        for density in DENSITIES
+    ]
+    assert sum(osl_series) > 0
+    assert osl_series[-1] >= osl_series[0]

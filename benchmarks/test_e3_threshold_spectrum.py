@@ -1,0 +1,65 @@
+"""E3 — The cost-threshold spectrum between ACA and P-RC (Section 4).
+
+Sweeps ``Wcc*`` from 0 (every activity pseudo-pivot ≈ ACA/rigorous) to
+∞ (pure process locking) on a workload with expensive activities.
+Expected shape: cascade victims and cascade-caused compensation grow
+with the threshold (less protection), while admitted concurrency grows
+too — the trade-off the cost-based extension exposes per process.
+"""
+
+import math
+
+import pytest
+
+from harness import SEEDS, averaged_metrics, print_experiment
+from repro.analysis.stats import monotone_increasing
+from repro.sim.workload import WorkloadSpec
+
+THRESHOLDS = [0.0, 10.0, 40.0, 120.0, math.inf]
+
+BASE = WorkloadSpec(
+    n_processes=10,
+    n_activity_types=12,
+    conflict_density=0.5,
+    failure_probability=0.05,
+    expensive_fraction=0.3,
+    expensive_cost=40.0,
+    pivot_probability=0.7,
+)
+
+
+def run_e3():
+    return {
+        threshold: averaged_metrics(
+            BASE.with_(wcc_threshold=threshold), "process-locking"
+        )
+        for threshold in THRESHOLDS
+    }
+
+
+@pytest.mark.benchmark(group="experiments")
+def test_e3_threshold_spectrum(benchmark):
+    table = benchmark.pedantic(run_e3, rounds=1, iterations=1)
+    rows = [
+        {
+            "Wcc*": "inf" if math.isinf(t) else f"{t:g}",
+            "cascade victims": round(m["cascades"], 1),
+            "concurrency": round(m["concurrency"], 2),
+            "comp_cost": round(m["comp_cost"], 1),
+            "makespan": round(m["makespan"], 1),
+            "deadlock victims": round(m["deadlock_victims"], 1),
+        }
+        for t, m in table.items()
+    ]
+    print_experiment(
+        f"E3: Wcc* sweep ACA -> P-RC (mean of {len(SEEDS)} seeds)", rows,
+    )
+
+    cascades = [table[t]["cascades"] for t in THRESHOLDS]
+    # No pseudo-pivot protection at inf, full protection at 0.
+    assert cascades[0] == 0.0
+    assert cascades[-1] > 0.0
+    # Cascade exposure is (weakly) monotone in the threshold.
+    assert monotone_increasing(cascades, slack=max(cascades) * 0.15)
+    # Pseudo-pivot deadlock resolution only exists below infinity.
+    assert table[math.inf]["deadlock_victims"] == 0.0

@@ -1,0 +1,65 @@
+"""Exhibit F1 — Figure 1: dynamic pivot determination.
+
+Traces the cost-based scheduling algorithm over the scripted demo
+process, asserts the pseudo-pivot transition happens exactly at the
+threshold crossing, verifies Lemma 1 (a real pivot trips any finite
+threshold), and cross-checks the symbolic trace against the live
+protocol's ``classify_regular``.
+"""
+
+import math
+
+import pytest
+
+from repro.activities.commutativity import ConflictMatrix
+from repro.analysis.exhibits import build_figure1_demo, figure1_text
+from repro.core.cost_based import figure1_trace, lemma1_holds
+from repro.core.locks import LockMode
+from repro.core.protocol import ProcessLockManager
+from repro.process.builder import ProgramBuilder
+from repro.process.instance import Process
+
+
+def run_figure1():
+    registry, names, threshold = build_figure1_demo()
+    steps = figure1_trace(registry, names, threshold)
+    # Cross-check against the live protocol.
+    conflicts = ConflictMatrix(registry)
+    protocol = ProcessLockManager(registry, conflicts)
+    program = (
+        ProgramBuilder("fig1", registry, wcc_threshold=threshold)
+        .sequence(*names[:-1])
+        .pivot(names[-1])
+        .build()
+    )
+    process = Process(pid=1, program=program, timestamp=1)
+    protocol.attach(process)
+    live = []
+    for name in names:
+        activity = process.launch(name)
+        live.append(protocol.classify_regular(process, activity))
+        process.on_committed(activity)
+    return registry, steps, live, threshold
+
+
+@pytest.mark.benchmark(group="exhibits")
+def test_figure1_cost_based(benchmark):
+    registry, steps, live, threshold = benchmark(run_figure1)
+    print()
+    print(figure1_text(steps))
+
+    # The symbolic algorithm and the live protocol agree step by step.
+    assert [s.treatment for s in steps] == live
+
+    # The transition structure of the demo: C… then P from the crossing.
+    treatments = [s.treatment for s in steps]
+    first_p = treatments.index(LockMode.P)
+    assert all(t is LockMode.C for t in treatments[:first_p])
+    assert all(t is LockMode.P for t in treatments[first_p:])
+    crossing = steps[first_p]
+    assert crossing.wcc_before < threshold <= crossing.wcc_after
+    assert crossing.pseudo_pivot
+
+    # Lemma 1 for the real pivot, across thresholds.
+    for bound in (0.0, 1.0, 1e9, math.inf):
+        assert lemma1_holds(registry, "charge_customer", bound)

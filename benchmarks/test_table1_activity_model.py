@@ -1,0 +1,78 @@
+"""Exhibit T1 — Table 1: activity classes and their constraints.
+
+Regenerates the table from the implementation and verifies that the
+activity registry enforces every constraint row mechanically (invalid
+definitions are rejected, valid ones admitted).
+"""
+
+import math
+
+import pytest
+
+from repro.activities.activity import INFINITE_COST
+from repro.activities.registry import ActivityRegistry
+from repro.analysis.exhibits import table1_text
+from repro.errors import ActivityModelError
+
+
+def exercise_table1() -> dict[str, int]:
+    """Probe the registry with valid and invalid definitions per row."""
+    accepted = 0
+    rejected = 0
+
+    def expect_ok(define):
+        nonlocal accepted
+        define()
+        accepted += 1
+
+    def expect_fail(define):
+        nonlocal rejected
+        try:
+            define()
+        except ActivityModelError:
+            rejected += 1
+        else:  # pragma: no cover - harness assertion
+            raise AssertionError("expected rejection")
+
+    reg = ActivityRegistry()
+    # Row 1: compensatable — finite positive cost, p in [0,1), finite
+    # compensation cost.
+    expect_ok(lambda: reg.define_compensatable(
+        "c_ok", "s", cost=1.0, compensation_cost=0.0,
+        failure_probability=0.99,
+    ))
+    expect_fail(lambda: reg.define_compensatable(
+        "c_p1", "s", cost=1.0, compensation_cost=1.0,
+        failure_probability=1.0,
+    ))
+    expect_fail(lambda: reg.define_compensatable(
+        "c_inf", "s", cost=1.0, compensation_cost=math.inf,
+    ))
+    # Row 2: pivot — compensation cost infinite by construction.
+    expect_ok(lambda: reg.define_pivot("p_ok", "s", cost=1.0,
+                                       failure_probability=0.5))
+    assert reg.compensation_cost("p_ok") == INFINITE_COST
+    expect_fail(lambda: reg.define_pivot("p_zero", "s", cost=0.0))
+    # Row 3: retriable — failure probability pinned to zero.
+    expect_ok(lambda: reg.define_retriable("r_ok", "s", cost=1.0))
+    assert reg.get("r_ok").failure_probability == 0.0
+    # Row 4: compensating — retriable, cost may be zero, never
+    # compensatable itself.
+    comp = reg.get("c_ok^-1")
+    assert comp.retriable and comp.is_compensation
+    assert comp.cost == 0.0
+    assert comp.compensation_cost == INFINITE_COST
+    return {"accepted": accepted, "rejected": rejected}
+
+
+@pytest.mark.benchmark(group="exhibits")
+def test_table1_activity_model(benchmark):
+    counts = benchmark(exercise_table1)
+    print()
+    print(table1_text())
+    print(
+        f"\nconstraint probes: {counts['accepted']} valid definitions "
+        f"accepted, {counts['rejected']} invalid rejected"
+    )
+    assert counts["accepted"] == 3
+    assert counts["rejected"] == 3

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Protocol shoot-out on a synthetic workload.
+
+Runs the same randomly generated workload under every bundled protocol —
+serial execution, exclusive S2PL, pure ordered shared locking, the
+cascade-avoiding scheduler, and process locking — and prints the
+comparison table the paper's argument predicts:
+
+* serial and S2PL are correct but slow (no ordered sharing);
+* pure OSL is fast but *incorrect*: its late validation produces
+  unresolvable violations (completing processes that needed a cascading
+  abort);
+* process locking keeps OSL-level concurrency with zero violations.
+
+Run with::
+
+    python examples/protocol_comparison.py
+"""
+
+from repro.analysis import render_dict_table
+from repro.sim import (
+    WorkloadSpec,
+    build_workload,
+    compare_protocols,
+    run_workload,
+    schedule_of,
+)
+from repro.theory import is_prefix_reducible, is_process_recoverable
+
+
+def main() -> None:
+    spec = WorkloadSpec(
+        n_processes=12,
+        n_activity_types=14,
+        conflict_density=0.35,
+        failure_probability=0.06,
+        parallel_probability=0.2,
+        seed=2024,
+    )
+    workload = build_workload(spec)
+    print(
+        f"workload: {spec.n_processes} processes, "
+        f"{spec.n_activity_types} activity types, "
+        f"conflict density {spec.conflict_density}"
+    )
+    print()
+
+    names = ["serial", "s2pl", "aca", "osl-pure", "process-locking"]
+    metrics = compare_protocols(workload, names, seed=11)
+    rows = [metrics[name].as_row() for name in names]
+    print(render_dict_table(rows, title="Protocol comparison"))
+    print()
+
+    for name in names:
+        result = run_workload(workload, name, seed=11)
+        schedule = schedule_of(workload, result)
+        print(
+            f"{name:18} P-RED={is_prefix_reducible(schedule, stride=5)!s:5} "
+            f"P-RC={is_process_recoverable(schedule)!s:5}"
+        )
+    print()
+    print(
+        "Process locking matches (or beats) pure OSL's makespan while\n"
+        "keeping every prefix reducible and recoverable; the baselines\n"
+        "trade either correctness (osl-pure) or concurrency (serial,\n"
+        "s2pl, aca) away."
+    )
+
+
+if __name__ == "__main__":
+    main()

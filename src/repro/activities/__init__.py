@@ -1,0 +1,38 @@
+"""Activity model: activity types, registry, and commutativity relation."""
+
+from repro.activities.activity import (
+    INFINITE_COST,
+    Activity,
+    ActivityType,
+    TerminationClass,
+)
+from repro.activities.commutativity import (
+    ConflictMatrix,
+    derive_from_read_write_sets,
+)
+from repro.activities.partitioning import (
+    PartitionedFamily,
+    base_of,
+    declare_family_cross_conflicts,
+    declare_family_self_conflicts,
+    define_partitioned_compensatable,
+    partition_of,
+)
+from repro.activities.registry import COMPENSATION_SUFFIX, ActivityRegistry
+
+__all__ = [
+    "INFINITE_COST",
+    "COMPENSATION_SUFFIX",
+    "Activity",
+    "ActivityType",
+    "ActivityRegistry",
+    "ConflictMatrix",
+    "PartitionedFamily",
+    "TerminationClass",
+    "base_of",
+    "declare_family_cross_conflicts",
+    "declare_family_self_conflicts",
+    "define_partitioned_compensatable",
+    "derive_from_read_write_sets",
+    "partition_of",
+]

@@ -1,0 +1,199 @@
+"""Commutativity / conflict relation between activity types.
+
+The process manager treats activities as black boxes but knows, for each
+pair of activity types, whether they *commute* (swapping their order leaves
+all return values unchanged) or *conflict*.  The paper encodes this as an
+``n × n`` boolean matrix ``CON`` over activity types (Section 3.2.1).
+
+Two structural facts are enforced here:
+
+* activities executed in different subsystems never conflict (they cannot
+  share data), and
+* commutativity is *perfect* (Section 2.3): for every pair ``(a, b)``,
+  either all combinations of ``{a, a⁻¹} × {b, b⁻¹}`` commute or all of them
+  conflict.  :meth:`ConflictMatrix.close_perfect` propagates conflicts to
+  compensating activities accordingly, and :meth:`ConflictMatrix.is_perfect`
+  verifies the property.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.activities.registry import ActivityRegistry
+from repro.errors import CommutativityError
+
+
+class ConflictMatrix:
+    """Symmetric boolean conflict relation over activity type names."""
+
+    def __init__(self, registry: ActivityRegistry) -> None:
+        self._registry = registry
+        self._conflicts: set[frozenset[str]] = set()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def declare_conflict(self, first: str, second: str) -> None:
+        """Declare that activity types ``first`` and ``second`` conflict.
+
+        The relation is stored symmetrically.  Declaring a conflict between
+        activities of different subsystems is rejected because such
+        activities cannot share resources.
+        """
+        type_a = self._registry.get(first)
+        type_b = self._registry.get(second)
+        if type_a.subsystem != type_b.subsystem:
+            raise CommutativityError(
+                f"activities {first!r} and {second!r} run in different "
+                "subsystems and therefore always commute"
+            )
+        self._conflicts.add(frozenset((first, second)))
+
+    def declare_conflicts(self, pairs: Iterable[tuple[str, str]]) -> None:
+        """Declare several conflicts at once."""
+        for first, second in pairs:
+            self.declare_conflict(first, second)
+
+    def close_perfect(self) -> None:
+        """Extend the relation so that commutativity becomes perfect.
+
+        For every conflicting pair ``(a, b)`` this adds the conflicts
+        ``(a⁻¹, b)``, ``(a, b⁻¹)`` and ``(a⁻¹, b⁻¹)`` whenever the
+        compensating activities exist, and conversely treats a conflict on
+        a compensation as a conflict on its regular activity.
+        """
+        changed = True
+        while changed:
+            changed = False
+            for pair in list(self._conflicts):
+                names = tuple(pair) if len(pair) == 2 else (
+                    next(iter(pair)),
+                    next(iter(pair)),
+                )
+                for variant in self._perfect_variants(*names):
+                    if variant not in self._conflicts:
+                        self._conflicts.add(variant)
+                        changed = True
+
+    def _perfect_variants(
+        self, first: str, second: str
+    ) -> list[frozenset[str]]:
+        variants = []
+        for name_a in self._family(first):
+            for name_b in self._family(second):
+                variants.append(frozenset((name_a, name_b)))
+        return variants
+
+    def _family(self, name: str) -> list[str]:
+        """``name`` together with its compensation / regular partner."""
+        activity = self._registry.get(name)
+        family = [name]
+        if activity.compensated_by is not None:
+            family.append(activity.compensated_by)
+        if activity.is_compensation:
+            family.extend(
+                t.name
+                for t in self._registry
+                if t.compensated_by == name
+            )
+        return family
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def conflict(self, first: str, second: str) -> bool:
+        """``CON(first, second)``: whether the two types conflict."""
+        if first not in self._registry or second not in self._registry:
+            raise CommutativityError(
+                f"conflict query over unknown activity types "
+                f"({first!r}, {second!r})"
+            )
+        return frozenset((first, second)) in self._conflicts
+
+    def commute(self, first: str, second: str) -> bool:
+        """Whether the two types commute (the complement of conflict)."""
+        return not self.conflict(first, second)
+
+    def conflicting_types(self, name: str) -> set[str]:
+        """All activity type names that conflict with ``name``."""
+        self._registry.get(name)
+        result = set()
+        for pair in self._conflicts:
+            if name in pair:
+                other = set(pair) - {name}
+                result.add(next(iter(other)) if other else name)
+        return result
+
+    def is_perfect(self) -> bool:
+        """Check the perfect-commutativity property of Section 2.3."""
+        for pair in self._conflicts:
+            names = tuple(pair)
+            first, second = (
+                names if len(names) == 2 else (names[0], names[0])
+            )
+            for variant in self._perfect_variants(first, second):
+                if variant not in self._conflicts:
+                    return False
+        return True
+
+    def pairs(self) -> set[frozenset[str]]:
+        """The raw set of conflicting pairs (copies)."""
+        return set(self._conflicts)
+
+    def density(self) -> float:
+        """Fraction of regular-type pairs (incl. self-pairs) in conflict."""
+        regular = [t.name for t in self._registry.regular_types()]
+        total = len(regular) * (len(regular) + 1) // 2
+        if total == 0:
+            return 0.0
+        hits = sum(
+            1
+            for i, first in enumerate(regular)
+            for second in regular[i:]
+            if self.conflict(first, second)
+        )
+        return hits / total
+
+
+def derive_from_read_write_sets(
+    registry: ActivityRegistry,
+    access: dict[str, tuple[frozenset[str], frozenset[str]]],
+) -> ConflictMatrix:
+    """Derive a conflict matrix from data-level read/write sets.
+
+    Parameters
+    ----------
+    registry:
+        The activity registry the matrix should cover.
+    access:
+        Maps each activity type name to its ``(read_set, write_set)`` of
+        record keys, qualified per subsystem (keys of different subsystems
+        are distinct by construction of the callers).
+
+    Returns
+    -------
+    ConflictMatrix
+        Two activities conflict iff they run in the same subsystem and one
+        writes a record the other reads or writes.  The matrix is closed
+        under perfect commutativity afterwards (a compensation is assumed
+        to touch the records of its regular activity).
+    """
+    matrix = ConflictMatrix(registry)
+    names = list(access)
+    for i, first in enumerate(names):
+        reads_a, writes_a = access[first]
+        type_a = registry.get(first)
+        for second in names[i:]:
+            type_b = registry.get(second)
+            if type_a.subsystem != type_b.subsystem:
+                continue
+            reads_b, writes_b = access[second]
+            collides = bool(
+                writes_a & (reads_b | writes_b)
+                or writes_b & (reads_a | writes_a)
+            )
+            if collides:
+                matrix.declare_conflict(first, second)
+    matrix.close_perfect()
+    return matrix

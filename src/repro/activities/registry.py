@@ -1,0 +1,231 @@
+"""Registry of all activity types available in the system (``A*``).
+
+The registry is the process manager's catalogue of transaction programs: it
+stores every :class:`~repro.activities.activity.ActivityType`, links regular
+activities to their compensating counterparts, and enforces the structural
+constraints of Table 1 across pairs (a compensating activity must exist, be
+retriable, live in the same subsystem, and have finite cost).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.activities.activity import INFINITE_COST, ActivityType
+from repro.errors import ActivityModelError, UnknownActivityError
+
+#: Suffix used for auto-generated compensating activity names.
+COMPENSATION_SUFFIX = "^-1"
+
+
+class ActivityRegistry:
+    """Mutable catalogue of activity types.
+
+    Use the ``define_*`` helpers to add well-formed activities; they create
+    and link compensating activities automatically.  The registry is the
+    single source of truth for activity metadata used by the commutativity
+    relation, the process programs, and the locking protocol.
+    """
+
+    def __init__(self) -> None:
+        self._types: dict[str, ActivityType] = {}
+
+    # ------------------------------------------------------------------
+    # definition helpers
+    # ------------------------------------------------------------------
+    def define_compensatable(
+        self,
+        name: str,
+        subsystem: str,
+        cost: float,
+        compensation_cost: float = 0.0,
+        failure_probability: float = 0.0,
+        retriable: bool = False,
+        compensation_name: str | None = None,
+    ) -> ActivityType:
+        """Define a compensatable activity and its compensating partner.
+
+        Parameters
+        ----------
+        name, subsystem, cost, failure_probability, retriable:
+            Properties of the regular activity (see
+            :class:`~repro.activities.activity.ActivityType`).
+        compensation_cost:
+            Execution cost of the compensating activity ``a⁻¹``; may be 0
+            (e.g. the inverse of a read-like activity) but must be finite.
+        compensation_name:
+            Optional explicit name for ``a⁻¹``; defaults to
+            ``name + "^-1"``.
+
+        Returns
+        -------
+        ActivityType
+            The regular activity type (its compensating counterpart is
+            registered alongside it).
+        """
+        if compensation_cost < 0 or compensation_cost == INFINITE_COST:
+            raise ActivityModelError(
+                f"activity {name!r}: compensation cost must be finite and "
+                f">= 0 (got {compensation_cost!r}); use define_pivot() for "
+                "non-compensatable activities"
+            )
+        comp_name = compensation_name or f"{name}{COMPENSATION_SUFFIX}"
+        compensation = ActivityType(
+            name=comp_name,
+            subsystem=subsystem,
+            cost=compensation_cost,
+            failure_probability=0.0,
+            retriable=True,
+            is_compensation=True,
+        )
+        regular = ActivityType(
+            name=name,
+            subsystem=subsystem,
+            cost=cost,
+            failure_probability=0.0 if retriable else failure_probability,
+            compensated_by=comp_name,
+            retriable=retriable,
+            _compensation_cost_hint=compensation_cost,
+        )
+        self._register(regular)
+        self._register(compensation)
+        return regular
+
+    def define_pivot(
+        self,
+        name: str,
+        subsystem: str,
+        cost: float,
+        failure_probability: float = 0.0,
+    ) -> ActivityType:
+        """Define a pivot: a non-compensatable, non-retriable activity."""
+        pivot = ActivityType(
+            name=name,
+            subsystem=subsystem,
+            cost=cost,
+            failure_probability=failure_probability,
+        )
+        self._register(pivot)
+        return pivot
+
+    def define_retriable(
+        self,
+        name: str,
+        subsystem: str,
+        cost: float,
+        compensation_cost: float | None = None,
+    ) -> ActivityType:
+        """Define a retriable activity.
+
+        Retriability and compensatability are orthogonal (Section 2.1); pass
+        ``compensation_cost`` to make the activity compensatable as well.
+        """
+        if compensation_cost is not None:
+            return self.define_compensatable(
+                name,
+                subsystem,
+                cost,
+                compensation_cost=compensation_cost,
+                retriable=True,
+            )
+        retriable = ActivityType(
+            name=name,
+            subsystem=subsystem,
+            cost=cost,
+            failure_probability=0.0,
+            retriable=True,
+        )
+        self._register(retriable)
+        return retriable
+
+    def _register(self, activity_type: ActivityType) -> None:
+        if activity_type.name in self._types:
+            raise ActivityModelError(
+                f"activity type {activity_type.name!r} is already defined"
+            )
+        self._types[activity_type.name] = activity_type
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> ActivityType:
+        """Return the activity type called ``name``.
+
+        Raises
+        ------
+        UnknownActivityError
+            If no such activity type exists.
+        """
+        try:
+            return self._types[name]
+        except KeyError:
+            raise UnknownActivityError(
+                f"unknown activity type {name!r}"
+            ) from None
+
+    def compensation_of(self, name: str) -> ActivityType:
+        """Return the compensating activity type for ``name``.
+
+        Raises
+        ------
+        ActivityModelError
+            If the activity is not compensatable.
+        """
+        regular = self.get(name)
+        if regular.compensated_by is None:
+            raise ActivityModelError(
+                f"activity {name!r} is not compensatable"
+            )
+        return self.get(regular.compensated_by)
+
+    def compensation_cost(self, name: str) -> float:
+        """Cost ``c(a⁻¹)`` of compensating ``name``; ``inf`` for pivots."""
+        regular = self.get(name)
+        if regular.compensated_by is None:
+            return INFINITE_COST
+        return self.get(regular.compensated_by).cost
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __iter__(self) -> Iterator[ActivityType]:
+        return iter(self._types.values())
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    @property
+    def names(self) -> list[str]:
+        """Names of all registered activity types, in definition order."""
+        return list(self._types)
+
+    def regular_types(self) -> list[ActivityType]:
+        """All non-compensating activity types."""
+        return [t for t in self._types.values() if not t.is_compensation]
+
+    def subsystems(self) -> set[str]:
+        """Names of all subsystems referenced by registered activities."""
+        return {t.subsystem for t in self._types.values()}
+
+    def validate(self) -> None:
+        """Cross-check the registry for dangling compensation links."""
+        for activity_type in self._types.values():
+            comp = activity_type.compensated_by
+            if comp is None:
+                continue
+            if comp not in self._types:
+                raise ActivityModelError(
+                    f"activity {activity_type.name!r} references missing "
+                    f"compensating activity {comp!r}"
+                )
+            partner = self._types[comp]
+            if not partner.is_compensation:
+                raise ActivityModelError(
+                    f"activity {comp!r} is referenced as a compensation "
+                    "but was not defined as one"
+                )
+            if partner.subsystem != activity_type.subsystem:
+                raise ActivityModelError(
+                    f"activity {activity_type.name!r} and its compensation "
+                    f"{comp!r} must run in the same subsystem"
+                )

@@ -1,0 +1,70 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same kind of rows the paper's exhibits
+contain; this module renders them as fixed-width text tables so bench
+output is readable in a terminal and diffable in CI logs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table."""
+    columns = len(headers)
+    cells = [[_fmt(value) for value in row] for row in rows]
+    for row in cells:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells))
+        if cells
+        else len(headers[i])
+        for i in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        headers[i].ljust(widths[i]) for i in range(columns)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in cells:
+        lines.append(
+            "  ".join(row[i].ljust(widths[i]) for i in range(columns))
+        )
+    return "\n".join(lines)
+
+
+def render_dict_table(
+    rows: Sequence[Mapping[str, object]],
+    headers: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a list of dictionaries (keys become columns)."""
+    if not rows:
+        return title or "(no rows)"
+    keys = list(headers) if headers else list(rows[0].keys())
+    return render_table(
+        keys,
+        [[row.get(key, "") for key in keys] for row in rows],
+        title=title,
+    )
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        return f"{value:.3f}".rstrip("0").rstrip(".") or "0"
+    return str(value)

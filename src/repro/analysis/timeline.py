@@ -1,0 +1,98 @@
+"""ASCII timeline rendering of observed schedules.
+
+Turns a :class:`~repro.theory.schedule.ProcessSchedule` into a per-process
+lane diagram — one column per schedule position — which makes interleaving,
+cascading aborts, and resubmissions visible at a glance::
+
+    P1   R--W--P--S--C
+    P2   R--------x        <- cascade victim, compensated and aborted
+    P2.1          R--W--…  <- resubmitted incarnation
+
+Glyphs: the activity's first letter (upper-case regular, lower-case
+compensating), ``C`` commit, ``A`` abort; ``-`` marks lanes that are alive
+but idle at that position.
+"""
+
+from __future__ import annotations
+
+from repro.theory.schedule import (
+    EventKind,
+    ProcessSchedule,
+    ScheduleEvent,
+)
+
+#: Glyphs for terminal events.
+COMMIT_GLYPH = "C"
+ABORT_GLYPH = "A"
+IDLE_GLYPH = "-"
+GAP_GLYPH = " "
+
+
+def _lane_label(process: tuple[int, int]) -> str:
+    pid, incarnation = process
+    return f"P{pid}" if incarnation == 0 else f"P{pid}.{incarnation}"
+
+
+def _event_glyph(event: ScheduleEvent) -> str:
+    if event.kind is EventKind.COMMIT:
+        return COMMIT_GLYPH
+    if event.kind is EventKind.ABORT:
+        return ABORT_GLYPH
+    letter = event.name[:1] or "?"
+    return letter.lower() if event.is_compensation else letter.upper()
+
+
+def render_timeline(
+    schedule: ProcessSchedule,
+    max_width: int = 120,
+    legend: bool = True,
+) -> str:
+    """Render the schedule as one lane per process incarnation.
+
+    ``max_width`` truncates very long schedules (an ellipsis marks the
+    cut); pass 0 for no limit.
+    """
+    processes = schedule.processes
+    if not processes:
+        return "(empty schedule)"
+    first_pos: dict[tuple[int, int], int] = {}
+    last_pos: dict[tuple[int, int], int] = {}
+    for event in schedule.events:
+        first_pos.setdefault(event.process, event.position)
+        last_pos[event.process] = event.position
+
+    length = len(schedule.events)
+    label_width = max(len(_lane_label(p)) for p in processes) + 2
+    lanes: dict[tuple[int, int], list[str]] = {
+        process: [GAP_GLYPH] * length for process in processes
+    }
+    for process in processes:
+        for pos in range(first_pos[process], last_pos[process] + 1):
+            lanes[process][pos] = IDLE_GLYPH
+    for event in schedule.events:
+        lanes[event.process][event.position] = _event_glyph(event)
+
+    truncated = max_width and length > max_width
+    cut = max_width if truncated else length
+    lines = []
+    for process in processes:
+        body = "".join(lanes[process][:cut])
+        if truncated:
+            body += "…"
+        lines.append(f"{_lane_label(process):<{label_width}}{body}")
+    if legend:
+        names = sorted(
+            {
+                event.name
+                for event in schedule.events
+                if event.is_activity and not event.is_compensation
+            }
+        )
+        legend_items = [f"{name[:1].upper()}={name}" for name in names]
+        lines.append("")
+        lines.append(
+            "legend: " + ", ".join(legend_items)
+            + f", lower-case=compensation, {COMMIT_GLYPH}=commit, "
+            f"{ABORT_GLYPH}=abort"
+        )
+    return "\n".join(lines)

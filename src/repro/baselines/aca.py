@@ -1,0 +1,30 @@
+"""Cascade-avoiding scheduling (the ACA endpoint of Section 4's spectrum).
+
+The paper (Section 3.2.3, citing Breitbart et al.) observes that at
+activity granularity — where a shared/exclusive distinction is
+unavailable — avoiding cascading aborts *degenerates to rigorousness*:
+no conflicting lock may ever be shared, which is exactly exclusive
+strict two-phase locking.  The baseline is therefore implemented as
+:class:`~repro.baselines.s2pl.StrictTwoPhaseLocking` under wound-wait,
+re-exported under its conceptual name so experiments can refer to the
+"ACA" comparator the paper argues against.
+
+(The cost-based extension reaches a *more* restrictive point than this
+at ``Wcc* = 0``: every activity is pivot-treated and the literal
+Piv-Rule serializes P-lock holders globally.)
+"""
+
+from __future__ import annotations
+
+from repro.activities.commutativity import ConflictMatrix
+from repro.activities.registry import ActivityRegistry
+from repro.baselines.s2pl import StrictTwoPhaseLocking
+
+
+class CascadeAvoidingScheduler(StrictTwoPhaseLocking):
+    """Rigorous scheduling: no lock sharing, hence no cascades, ever."""
+
+    def __init__(
+        self, registry: ActivityRegistry, conflicts: ConflictMatrix
+    ) -> None:
+        super().__init__(registry, conflicts, variant="wound-wait")

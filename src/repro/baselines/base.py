@@ -1,0 +1,109 @@
+"""Shared scaffolding for baseline scheduling protocols.
+
+Baselines implement the same decision interface as
+:class:`repro.core.protocol.ProcessLockManager`, so the process manager
+can drive any of them unchanged:
+
+* ``new_timestamp() / attach() / detach()``
+* ``classify_regular(process, activity) -> LockMode``
+* ``request_activity_lock(process, activity, mode) -> Decision``
+* ``request_compensation_lock(process, activity) -> Decision``
+* ``try_commit(process) -> Decision``
+* ``timestamps() / running_pids() / audit()``
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.activities.activity import Activity
+from repro.activities.commutativity import ConflictMatrix
+from repro.activities.registry import ActivityRegistry
+from repro.core.decisions import Decision, ProtocolStats
+from repro.core.lock_table import LockTable
+from repro.core.locks import LockMode
+from repro.process.instance import Process
+from repro.process.state import ProcessState
+
+
+class BaselineProtocol:
+    """Common state and helpers for baseline protocols."""
+
+    #: Manager hint: break unresolvable wait cycles by force-committing a
+    #: parked commit instead of raising (pure OSL sets this).
+    forced_commit_on_unresolvable = False
+
+    def __init__(
+        self, registry: ActivityRegistry, conflicts: ConflictMatrix
+    ) -> None:
+        self.registry = registry
+        self.conflicts = conflicts
+        self.table = LockTable(conflicts)
+        self.stats = ProtocolStats()
+        self._timestamps = itertools.count(1)
+        self._processes: dict[int, Process] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle (identical across baselines)
+    # ------------------------------------------------------------------
+    def new_timestamp(self) -> int:
+        return next(self._timestamps)
+
+    def attach(self, process: Process) -> None:
+        self._processes[process.pid] = process
+
+    def detach(self, process: Process) -> None:
+        self.table.release_all(process.pid)
+        self._processes.pop(process.pid, None)
+
+    def timestamps(self) -> dict[int, int]:
+        return {
+            pid: proc.timestamp for pid, proc in self._processes.items()
+        }
+
+    def running_pids(self) -> set[int]:
+        return {
+            pid
+            for pid, proc in self._processes.items()
+            if proc.state is ProcessState.RUNNING
+        }
+
+    def live_processes(self) -> list[Process]:
+        return list(self._processes.values())
+
+    def audit(self) -> None:
+        self.table.check_invariants(self._processes)
+
+    # ------------------------------------------------------------------
+    # defaults
+    # ------------------------------------------------------------------
+    def classify_regular(
+        self, process: Process, activity: Activity
+    ) -> LockMode:
+        """Charge Wcc (for comparable metrics) and pick the lock mode.
+
+        Baselines have no cost-based extension; only real points of no
+        return are pivot-treated.
+        """
+        activity_type = activity.activity_type
+        process.charge_wcc(
+            activity_type.cost
+            + self.registry.compensation_cost(activity_type.name)
+        )
+        if activity_type.point_of_no_return:
+            return LockMode.P
+        return LockMode.C
+
+    # Subclasses must implement:
+    def request_activity_lock(
+        self, process: Process, activity: Activity, mode: LockMode
+    ) -> Decision:
+        raise NotImplementedError
+
+    def request_compensation_lock(
+        self, process: Process, activity: Activity
+    ) -> Decision:
+        raise NotImplementedError
+
+    def try_commit(self, process: Process) -> Decision:
+        raise NotImplementedError

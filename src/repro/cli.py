@@ -1,0 +1,305 @@
+"""Command-line interface.
+
+Exposes the library's main entry points without writing Python::
+
+    python -m repro exhibits
+    python -m repro run --processes 12 --density 0.4 --check
+    python -m repro compare --protocols serial s2pl process-locking
+    python -m repro scenario hospital --protocol process-locking
+    python -m repro sweep-threshold --thresholds 0 10 40 inf
+
+Every command prints plain-text tables (see
+:mod:`repro.analysis.tables`) and exits non-zero if a requested
+correctness check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.exhibits import all_exhibits_text
+from repro.analysis.export import rows_to_json
+from repro.analysis.tables import render_dict_table
+from repro.analysis.timeline import render_timeline
+from repro.core.conformance import run_conformance
+from repro.scheduler.manager import ManagerConfig, ProcessManager
+from repro.sim.metrics import summarize
+from repro.sim.runner import (
+    PROTOCOL_FACTORIES,
+    make_protocol,
+    run_workload,
+    schedule_of,
+)
+from repro.sim.workload import WorkloadSpec, build_workload
+from repro.theory.criteria import (
+    has_correct_termination,
+    is_process_recoverable,
+)
+from repro.workloads import (
+    hospital_scenario,
+    manufacturing_scenario,
+    payment_scenario,
+    travel_scenario,
+)
+
+SCENARIOS = {
+    "payment": payment_scenario,
+    "travel": travel_scenario,
+    "hospital": hospital_scenario,
+    "manufacturing": manufacturing_scenario,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Process locking (PODS 2001) — run exhibits, workloads, "
+            "and protocol comparisons"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser(
+        "exhibits",
+        help="regenerate the paper's exhibits (Tables 1-2, Figure 1)",
+    )
+
+    run = sub.add_parser(
+        "run", help="run a synthetic workload under one protocol"
+    )
+    _add_workload_args(run)
+    run.add_argument(
+        "--protocol",
+        default="process-locking",
+        choices=sorted(PROTOCOL_FACTORIES),
+    )
+    run.add_argument(
+        "--check",
+        action="store_true",
+        help="verify CT and P-RC on the observed schedule",
+    )
+    run.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the observed schedule",
+    )
+    run.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print an ASCII per-process timeline of the schedule",
+    )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the metrics row as JSON instead of a table",
+    )
+
+    compare = sub.add_parser(
+        "compare", help="run one workload under several protocols"
+    )
+    _add_workload_args(compare)
+    compare.add_argument(
+        "--protocols",
+        nargs="+",
+        default=["serial", "s2pl", "osl-pure", "process-locking"],
+        choices=sorted(PROTOCOL_FACTORIES),
+    )
+
+    scenario = sub.add_parser(
+        "scenario", help="run a domain scenario end to end"
+    )
+    scenario.add_argument("name", choices=sorted(SCENARIOS))
+    scenario.add_argument(
+        "--protocol",
+        default="process-locking",
+        choices=sorted(PROTOCOL_FACTORIES),
+    )
+    scenario.add_argument("--seed", type=int, default=0)
+
+    conformance = sub.add_parser(
+        "conformance",
+        help="run the rule-conformance checklist against a protocol",
+    )
+    conformance.add_argument(
+        "protocol",
+        nargs="?",
+        default=None,
+        choices=sorted(PROTOCOL_FACTORIES),
+        help="protocol to check (default: all)",
+    )
+
+    sweep = sub.add_parser(
+        "sweep-threshold",
+        help="cost-threshold sweep (the Section-4 spectrum)",
+    )
+    _add_workload_args(sweep)
+    sweep.add_argument(
+        "--thresholds",
+        nargs="+",
+        default=["0", "10", "40", "inf"],
+        help="Wcc* values ('inf' allowed)",
+    )
+    return parser
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--processes", type=int, default=8)
+    parser.add_argument("--activity-types", type=int, default=12)
+    parser.add_argument("--density", type=float, default=0.3)
+    parser.add_argument("--failure-prob", type=float, default=0.05)
+    parser.add_argument("--threshold", type=float, default=math.inf)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--grounded",
+        action="store_true",
+        help="back activities with real subsystem transaction programs",
+    )
+
+
+def _spec_from(args: argparse.Namespace) -> WorkloadSpec:
+    return WorkloadSpec(
+        n_processes=args.processes,
+        n_activity_types=args.activity_types,
+        conflict_density=args.density,
+        failure_probability=args.failure_prob,
+        wcc_threshold=args.threshold,
+        grounded=args.grounded,
+        seed=args.seed,
+    )
+
+
+def _metrics_rows(named_metrics) -> str:
+    return render_dict_table([m.as_row() for m in named_metrics])
+
+
+def cmd_exhibits(args: argparse.Namespace) -> int:
+    print(all_exhibits_text())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = build_workload(_spec_from(args))
+    result = run_workload(
+        workload, args.protocol, seed=args.seed,
+        config=ManagerConfig(audit=True),
+    )
+    metrics = summarize(args.protocol, result)
+    if args.json:
+        print(rows_to_json([metrics]))
+    else:
+        print(_metrics_rows([metrics]))
+    if args.timeline:
+        print()
+        print(render_timeline(schedule_of(workload, result)))
+    if args.trace:
+        print()
+        print("observed schedule:")
+        print(" ", " ".join(str(e) for e in result.trace.events))
+    if args.check:
+        schedule = schedule_of(workload, result)
+        ct = has_correct_termination(schedule, stride=2)
+        prc = is_process_recoverable(schedule)
+        print()
+        print(f"CT   (Theorem 1): {ct}")
+        print(f"P-RC (Theorem 2): {prc}")
+        if not (ct and prc):
+            return 1
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    workload = build_workload(_spec_from(args))
+    metrics = []
+    for name in args.protocols:
+        result = run_workload(workload, name, seed=args.seed)
+        metrics.append(summarize(name, result))
+    print(_metrics_rows(metrics))
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    scenario = SCENARIOS[args.name]()
+    factory = PROTOCOL_FACTORIES[args.protocol]
+    protocol = factory(scenario.registry, scenario.conflicts)
+    manager = ProcessManager(
+        protocol,
+        subsystems=scenario.make_subsystems(),
+        config=ManagerConfig(audit=True),
+        seed=args.seed,
+    )
+    for program in scenario.programs:
+        manager.submit(program)
+    result = manager.run()
+    print(f"scenario: {scenario.name} under {args.protocol}")
+    print(_metrics_rows([summarize(args.protocol, result)]))
+    schedule = result.trace.to_schedule(scenario.conflicts.conflict)
+    print()
+    print(f"CT   (Theorem 1): {has_correct_termination(schedule)}")
+    print(f"P-RC (Theorem 2): {is_process_recoverable(schedule)}")
+    return 0
+
+
+def cmd_sweep_threshold(args: argparse.Namespace) -> int:
+    rows = []
+    for raw in args.thresholds:
+        threshold = math.inf if raw in ("inf", "Inf") else float(raw)
+        spec = _spec_from(args).with_(wcc_threshold=threshold)
+        workload = build_workload(spec)
+        result = run_workload(
+            workload, "process-locking", seed=args.seed
+        )
+        metrics = summarize("process-locking", result)
+        rows.append(
+            {
+                "Wcc*": raw,
+                "committed": metrics.committed,
+                "cascades": metrics.cascade_victims,
+                "comp_cost": round(metrics.compensated_cost, 1),
+                "concurrency": round(metrics.mean_concurrency, 2),
+                "makespan": round(metrics.makespan, 1),
+            }
+        )
+    print(render_dict_table(rows, title="Wcc* sweep"))
+    return 0
+
+
+def cmd_conformance(args: argparse.Namespace) -> int:
+    names = (
+        [args.protocol]
+        if args.protocol is not None
+        else sorted(PROTOCOL_FACTORIES)
+    )
+    fully = True
+    for name in names:
+        factory = PROTOCOL_FACTORIES[name]
+        report = run_conformance(factory, name)
+        print(report.describe())
+        print()
+        if name.startswith("process-locking"):
+            fully = fully and report.fully_conformant
+    return 0 if fully else 1
+
+
+_COMMANDS = {
+    "exhibits": cmd_exhibits,
+    "conformance": cmd_conformance,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "scenario": cmd_scenario,
+    "sweep-threshold": cmd_sweep_threshold,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""Cost-based process scheduling (paper Section 4).
+
+The runtime decision logic lives in
+:meth:`repro.core.protocol.ProcessLockManager.classify_regular` (the
+algorithm of Figure 1).  This module provides the cost model *functions*
+(Equations 1–3) plus an instrumented re-implementation of Figure 1 that
+produces a step-by-step trace — used by the exhibit generator and the
+Figure-1 benchmark, and cross-checked against the protocol's behaviour in
+tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.activities.registry import ActivityRegistry
+from repro.core.locks import LockMode
+
+
+def worst_case_cost(
+    registry: ActivityRegistry, executed: list[str]
+) -> float:
+    """``Wcc(P, S)`` of Equation 1 over executed regular activity names.
+
+    Sums ``c(a) + c(a⁻¹)`` for every executed regular activity; the
+    compensation of a pivot contributes ``inf``.
+    """
+    total = 0.0
+    for name in executed:
+        activity = registry.get(name)
+        total += activity.cost + registry.compensation_cost(name)
+    return total
+
+
+def wcc_after(
+    registry: ActivityRegistry, wcc: float, next_activity: str
+) -> float:
+    """``Wcc(P, S')`` of Equation 2: cost after adding one activity."""
+    activity = registry.get(next_activity)
+    return wcc + activity.cost + registry.compensation_cost(next_activity)
+
+
+def is_pseudo_pivot(
+    registry: ActivityRegistry,
+    wcc_before: float,
+    activity_name: str,
+    threshold: float,
+) -> bool:
+    """Equation 3: compensatable, but crossing the threshold right now.
+
+    Pseudo pivots are distinguished from real pivots by *finite*
+    worst-case cost.
+    """
+    activity = registry.get(activity_name)
+    if not activity.compensatable:
+        return False
+    after = wcc_after(registry, wcc_before, activity_name)
+    return (
+        wcc_before < threshold <= after
+        and not math.isinf(after)
+    )
+
+
+@dataclass(frozen=True)
+class Figure1Step:
+    """One row of the Figure-1 execution trace."""
+
+    activity: str
+    wcc_before: float
+    wcc_after: float
+    threshold: float
+    treatment: LockMode
+    pseudo_pivot: bool
+    real_pivot: bool
+
+    def describe(self) -> str:
+        kind = (
+            "pivot"
+            if self.real_pivot
+            else "pseudo-pivot" if self.pseudo_pivot else "compensatable"
+        )
+        return (
+            f"{self.activity:<20} Wcc {self.wcc_before:>8g} -> "
+            f"{self.wcc_after:>8g}  (Wcc* = {self.threshold:g})  "
+            f"lock={self.treatment.value}  [{kind}]"
+        )
+
+
+def figure1_trace(
+    registry: ActivityRegistry,
+    activity_names: list[str],
+    threshold: float,
+) -> list[Figure1Step]:
+    """Run the Figure-1 algorithm symbolically over an activity sequence.
+
+    Mirrors ``execute_activity`` from the paper: for each regular activity
+    the worst-case cost is updated first (Equation 2) and the treatment is
+    chosen by comparing against ``Wcc*``; real pivots always exceed the
+    threshold (Lemma 1).
+    """
+    steps: list[Figure1Step] = []
+    wcc = 0.0
+    for name in activity_names:
+        activity = registry.get(name)
+        before = wcc
+        wcc = wcc_after(registry, wcc, name)
+        if activity.point_of_no_return:
+            treatment = LockMode.P
+            pseudo = False
+        elif wcc >= threshold:
+            treatment = LockMode.P
+            pseudo = True
+        else:
+            treatment = LockMode.C
+            pseudo = False
+        steps.append(
+            Figure1Step(
+                activity=name,
+                wcc_before=before,
+                wcc_after=wcc,
+                threshold=threshold,
+                treatment=treatment,
+                pseudo_pivot=pseudo,
+                real_pivot=activity.point_of_no_return,
+            )
+        )
+    return steps
+
+
+def lemma1_holds(
+    registry: ActivityRegistry, pivot_name: str, threshold: float
+) -> bool:
+    """Lemma 1: scheduling a pivot always exceeds any finite threshold."""
+    activity = registry.get(pivot_name)
+    if not activity.point_of_no_return:
+        raise ValueError(f"{pivot_name!r} is not a point of no return")
+    return wcc_after(registry, 0.0, pivot_name) >= threshold

@@ -1,0 +1,110 @@
+"""Wait-for bookkeeping and deadlock handling.
+
+Process locking's waits are timestamp-disciplined: almost every deferment
+makes a *younger* process wait for an *older* one, and the remaining
+exceptions target the unique completing process (which itself never waits
+on a running process) or aborting processes (which always terminate).
+Under the basic protocol wait-for cycles therefore cannot form — this is
+the paper's "timestamp-based deadlock prevention".
+
+The cost-based extension introduces pseudo pivots whose P locks can make
+an *older* process wait for a *younger running* one, so cycles become
+possible there.  :class:`WaitForGraph` detects them; the victim is the
+youngest *running* process on the cycle (never a completing one, which by
+construction cannot be required).
+
+The graph doubles as an auditor: simulations assert acyclicity after every
+step when the cost-based extension is off.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import ProtocolError
+
+
+class WaitForGraph:
+    """Directed waits-for graph over process ids."""
+
+    def __init__(self) -> None:
+        self._graph: nx.DiGraph = nx.DiGraph()
+
+    def set_waits(self, waiter: int, blockers: frozenset[int]) -> None:
+        """Replace the outgoing wait edges of ``waiter``."""
+        self.clear_waits(waiter)
+        for blocker in blockers:
+            if blocker != waiter:
+                self._graph.add_edge(waiter, blocker)
+
+    def clear_waits(self, waiter: int) -> None:
+        """Remove all outgoing wait edges of ``waiter``."""
+        if self._graph.has_node(waiter):
+            for blocker in list(self._graph.successors(waiter)):
+                self._graph.remove_edge(waiter, blocker)
+
+    def remove_process(self, pid: int) -> None:
+        """Drop a terminated process from the graph entirely."""
+        if self._graph.has_node(pid):
+            self._graph.remove_node(pid)
+
+    def find_cycle(self) -> list[int] | None:
+        """Return one wait cycle as a list of pids, or ``None``."""
+        try:
+            cycle = nx.find_cycle(self._graph)
+        except nx.NetworkXNoCycle:
+            return None
+        return [edge[0] for edge in cycle]
+
+    def assert_acyclic(self) -> None:
+        """Raise :class:`ProtocolError` when a wait cycle exists."""
+        cycle = self.find_cycle()
+        if cycle is not None:
+            raise ProtocolError(
+                f"wait-for cycle detected: {' -> '.join(map(str, cycle))}"
+            )
+
+    def waiters(self) -> set[int]:
+        """All processes with at least one outgoing wait edge."""
+        return {
+            node
+            for node in self._graph.nodes
+            if self._graph.out_degree(node) > 0
+        }
+
+    def edges(self) -> list[tuple[int, int]]:
+        return list(self._graph.edges)
+
+
+def choose_cycle_victim(
+    cycle: list[int],
+    timestamps: dict[int, int],
+    running: set[int],
+    protected: set[int] | None = None,
+) -> int:
+    """Pick the youngest running process on a wait cycle.
+
+    ``protected`` processes (pseudo-pivot P-lock holders under the
+    cost-based extension) are sacrificed only when every running cycle
+    member is protected — deadlock resolution honours cascade
+    protection as far as possible.
+
+    Raises
+    ------
+    ProtocolError
+        If no process on the cycle is running (would mean the protocol
+        created a cycle of unabortable processes — Theorem 1's argument
+        excludes this for correct implementations).
+    """
+    candidates = [pid for pid in cycle if pid in running]
+    if not candidates:
+        raise ProtocolError(
+            f"unresolvable wait cycle {cycle}: no running process to abort"
+        )
+    if protected:
+        unprotected = [
+            pid for pid in candidates if pid not in protected
+        ]
+        if unprotected:
+            candidates = unprotected
+    return max(candidates, key=lambda pid: timestamps[pid])

@@ -1,0 +1,92 @@
+"""Decision objects returned by the process-locking protocol.
+
+Every lock request (and every commit attempt) resolves to exactly one of:
+
+* :class:`Grant` — the request succeeded; locks were acquired (or the
+  commit may proceed).
+* :class:`Defer` — the request must wait until the named processes have
+  terminated (or committed); the process manager parks the request and
+  retries it on each relevant termination.
+* :class:`AbortVictims` — timestamp order requires the named *running*
+  processes to be aborted (cascading abort); the manager aborts them,
+  resubmits them with their original timestamps, and then retries the
+  request.
+
+``Defer.reason`` carries a machine-readable tag used by metrics and tests
+(e.g. ``"older-c-holders"``, ``"completing-token"``, ``"wait-aborting"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.locks import LockEntry
+
+
+@dataclass(frozen=True)
+class Grant:
+    """Request granted; ``locks`` lists the entries acquired (may be
+    empty for commit grants)."""
+
+    locks: tuple[LockEntry, ...] = ()
+
+
+@dataclass(frozen=True)
+class Defer:
+    """Request deferred until the processes in ``wait_for`` terminate."""
+
+    wait_for: frozenset[int]
+    reason: str
+
+    def __post_init__(self) -> None:
+        if not self.wait_for:
+            raise ValueError("Defer needs a non-empty wait set")
+
+
+@dataclass(frozen=True)
+class AbortVictims:
+    """The named running processes must be cascade-aborted first."""
+
+    victims: frozenset[int]
+
+    def __post_init__(self) -> None:
+        if not self.victims:
+            raise ValueError("AbortVictims needs a non-empty victim set")
+
+
+@dataclass(frozen=True)
+class SelfAbort:
+    """The *requesting* process must abort itself (and be resubmitted).
+
+    Process locking never answers a request this way — its timestamp
+    discipline always sacrifices younger lock *holders* — but baseline
+    protocols do: wait-die S2PL kills a younger requester, and pure OSL
+    aborts a process whose late commit-time validation fails.
+    """
+
+    reason: str
+
+
+Decision = Grant | Defer | AbortVictims | SelfAbort
+
+
+@dataclass
+class ProtocolStats:
+    """Counters describing the protocol's decisions during a run."""
+
+    c_grants: int = 0
+    p_grants: int = 0
+    conversions: int = 0
+    defers: int = 0
+    defer_reasons: dict[str, int] = field(default_factory=dict)
+    cascades_requested: int = 0
+    cascade_victims: int = 0
+    commit_defers: int = 0
+    commits: int = 0
+    aborts: int = 0
+
+    def note_defer(self, reason: str) -> None:
+        self.defers += 1
+        self.defer_reasons[reason] = (
+            self.defer_reasons.get(reason, 0) + 1
+        )

@@ -1,0 +1,178 @@
+"""The activity-type lock table with ordered sharing.
+
+For each activity type the table keeps the ordered list of live locks (the
+paper's "ordered list ... which comprises the locks held for all
+invocations of that activity").  Sharing order is the global acquisition
+order, materialized in :attr:`LockEntry.position`.
+
+The table is pure bookkeeping: all *policy* (who may share behind whom,
+who gets aborted) lives in :mod:`repro.core.protocol`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.activities.commutativity import ConflictMatrix
+from repro.core.locks import LockEntry, LockMode
+from repro.errors import ProtocolError
+from repro.process.instance import Process
+
+
+class LockTable:
+    """Per-activity-type ordered lock lists plus a per-process index."""
+
+    def __init__(self, conflicts: ConflictMatrix) -> None:
+        self._conflicts = conflicts
+        self._by_type: dict[str, list[LockEntry]] = {}
+        self._by_pid: dict[int, list[LockEntry]] = {}
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def acquire(
+        self,
+        process: Process,
+        type_name: str,
+        mode: LockMode,
+        activity_uid: int | None = None,
+    ) -> LockEntry:
+        """Append a granted lock to the type's list (policy pre-checked)."""
+        self._position += 1
+        entry = LockEntry(
+            process=process,
+            type_name=type_name,
+            mode=mode,
+            position=self._position,
+            activity_uid=activity_uid,
+        )
+        self._by_type.setdefault(type_name, []).append(entry)
+        self._by_pid.setdefault(process.pid, []).append(entry)
+        return entry
+
+    def release_all(self, pid: int) -> list[LockEntry]:
+        """Drop every lock of ``pid`` (commit or abort of the process)."""
+        released = self._by_pid.pop(pid, [])
+        for entry in released:
+            try:
+                self._by_type[entry.type_name].remove(entry)
+            except (KeyError, ValueError):  # pragma: no cover - defensive
+                raise ProtocolError(
+                    f"lock table corruption while releasing {entry}"
+                ) from None
+            if not self._by_type[entry.type_name]:
+                del self._by_type[entry.type_name]
+        return released
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def locks_of(self, pid: int) -> list[LockEntry]:
+        """Live locks of one process, in acquisition order."""
+        return list(self._by_pid.get(pid, []))
+
+    def c_locks_of(self, pid: int) -> list[LockEntry]:
+        """Live C-mode locks of one process."""
+        return [
+            entry
+            for entry in self._by_pid.get(pid, [])
+            if entry.mode is LockMode.C
+        ]
+
+    def locks_on(self, type_name: str) -> list[LockEntry]:
+        """The ordered lock list of one activity type."""
+        return list(self._by_type.get(type_name, []))
+
+    def conflicting_locks(
+        self, type_name: str, exclude_pid: int | None = None
+    ) -> list[LockEntry]:
+        """Live locks on types conflicting with ``type_name``.
+
+        Includes locks on ``type_name`` itself when the type
+        self-conflicts (``CON(t, t)``), which is the common case for
+        state-changing activities under perfect commutativity.
+        """
+        result: list[LockEntry] = []
+        candidates = set(self._conflicts.conflicting_types(type_name))
+        for candidate in candidates:
+            for entry in self._by_type.get(candidate, ()):
+                if exclude_pid is not None and entry.pid == exclude_pid:
+                    continue
+                result.append(entry)
+        result.sort(key=lambda entry: entry.position)
+        return result
+
+    def entry_for_activity(
+        self, pid: int, activity_uid: int
+    ) -> LockEntry | None:
+        """The lock acquired for a specific activity invocation."""
+        for entry in self._by_pid.get(pid, ()):
+            if entry.activity_uid == activity_uid:
+                return entry
+        return None
+
+    def commit_blockers(self, process: Process) -> set[int]:
+        """Processes that must terminate before ``process`` may commit.
+
+        Commit-Rule: a process cannot commit while any of its locks is on
+        hold, i.e. while another live process holds a conflicting lock
+        with a smaller sharing position.
+        """
+        blockers: set[int] = set()
+        for mine in self._by_pid.get(process.pid, ()):
+            for other in self.conflicting_locks(
+                mine.type_name, exclude_pid=process.pid
+            ):
+                if other.position < mine.position:
+                    blockers.add(other.pid)
+        return blockers
+
+    def on_hold(self, process: Process) -> bool:
+        """Whether any lock of ``process`` is currently on hold."""
+        return bool(self.commit_blockers(process))
+
+    def holders(self) -> set[int]:
+        """Pids of all processes currently holding locks."""
+        return set(self._by_pid)
+
+    def p_lock_holders(self) -> set[int]:
+        """Pids of processes holding at least one P-mode lock."""
+        return {
+            pid
+            for pid, entries in self._by_pid.items()
+            if any(e.mode is LockMode.P for e in entries)
+        }
+
+    def iter_entries(self) -> Iterator[LockEntry]:
+        for entries in self._by_pid.values():
+            yield from entries
+
+    @property
+    def lock_count(self) -> int:
+        return sum(len(entries) for entries in self._by_pid.values())
+
+    def check_invariants(self, live_pids: Iterable[int]) -> None:
+        """Audit structural invariants (used by tests and the auditor).
+
+        * every held lock belongs to a live process;
+        * per-type lists are position-sorted;
+        * the two indexes agree.
+        """
+        live = set(live_pids)
+        seen_ids: set[int] = set()
+        for type_name, entries in self._by_type.items():
+            positions = [entry.position for entry in entries]
+            if positions != sorted(positions):
+                raise ProtocolError(
+                    f"lock list of {type_name!r} is not position-sorted"
+                )
+            for entry in entries:
+                seen_ids.add(entry.lock_id)
+                if entry.pid not in live:
+                    raise ProtocolError(
+                        f"lock {entry} belongs to a terminated process"
+                    )
+        index_ids = {e.lock_id for e in self.iter_entries()}
+        if index_ids != seen_ids:
+            raise ProtocolError("lock table indexes disagree")

@@ -1,0 +1,89 @@
+"""Shared helpers for evaluating the six process-locking rules.
+
+The protocol's rules all start the same way: collect the live locks held
+by *other* processes on activity types conflicting with the request and
+partition the holders by age (process timestamp), mode, and state.
+:func:`partition_holders` performs that triage; the rule methods on
+:class:`~repro.core.protocol.ProcessLockManager` turn a partition into a
+decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.locks import LockEntry, LockMode
+from repro.process.instance import Process
+from repro.process.state import ProcessState
+
+
+@dataclass
+class HolderPartition:
+    """Conflicting lock holders, split the way the rules need them.
+
+    All sets contain pids.  A process appears in several buckets when it
+    holds several relevant locks (e.g. both a C and a P lock).
+    """
+
+    older_c: set[int] = field(default_factory=set)
+    older_p: set[int] = field(default_factory=set)
+    younger_running_c: set[int] = field(default_factory=set)
+    younger_running_p: set[int] = field(default_factory=set)
+    younger_completing: set[int] = field(default_factory=set)
+    aborting: set[int] = field(default_factory=set)
+    older_running: set[int] = field(default_factory=set)
+    older_running_c: set[int] = field(default_factory=set)
+
+    @property
+    def any_p(self) -> set[int]:
+        return self.older_p | self.younger_running_p
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.older_c
+            or self.older_p
+            or self.younger_running_c
+            or self.younger_running_p
+            or self.younger_completing
+            or self.aborting
+        )
+
+
+def partition_holders(
+    requester: Process, conflicting: list[LockEntry]
+) -> HolderPartition:
+    """Triage conflicting lock entries relative to ``requester``.
+
+    ``conflicting`` must already exclude the requester's own locks.
+    Aborting holders land in :attr:`HolderPartition.aborting` regardless
+    of age (they cannot be aborted again; requests wait for them).
+    Completing holders land in :attr:`HolderPartition.younger_completing`
+    when younger; an *older* completing holder is classified by its lock
+    mode like any older holder (sharing behind it is safe — it terminates
+    without compensating).
+    """
+    partition = HolderPartition()
+    for entry in conflicting:
+        holder = entry.process
+        if holder.state is ProcessState.ABORTING:
+            partition.aborting.add(holder.pid)
+            continue
+        older = holder.timestamp < requester.timestamp
+        if older:
+            if holder.state is ProcessState.RUNNING:
+                partition.older_running.add(holder.pid)
+                if entry.mode is LockMode.C:
+                    partition.older_running_c.add(holder.pid)
+            if entry.mode is LockMode.C:
+                partition.older_c.add(holder.pid)
+            else:
+                partition.older_p.add(holder.pid)
+        else:
+            if holder.state is ProcessState.COMPLETING:
+                partition.younger_completing.add(holder.pid)
+            elif entry.mode is LockMode.C:
+                partition.younger_running_c.add(holder.pid)
+            else:
+                partition.younger_running_p.add(holder.pid)
+    return partition

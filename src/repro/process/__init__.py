@@ -1,0 +1,29 @@
+"""Process model: programs, validation, builder, and execution instances."""
+
+from repro.process.builder import ProgramBuilder
+from repro.process.instance import (
+    FailurePlan,
+    LedgerEntry,
+    Process,
+    Resolution,
+)
+from repro.process.program import ProcessProgram, ProgramNode
+from repro.process.state import ProcessState, check_transition
+from repro.process.validation import (
+    is_assured_subtree,
+    validate_guaranteed_termination,
+)
+
+__all__ = [
+    "FailurePlan",
+    "LedgerEntry",
+    "Process",
+    "ProcessProgram",
+    "ProcessState",
+    "ProgramBuilder",
+    "ProgramNode",
+    "Resolution",
+    "check_transition",
+    "is_assured_subtree",
+    "validate_guaranteed_termination",
+]

@@ -1,0 +1,173 @@
+"""Fluent construction of process programs.
+
+:class:`ProgramBuilder` assembles a linear chain of nodes and lets pivot
+nodes branch into alternative subprograms, each built by a callback that
+receives a nested builder::
+
+    program = (
+        ProgramBuilder("payment", registry)
+        .sequence("check_cart", "reserve_stock")
+        .step("notify_warehouse", "notify_billing")   # parallel node
+        .pivot("charge_card")
+        .alternatives(
+            lambda b: b.sequence("ship_express", "send_invoice"),
+            lambda b: b.sequence("ship_standard"),     # assured branch
+        )
+        .build()
+    )
+
+``build()`` validates the result (guaranteed termination) unless asked not
+to, making it impossible to accidentally run a malformed program.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Callable
+
+from repro.activities.registry import ActivityRegistry
+from repro.errors import ProcessProgramError
+from repro.process.program import ProcessProgram, ProgramNode
+
+BranchFn = Callable[["ProgramBuilder"], object]
+
+
+class ProgramBuilder:
+    """Builds a :class:`~repro.process.program.ProcessProgram` step by step."""
+
+    def __init__(
+        self,
+        name: str,
+        registry: ActivityRegistry,
+        wcc_threshold: float = math.inf,
+        _node_ids: itertools.count | None = None,
+    ) -> None:
+        self._name = name
+        self._registry = registry
+        self._wcc_threshold = wcc_threshold
+        self._node_ids = _node_ids if _node_ids is not None else (
+            itertools.count(1)
+        )
+        # Each step is (activities, alternatives-or-None); alternatives are
+        # already-built subtree roots and may only be set on the last step.
+        self._steps: list[tuple[tuple[str, ...], tuple[ProgramNode, ...]]] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # chain construction
+    # ------------------------------------------------------------------
+    def step(self, *activity_names: str) -> "ProgramBuilder":
+        """Append one node; several names make it a parallel node."""
+        self._ensure_open()
+        if not activity_names:
+            raise ProcessProgramError("step() needs at least one activity")
+        for name in activity_names:
+            self._registry.get(name)  # fail fast on unknown names
+        self._steps.append((tuple(activity_names), ()))
+        return self
+
+    def sequence(self, *activity_names: str) -> "ProgramBuilder":
+        """Append one singleton node per name, in order."""
+        for name in activity_names:
+            self.step(name)
+        return self
+
+    def parallel(self, *activity_names: str) -> "ProgramBuilder":
+        """Append a single multi-activity (parallel) node."""
+        if len(activity_names) < 2:
+            raise ProcessProgramError(
+                "parallel() needs at least two activities; use step() for "
+                "singleton nodes"
+            )
+        return self.step(*activity_names)
+
+    def pivot(self, activity_name: str) -> "ProgramBuilder":
+        """Append a pivot node (must be a point-of-no-return activity)."""
+        activity = self._registry.get(activity_name)
+        if not activity.point_of_no_return:
+            raise ProcessProgramError(
+                f"pivot() requires a non-compensatable activity, but "
+                f"{activity_name!r} is {activity.termination_class}"
+            )
+        return self.step(activity_name)
+
+    def alternatives(self, *branches: BranchFn) -> "ProgramBuilder":
+        """Attach ⊲-ordered alternative subprograms to the last step.
+
+        The last step must be a point of no return.  Each ``branches``
+        callback receives a fresh nested builder and populates it; the
+        ⊲-last branch must form an assured termination tree (checked at
+        :meth:`build` time).  After calling this the chain is closed —
+        continuations belong inside the branches.
+        """
+        self._ensure_open()
+        if not self._steps:
+            raise ProcessProgramError(
+                "alternatives() requires a preceding pivot step"
+            )
+        if not branches:
+            raise ProcessProgramError(
+                "alternatives() needs at least one branch"
+            )
+        built: list[ProgramNode] = []
+        for branch_fn in branches:
+            nested = ProgramBuilder(
+                self._name,
+                self._registry,
+                self._wcc_threshold,
+                _node_ids=self._node_ids,
+            )
+            branch_fn(nested)
+            built.append(nested._build_root())
+        activities, existing = self._steps[-1]
+        if existing:
+            raise ProcessProgramError(
+                "alternatives() may only be called once per pivot"
+            )
+        self._steps[-1] = (activities, tuple(built))
+        self._closed = True
+        return self
+
+    # ------------------------------------------------------------------
+    # finalization
+    # ------------------------------------------------------------------
+    def build(self, validate: bool = True) -> ProcessProgram:
+        """Fold the chain into an immutable program and validate it."""
+        program = ProcessProgram(
+            name=self._name,
+            root=self._build_root(),
+            registry=self._registry,
+            wcc_threshold=self._wcc_threshold,
+        )
+        if validate:
+            program.validate()
+        return program
+
+    def _build_root(self) -> ProgramNode:
+        if not self._steps:
+            raise ProcessProgramError(
+                f"program {self._name!r} has no steps"
+            )
+        node: ProgramNode | None = None
+        for activities, alternatives in reversed(self._steps):
+            if alternatives:
+                children: tuple[ProgramNode, ...] = alternatives
+            elif node is not None:
+                children = (node,)
+            else:
+                children = ()
+            node = ProgramNode(
+                activities=activities,
+                children=children,
+                node_id=next(self._node_ids),
+            )
+        assert node is not None
+        return node
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ProcessProgramError(
+                "this builder chain was closed by alternatives(); "
+                "continuations belong inside the branches"
+            )

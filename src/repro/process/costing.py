@@ -1,0 +1,163 @@
+"""Static cost analysis of process programs.
+
+The paper's Section 6 reports that the IvyFrame modelling tool was
+extended "to allow for the specification of cost information and for
+the validation of the correctness of single processes"; this module is
+that tooling for this library: given a program and its registry it
+computes the quantities a process designer needs to pick a sensible
+cost threshold ``Wcc*``:
+
+* :func:`enumerate_paths` — all root-to-leaf execution paths (the
+  preference order makes the first path the preferred execution);
+* :func:`worst_case_path_cost` / :func:`expected_cost` — execution cost
+  bounds (the expectation folds per-activity failure probabilities into
+  a success-path estimate);
+* :func:`wcc_profile` — the running worst-case cost ``Wcc`` along the
+  preferred path, i.e. exactly the series Figure 1's algorithm compares
+  against ``Wcc*``;
+* :func:`pseudo_pivot_index` — where a given threshold would trip;
+* :func:`suggest_threshold` — the smallest threshold that protects
+  every activity at least as expensive as a target cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.activities.registry import ActivityRegistry
+from repro.process.program import ProcessProgram, ProgramNode
+
+
+def enumerate_paths(program: ProcessProgram) -> list[list[str]]:
+    """All root-to-leaf activity-name paths, preference order first.
+
+    Multi-activity (parallel) nodes contribute their activities in
+    declaration order — cost analysis is order-insensitive.
+    """
+    paths: list[list[str]] = []
+
+    def walk(node: ProgramNode, prefix: list[str]) -> None:
+        extended = prefix + list(node.activities)
+        if not node.children:
+            paths.append(extended)
+            return
+        for child in node.children:
+            walk(child, extended)
+
+    walk(program.root, [])
+    return paths
+
+
+def path_cost(registry: ActivityRegistry, path: list[str]) -> float:
+    """Plain execution cost of one path."""
+    return sum(registry.get(name).cost for name in path)
+
+
+def worst_case_path_cost(program: ProcessProgram) -> float:
+    """Execution cost of the most expensive path."""
+    registry = program.registry
+    return max(
+        path_cost(registry, path)
+        for path in enumerate_paths(program)
+    )
+
+
+def expected_cost(program: ProcessProgram) -> float:
+    """Expected execution cost of the preferred path, failures folded in.
+
+    Each activity with failure probability ``p`` succeeds after an
+    expected ``1 / (1 - p)`` attempts (retriable activities have
+    ``p = 0``); the estimate charges the activity's cost per attempt.
+    This is the designer-facing heuristic, not a full Markov model of
+    alternative executions.
+    """
+    registry = program.registry
+    preferred = enumerate_paths(program)[0]
+    total = 0.0
+    for name in preferred:
+        activity = registry.get(name)
+        attempts = 1.0 / (1.0 - activity.failure_probability)
+        total += activity.cost * attempts
+    return total
+
+
+@dataclass(frozen=True)
+class WccStep:
+    """One step of the running-Wcc profile."""
+
+    activity: str
+    wcc_before: float
+    wcc_after: float
+
+
+def wcc_profile(program: ProcessProgram) -> list[WccStep]:
+    """Running ``Wcc`` along the preferred path (Equation 2 repeatedly)."""
+    registry = program.registry
+    steps: list[WccStep] = []
+    wcc = 0.0
+    for name in enumerate_paths(program)[0]:
+        before = wcc
+        wcc = wcc + registry.get(name).cost + registry.compensation_cost(
+            name
+        )
+        steps.append(
+            WccStep(activity=name, wcc_before=before, wcc_after=wcc)
+        )
+    return steps
+
+
+def pseudo_pivot_index(
+    program: ProcessProgram, threshold: float
+) -> int | None:
+    """Index (on the preferred path) where ``threshold`` first trips.
+
+    Returns ``None`` when the whole path stays below the threshold —
+    only possible for pivot-free programs, since a real pivot
+    contributes an infinite addend (Lemma 1).
+    """
+    for index, step in enumerate(wcc_profile(program)):
+        if step.wcc_after >= threshold:
+            return index
+    return None
+
+
+def suggest_threshold(
+    program: ProcessProgram, protect_cost: float
+) -> float:
+    """Smallest ``Wcc*`` that pivot-treats every costly activity.
+
+    An activity of cost ``>= protect_cost`` on the preferred path is
+    "treated" when the running Wcc has reached the threshold by the
+    time the activity is classified, i.e. ``Wcc_after(activity) >=
+    Wcc*``; the smallest such threshold is the minimum ``Wcc_after``
+    over the protected activities.  Returns ``inf`` when nothing on the
+    path needs protecting (no finite threshold required).
+    """
+    registry = program.registry
+    candidates = [
+        step.wcc_after
+        for step in wcc_profile(program)
+        if registry.get(step.activity).cost >= protect_cost
+        and not math.isinf(step.wcc_after)
+    ]
+    if not candidates:
+        return math.inf
+    return min(candidates)
+
+
+def describe_costing(program: ProcessProgram) -> str:
+    """Human-readable cost report for a program."""
+    lines = [f"cost analysis of {program.name!r}"]
+    lines.append(
+        f"  paths: {len(enumerate_paths(program))}, "
+        f"worst-case execution cost "
+        f"{worst_case_path_cost(program):g}, "
+        f"expected (preferred path) {expected_cost(program):g}"
+    )
+    for step in wcc_profile(program):
+        lines.append(
+            f"    {step.activity:<24} Wcc {step.wcc_before:>8g} -> "
+            f"{step.wcc_after:>8g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Process programs ``PP = (A, <, ⊲)`` as trees (paper Section 2.2).
+
+A process program is represented as a tree of :class:`ProgramNode` objects:
+
+* each node carries one or more activity type names; a multi-activity node
+  groups activities that may execute concurrently (they are ``<``-ordered
+  with respect to preceding and succeeding nodes but unordered among
+  themselves);
+* a node's ``children`` tuple lists its ⊲-ordered continuations.  Ordinary
+  nodes have at most one child (plain precedence).  A *point-of-no-return*
+  node (an activity without compensation) may have several children: these
+  are the alternative subprocess programs tried in preference order after
+  the pivot commits, the last of which must be an *assured termination
+  tree* consisting solely of retriable activities.
+
+Programs are immutable; use :class:`~repro.process.builder.ProgramBuilder`
+to construct them and
+:func:`~repro.process.validation.validate_guaranteed_termination` (called by
+:meth:`ProcessProgram.validate`) to check well-formedness.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.activities.registry import ActivityRegistry
+from repro.errors import ProcessProgramError
+
+
+@dataclass(frozen=True)
+class ProgramNode:
+    """One node of a process program tree.
+
+    Parameters
+    ----------
+    activities:
+        Activity type names executed (concurrently) at this node.
+    children:
+        ⊲-ordered continuations; alternatives when the node is a point of
+        no return, otherwise a single plain successor (or none).
+    node_id:
+        Identifier unique within the program; assigned by the builder.
+    """
+
+    activities: tuple[str, ...]
+    children: tuple["ProgramNode", ...] = ()
+    node_id: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.activities:
+            raise ProcessProgramError("a program node needs >= 1 activity")
+
+    @property
+    def is_parallel(self) -> bool:
+        """Whether this is a multi-activity (parallel) node."""
+        return len(self.activities) > 1
+
+    def iter_subtree(self) -> Iterator["ProgramNode"]:
+        """Yield this node and all its descendants, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        label = "|".join(self.activities)
+        return f"<{label}>" if self.is_parallel else label
+
+
+@dataclass(frozen=True)
+class ProcessProgram:
+    """An immutable, named process program.
+
+    Parameters
+    ----------
+    name:
+        Program name (used in traces and reports).
+    root:
+        Root node of the program tree.
+    registry:
+        The activity registry the program's activity names refer to.
+    wcc_threshold:
+        Cost threshold ``Wcc*(PP)`` for cost-based scheduling (Section 4).
+        ``math.inf`` disables the cost-based extension for this program;
+        ``0`` makes every activity a pseudo pivot.
+    """
+
+    name: str
+    root: ProgramNode
+    registry: ActivityRegistry = field(repr=False)
+    wcc_threshold: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.wcc_threshold < 0:
+            raise ProcessProgramError(
+                f"program {self.name!r}: Wcc* must be >= 0 "
+                f"(got {self.wcc_threshold!r})"
+            )
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    def iter_nodes(self) -> Iterator[ProgramNode]:
+        """All nodes of the program, preorder."""
+        return self.root.iter_subtree()
+
+    def activity_names(self) -> set[str]:
+        """All activity type names referenced by the program."""
+        return {
+            name for node in self.iter_nodes() for name in node.activities
+        }
+
+    def has_pivot(self) -> bool:
+        """Whether any reachable activity is a point of no return."""
+        return any(
+            self.registry.get(name).point_of_no_return
+            for name in self.activity_names()
+        )
+
+    def node_count(self) -> int:
+        """Number of nodes in the program tree."""
+        return sum(1 for _ in self.iter_nodes())
+
+    def is_point_of_no_return(self, node: ProgramNode) -> bool:
+        """Whether ``node`` is a point-of-no-return (pivot-like) node."""
+        return len(node.activities) == 1 and self.registry.get(
+            node.activities[0]
+        ).point_of_no_return
+
+    def preferred_path_cost(self) -> float:
+        """Execution cost of the preferred (first-alternative) path."""
+        cost = 0.0
+        node: ProgramNode | None = self.root
+        while node is not None:
+            cost += sum(
+                self.registry.get(name).cost for name in node.activities
+            )
+            node = node.children[0] if node.children else None
+        return cost
+
+    def validate(self) -> None:
+        """Check guaranteed termination; see :mod:`repro.process.validation`."""
+        from repro.process.validation import (
+            validate_guaranteed_termination,
+        )
+
+        validate_guaranteed_termination(self)
+
+    def describe(self, indent: str = "  ") -> str:
+        """Render the program tree as an indented multi-line string."""
+        lines: list[str] = [f"program {self.name!r} (Wcc*="
+                            f"{self.wcc_threshold})"]
+
+        def render(node: ProgramNode, depth: int, tag: str) -> None:
+            classes = "/".join(
+                str(self.registry.get(n).termination_class)
+                for n in node.activities
+            )
+            lines.append(f"{indent * depth}{tag}{node} [{classes}]")
+            for index, child in enumerate(node.children):
+                child_tag = (
+                    f"alt{index}: " if len(node.children) > 1 else ""
+                )
+                render(child, depth + 1, child_tag)
+
+        render(self.root, 1, "")
+        return "\n".join(lines)

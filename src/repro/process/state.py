@@ -1,0 +1,78 @@
+"""Process execution states and the legal transitions between them.
+
+The paper's lifecycle (Section 2.2):
+
+* a freshly instantiated process is *running*;
+* before the primary pivot commits, an abort moves it to *aborting*, where
+  compensating activities execute in reverse order, and finally *aborted*;
+* the commit of the primary pivot moves it from *running* to *completing*;
+  alternatives are then tried in preference order, failed alternatives are
+  compensated (the process stays completing), and the process finally
+  *commits*;
+* a process without a pivot commits straight from *running*.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ProcessStateError
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle states of a process execution."""
+
+    RUNNING = "running"
+    COMPLETING = "completing"
+    ABORTING = "aborting"
+    ABORTED = "aborted"
+    COMMITTED = "committed"
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the process is still executing (running or completing).
+
+        The paper calls a process *active* when it is running or completing;
+        aborting processes are also still live in the lock table, which is
+        captured by :attr:`is_live` instead.
+        """
+        return self in (ProcessState.RUNNING, ProcessState.COMPLETING)
+
+    @property
+    def is_live(self) -> bool:
+        """Whether the process may still hold locks."""
+        return self not in (ProcessState.ABORTED, ProcessState.COMMITTED)
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether the process has reached a final state."""
+        return self in (ProcessState.ABORTED, ProcessState.COMMITTED)
+
+
+#: Legal state transitions.
+_TRANSITIONS: dict[ProcessState, frozenset[ProcessState]] = {
+    ProcessState.RUNNING: frozenset(
+        (
+            ProcessState.COMPLETING,
+            ProcessState.ABORTING,
+            ProcessState.COMMITTED,
+        )
+    ),
+    ProcessState.COMPLETING: frozenset((ProcessState.COMMITTED,)),
+    ProcessState.ABORTING: frozenset((ProcessState.ABORTED,)),
+    ProcessState.ABORTED: frozenset(),
+    ProcessState.COMMITTED: frozenset(),
+}
+
+
+def check_transition(current: ProcessState, target: ProcessState) -> None:
+    """Raise :class:`ProcessStateError` on an illegal transition.
+
+    In particular, a completing process can never become aborting: past the
+    point of no return the only way forward is the commit.
+    """
+    if target not in _TRANSITIONS[current]:
+        raise ProcessStateError(
+            f"illegal process state transition {current.value!r} -> "
+            f"{target.value!r}"
+        )

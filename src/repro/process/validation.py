@@ -1,0 +1,112 @@
+"""Structural validation of process programs: guaranteed termination.
+
+Section 2.2 of the paper requires process programs to be *inherently
+correct*: one execution path must always be able to complete while all
+other paths leave no effects behind.  For tree-structured programs this is
+the case when at least one child of every pivot activity is an *assured
+termination tree* — a subtree consisting solely of retriable activities.
+
+The validator enforces, for a program ``PP`` over a registry:
+
+1. every referenced activity type exists and is not a compensating type
+   (compensations are introduced by the scheduler, never by programs);
+2. point-of-no-return activities (no compensation) occupy singleton nodes;
+3. nodes that are not points of no return have at most one child
+   (alternatives only hang off pivots);
+4. every point-of-no-return node with children has an assured termination
+   tree as its ⊲-last child, and every earlier child is, recursively, a
+   valid (sub)process program;
+5. assured termination trees contain only retriable activities and no
+   alternative branching.
+"""
+
+from __future__ import annotations
+
+from repro.activities.registry import ActivityRegistry
+from repro.errors import ProcessProgramError
+from repro.process.program import ProcessProgram, ProgramNode
+
+
+def validate_guaranteed_termination(program: ProcessProgram) -> None:
+    """Validate ``program``; raise :class:`ProcessProgramError` on failure."""
+    _check_node_ids_unique(program)
+    _validate_subtree(program.root, program.registry, program.name)
+
+
+def is_assured_subtree(
+    node: ProgramNode, registry: ActivityRegistry
+) -> bool:
+    """Whether the subtree rooted at ``node`` is an assured termination tree.
+
+    Every activity must be retriable (failure probability zero) and no node
+    may branch into alternatives: with nothing able to fail, alternatives
+    would be dead code and their semantics undefined.
+    """
+    for member in node.iter_subtree():
+        if len(member.children) > 1:
+            return False
+        for name in member.activities:
+            if not registry.get(name).retriable:
+                return False
+    return True
+
+
+def _check_node_ids_unique(program: ProcessProgram) -> None:
+    seen: set[int] = set()
+    for node in program.iter_nodes():
+        if node.node_id in seen:
+            raise ProcessProgramError(
+                f"program {program.name!r}: duplicate node id "
+                f"{node.node_id}"
+            )
+        seen.add(node.node_id)
+
+
+def _validate_subtree(
+    node: ProgramNode, registry: ActivityRegistry, program_name: str
+) -> None:
+    for name in node.activities:
+        activity = registry.get(name)
+        if activity.is_compensation:
+            raise ProcessProgramError(
+                f"program {program_name!r}: compensating activity "
+                f"{name!r} may not appear in a program; compensation is "
+                "scheduled automatically on abort"
+            )
+
+    pnr = _is_point_of_no_return(node, registry)
+    if not pnr and any(
+        registry.get(name).point_of_no_return for name in node.activities
+    ):
+        raise ProcessProgramError(
+            f"program {program_name!r}: pivot activities must be "
+            f"singleton nodes, found one inside parallel node {node}"
+        )
+
+    if len(node.children) > 1 and not pnr:
+        raise ProcessProgramError(
+            f"program {program_name!r}: node {node} has alternatives but "
+            "is not a point of no return; the preference order ⊲ is only "
+            "defined over the children of pivots"
+        )
+
+    if pnr and node.children:
+        last = node.children[-1]
+        if not is_assured_subtree(last, registry):
+            raise ProcessProgramError(
+                f"program {program_name!r}: the ⊲-last child of pivot "
+                f"{node} must be an assured termination tree (all "
+                "activities retriable, no alternatives); guaranteed "
+                "termination is violated otherwise"
+            )
+
+    for child in node.children:
+        _validate_subtree(child, registry, program_name)
+
+
+def _is_point_of_no_return(
+    node: ProgramNode, registry: ActivityRegistry
+) -> bool:
+    return len(node.activities) == 1 and registry.get(
+        node.activities[0]
+    ).point_of_no_return

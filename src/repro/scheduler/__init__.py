@@ -1,0 +1,43 @@
+"""The transactional process manager: engine, events, trace, manager."""
+
+from repro.scheduler.engine import SimulationEngine
+from repro.scheduler.events import (
+    CompensationRun,
+    InflightActivity,
+    ParkedRequest,
+    ProcessRecord,
+    RequestKind,
+)
+from repro.scheduler.manager import (
+    ManagerConfig,
+    ManagerStats,
+    ProcessManager,
+    RunResult,
+)
+from repro.scheduler.recovery import (
+    CrashImage,
+    ProcessSnapshot,
+    crash,
+    recover,
+    restore_process,
+)
+from repro.scheduler.trace import TraceRecorder
+
+__all__ = [
+    "CompensationRun",
+    "CrashImage",
+    "ProcessSnapshot",
+    "crash",
+    "recover",
+    "restore_process",
+    "InflightActivity",
+    "ManagerConfig",
+    "ManagerStats",
+    "ParkedRequest",
+    "ProcessManager",
+    "ProcessRecord",
+    "RequestKind",
+    "RunResult",
+    "SimulationEngine",
+    "TraceRecorder",
+]

@@ -1,0 +1,113 @@
+"""Bookkeeping records used by the process manager.
+
+These dataclasses describe work that is *parked* (deferred lock requests,
+pending commits, compensation steps awaiting locks) and work that is *in
+flight* (activities whose completion event is scheduled).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.activities.activity import Activity
+from repro.core.locks import LockMode
+from repro.process.instance import LedgerEntry, Process
+
+
+class RequestKind(enum.Enum):
+    """What a parked request is waiting to do."""
+
+    REGULAR = "regular"
+    COMPENSATION = "compensation"
+    COMMIT = "commit"
+
+
+@dataclass
+class ParkedRequest:
+    """A lock/commit request waiting for other processes to terminate."""
+
+    kind: RequestKind
+    process: Process
+    activity: Activity | None = None
+    mode: LockMode | None = None
+    wait_for: frozenset[int] = frozenset()
+    reason: str = ""
+    parked_at: float = 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        what = (
+            self.kind.value
+            if self.activity is None
+            else f"{self.kind.value}:{self.activity.name}"
+        )
+        return (
+            f"parked[{what}] P{self.process.pid} waits "
+            f"{sorted(self.wait_for)} ({self.reason})"
+        )
+
+
+@dataclass
+class InflightActivity:
+    """A lock-granted activity that is executing or gated.
+
+    Ordered sharing orders conflicting activities by lock position; the
+    underlying subsystem's own concurrency control would block a later
+    conflicting transaction until the earlier one commits.  The manager
+    models this with ``gate``: the set of activity uids (with smaller lock
+    positions, conflicting types) that must complete before this activity
+    starts executing.
+    """
+
+    process: Process
+    activity: Activity
+    kind: RequestKind
+    started_at: float
+    entry: object = None  # LockEntry of the granted lock
+    gate: set[int] = field(default_factory=set)
+    started: bool = False
+    cancelled: bool = False
+
+
+@dataclass
+class CompensationRun:
+    """A sequence of compensations being executed for one process.
+
+    ``queue`` holds the remaining ledger entries in reverse execution
+    order; ``on_done`` fires once the last compensation committed
+    (finalizing an abort, or switching to the pivot's next alternative).
+    """
+
+    process: Process
+    queue: list[LedgerEntry]
+    on_done: Callable[[], None]
+    label: str = ""
+    victims_aborted: int = 0
+
+
+@dataclass
+class ProcessRecord:
+    """Per-pid accounting across incarnations (for metrics)."""
+
+    pid: int
+    submitted_at: float
+    committed_at: float | None = None
+    intrinsically_aborted_at: float | None = None
+    resubmissions: int = 0
+    cascade_aborts: int = 0
+    activities_committed: int = 0
+    compensations: int = 0
+    compensated_cost: float = 0.0
+    #: Activity-type names whose effects had to be compensated.
+    compensated_names: list[str] = field(default_factory=list)
+    #: Cause of each compensation, aligned with ``compensated_names``
+    #: ("protocol-abort", "intrinsic-abort", or "subprocess-abort").
+    compensated_causes: list[str] = field(default_factory=list)
+    retries: int = 0
+
+    @property
+    def latency(self) -> float | None:
+        if self.committed_at is None:
+            return None
+        return self.committed_at - self.submitted_at

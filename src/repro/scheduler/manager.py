@@ -1,0 +1,867 @@
+"""The transactional process manager (PM).
+
+The :class:`ProcessManager` is the paper's top layer: it instantiates
+processes from process programs, asks the locking protocol for permission
+before invoking each activity, executes the resulting decisions (grant /
+defer / cascade-abort / self-abort), drives compensation runs for failed
+subprocesses and aborted processes, resubmits cascade victims with their
+original timestamps, and records the observed schedule for the theory
+oracles.
+
+It is deliberately protocol-agnostic: any object with the
+:class:`ProcessLockManager` decision interface can be plugged in, which is
+how the baseline protocols (serial, S2PL, pure OSL, ACA) reuse the entire
+execution machinery.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+
+from repro.activities.activity import Activity
+from repro.core.deadlock import WaitForGraph, choose_cycle_victim
+from repro.core.decisions import (
+    AbortVictims,
+    Decision,
+    Defer,
+    Grant,
+    SelfAbort,
+)
+from repro.core.locks import LockMode
+from repro.errors import ProtocolError, SchedulerError, StarvationError
+from repro.process.instance import (
+    FailurePlan,
+    Process,
+    Resolution,
+)
+from repro.process.program import ProcessProgram
+from repro.process.state import ProcessState
+from repro.scheduler.engine import SimulationEngine
+from repro.scheduler.events import (
+    CompensationRun,
+    InflightActivity,
+    ParkedRequest,
+    ProcessRecord,
+    RequestKind,
+)
+from repro.scheduler.trace import TraceRecorder
+from repro.subsystems.subsystem import SubsystemPool
+
+
+@dataclass
+class ManagerConfig:
+    """Tunables of the process manager."""
+
+    #: Abort + resubmit bound per process before declaring starvation.
+    max_resubmissions: int = 500
+    #: Virtual-time delay before a cascade victim is resubmitted.
+    resubmit_delay: float = 1.0
+    #: Delay before a transiently failed retriable activity is retried.
+    retry_delay: float = 1.0
+    #: Probability that a retriable activity needs another attempt.
+    transient_retry_prob: float = 0.0
+    #: Run the protocol's structural audit after every event (slow).
+    audit: bool = False
+    #: Hard cap on simulation events.
+    max_events: int = 1_000_000
+    #: Serialize conflicting activity *executions* in lock-sharing order
+    #: (models the subsystems' own concurrency control).  Disabling this
+    #: is an ablation: overlapping conflicting executions can then commit
+    #: against the sharing order and break reducibility.
+    gate_conflicting_executions: bool = True
+    #: Prefer deadlock-cycle victims that hold no P locks (honours
+    #: pseudo-pivot protection).  Disabling is an ablation.
+    prefer_unprotected_victims: bool = True
+
+
+@dataclass
+class ManagerStats:
+    """Aggregate counters of one simulation run."""
+
+    submitted: int = 0
+    committed: int = 0
+    intrinsic_aborts: int = 0
+    protocol_aborts: int = 0
+    subprocess_aborts: int = 0
+    resubmissions: int = 0
+    compensations: int = 0
+    compensated_cost: float = 0.0
+    #: Compensated cost split by what triggered the compensation run.
+    compensated_cost_protocol: float = 0.0
+    compensated_cost_intrinsic: float = 0.0
+    compensated_cost_subprocess: float = 0.0
+    retries: int = 0
+    deadlock_victims: int = 0
+    unresolvable_violations: int = 0
+    busy_area: float = 0.0
+    _inflight: int = field(default=0, repr=False)
+    _last_change: float = field(default=0.0, repr=False)
+
+    def note_inflight(self, now: float, delta: int) -> None:
+        self.busy_area += self._inflight * (now - self._last_change)
+        self._inflight += delta
+        self._last_change = now
+
+
+@dataclass
+class RunResult:
+    """Everything a benchmark or test needs after a run."""
+
+    records: dict[int, ProcessRecord]
+    stats: ManagerStats
+    protocol_stats: object
+    trace: TraceRecorder
+    makespan: float
+
+    @property
+    def committed_pids(self) -> list[int]:
+        return [
+            pid
+            for pid, record in self.records.items()
+            if record.committed_at is not None
+        ]
+
+    @property
+    def throughput(self) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return self.stats.committed / self.makespan
+
+    @property
+    def mean_latency(self) -> float:
+        latencies = [
+            record.latency
+            for record in self.records.values()
+            if record.latency is not None
+        ]
+        if not latencies:
+            return 0.0
+        return sum(latencies) / len(latencies)
+
+    @property
+    def mean_concurrency(self) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return self.stats.busy_area / self.makespan
+
+
+class ProcessManager:
+    """Drives concurrent processes through a locking protocol."""
+
+    def __init__(
+        self,
+        protocol,
+        subsystems: SubsystemPool | None = None,
+        config: ManagerConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.protocol = protocol
+        self.subsystems = subsystems
+        self.config = config or ManagerConfig()
+        self.engine = SimulationEngine()
+        self.rng = random.Random(seed)
+        self.trace = TraceRecorder()
+        self.stats = ManagerStats()
+        self.records: dict[int, ProcessRecord] = {}
+        self._pids = itertools.count(1)
+        self._processes: dict[int, Process] = {}
+        self._parked: list[ParkedRequest] = []
+        self._inflight: dict[int, InflightActivity] = {}
+        #: uid -> uids of flights gated behind it (execution ordering).
+        self._dependents: dict[int, set[int]] = {}
+        self._comp_runs: dict[int, CompensationRun] = {}
+        self._stashed_failures: dict[int, Activity] = {}
+
+    # ------------------------------------------------------------------
+    # submission & run loop
+    # ------------------------------------------------------------------
+    def submit(self, program: ProcessProgram, at: float = 0.0) -> int:
+        """Schedule a new process for initiation at virtual time ``at``."""
+        pid = next(self._pids)
+        self.records[pid] = ProcessRecord(pid=pid, submitted_at=at)
+        self.stats.submitted += 1
+        self.engine.schedule(at, lambda: self._initiate(pid, program))
+        return pid
+
+    def _initiate(self, pid: int, program: ProcessProgram) -> None:
+        timestamp = self.protocol.new_timestamp()
+        process = Process(pid=pid, program=program, timestamp=timestamp)
+        self._processes[pid] = process
+        self.protocol.attach(process)
+        self._step(process)
+        self._post_event()
+
+    def run(self, require_quiescence: bool = True) -> RunResult:
+        """Run the simulation to completion and package the results.
+
+        Raises
+        ------
+        SchedulerError
+            If processes remain unterminated after the event queue drains
+            (``require_quiescence``) — a liveness failure.
+        """
+        self.engine.run(max_events=self.config.max_events)
+        self.stats.note_inflight(self.engine.now, 0)
+        if require_quiescence and self._processes:
+            leftovers = {
+                pid: proc.state.value
+                for pid, proc in self._processes.items()
+            }
+            raise SchedulerError(
+                f"simulation drained with live processes: {leftovers}; "
+                f"parked={[str(p) for p in self._parked]}"
+            )
+        return RunResult(
+            records=self.records,
+            stats=self.stats,
+            protocol_stats=self.protocol.stats,
+            trace=self.trace,
+            makespan=self.engine.now,
+        )
+
+    def adopt_recovered(self, process: Process) -> None:
+        """Take over a process restored from a crash journal.
+
+        Completing and running processes resume forward execution;
+        aborting processes finish their abort-process execution;
+        completing processes interrupted mid-alternative-abort finish
+        compensating and move to the next branch.  See
+        :mod:`repro.scheduler.recovery`.
+        """
+        pid = process.pid
+        self._processes[pid] = process
+        self.protocol.attach(process)
+        if pid not in self.records:
+            self.records[pid] = ProcessRecord(
+                pid=pid, submitted_at=self.engine.now
+            )
+        self.stats.submitted += 1
+
+        def resume() -> None:
+            if process.state is ProcessState.ABORTING:
+                self._start_compensation_run(
+                    process,
+                    process.resume_abort_plan(),
+                    label="protocol-abort:recovery",
+                    on_done=lambda: self._finalize_abort(
+                        process, resubmit=False
+                    ),
+                )
+            elif (
+                process.state is ProcessState.COMPLETING
+                and process.unwinding
+            ):
+                self.stats.subprocess_aborts += 1
+                self._start_compensation_run(
+                    process,
+                    process.resume_subprocess_plan(),
+                    label="subprocess-abort",
+                    on_done=lambda: self._after_subprocess_abort(
+                        process
+                    ),
+                )
+            else:
+                self._step(process)
+            self._post_event()
+
+        self.engine.schedule(0.0, resume)
+
+    # ------------------------------------------------------------------
+    # forward progress
+    # ------------------------------------------------------------------
+    def _step(self, process: Process) -> None:
+        """Launch ready activities / attempt commit for ``process``."""
+        if process.state.is_terminal:
+            return
+        # Re-read the ready set on every iteration: a lock request can
+        # trigger a cascade that loops back and aborts this very process.
+        while True:
+            ready = process.ready_activities()
+            if not ready:
+                break
+            activity = process.launch(ready[0])
+            mode = self.protocol.classify_regular(process, activity)
+            self._request_regular(process, activity, mode)
+        if process.finished and not self._has_parked_commit(process):
+            self._request_commit(process)
+
+    def _request_regular(
+        self, process: Process, activity: Activity, mode: LockMode
+    ) -> None:
+        decision = self.protocol.request_activity_lock(
+            process, activity, mode
+        )
+        self._apply_decision(
+            decision,
+            ParkedRequest(
+                kind=RequestKind.REGULAR,
+                process=process,
+                activity=activity,
+                mode=mode,
+                parked_at=self.engine.now,
+            ),
+        )
+
+    def _request_commit(self, process: Process) -> None:
+        decision = self.protocol.try_commit(process)
+        self._apply_decision(
+            decision,
+            ParkedRequest(
+                kind=RequestKind.COMMIT,
+                process=process,
+                parked_at=self.engine.now,
+            ),
+        )
+
+    def _apply_decision(
+        self, decision: Decision, request: ParkedRequest
+    ) -> None:
+        process = request.process
+        if isinstance(decision, Grant):
+            self._on_granted(request, decision)
+        elif isinstance(decision, Defer):
+            request.wait_for = decision.wait_for
+            request.reason = decision.reason
+            self._parked.append(request)
+            self._resolve_wait_cycles()
+        elif isinstance(decision, AbortVictims):
+            # Park the request until the victims' aborts complete, then
+            # retry; protocol state already counted the cascade.
+            request.wait_for = decision.victims
+            request.reason = "awaiting-cascade"
+            self._parked.append(request)
+            for victim_pid in decision.victims:
+                self._begin_protocol_abort(victim_pid)
+            self._resolve_wait_cycles()
+        elif isinstance(decision, SelfAbort):
+            if process.state is not ProcessState.RUNNING:
+                raise ProtocolError(
+                    f"P{process.pid}: SelfAbort issued to a "
+                    f"{process.state.value} process"
+                )
+            if request.kind is RequestKind.REGULAR:
+                process.abandon(request.activity)
+            self._begin_protocol_abort(process.pid, cause="self")
+        else:  # pragma: no cover - defensive
+            raise SchedulerError(f"unknown decision {decision!r}")
+
+    def _on_granted(
+        self, request: ParkedRequest, decision: Grant
+    ) -> None:
+        process = request.process
+        if request.kind is RequestKind.COMMIT:
+            self._finalize_commit(process)
+            return
+        activity = request.activity
+        assert activity is not None
+        entry = decision.locks[0] if decision.locks else None
+        flight = InflightActivity(
+            process=process,
+            activity=activity,
+            kind=request.kind,
+            started_at=self.engine.now,
+            entry=entry,
+        )
+        self._inflight[activity.uid] = flight
+        self._gate_flight(flight)
+        if not flight.gate:
+            self._start_flight(flight)
+
+    def _gate_flight(self, flight: InflightActivity) -> None:
+        """Order conflicting executions by lock position.
+
+        The subsystems serialize conflicting transactions; the manager
+        models this by gating an activity's execution behind every
+        granted-but-uncommitted conflicting activity with a smaller lock
+        position.  Without the gate, two overlapping conflicting
+        activities could commit against the sharing order and break
+        reducibility.
+        """
+        if flight.entry is None:
+            return
+        if not self.config.gate_conflicting_executions:
+            return
+        conflict = self.protocol.conflicts.conflict
+        for other in self._inflight.values():
+            if other is flight or other.cancelled or other.entry is None:
+                continue
+            if other.entry.position >= flight.entry.position:
+                continue
+            if conflict(other.activity.name, flight.activity.name):
+                flight.gate.add(other.activity.uid)
+                self._dependents.setdefault(
+                    other.activity.uid, set()
+                ).add(flight.activity.uid)
+
+    def _start_flight(self, flight: InflightActivity) -> None:
+        flight.started = True
+        self.stats.note_inflight(self.engine.now, +1)
+        duration = flight.activity.activity_type.cost
+        if flight.kind is RequestKind.REGULAR:
+            self.engine.schedule(
+                duration, lambda: self._complete_regular(flight)
+            )
+        else:
+            self.engine.schedule(
+                duration, lambda: self._complete_compensation(flight)
+            )
+
+    def _release_dependents(self, flight: InflightActivity) -> None:
+        for dep_uid in self._dependents.pop(flight.activity.uid, set()):
+            dependent = self._inflight.get(dep_uid)
+            if dependent is None or dependent.cancelled:
+                continue
+            dependent.gate.discard(flight.activity.uid)
+            if not dependent.gate and not dependent.started:
+                self._start_flight(dependent)
+
+    # ------------------------------------------------------------------
+    # activity completion
+    # ------------------------------------------------------------------
+    def _complete_regular(self, flight: InflightActivity) -> None:
+        if flight.cancelled:
+            return
+        process = flight.process
+        activity = flight.activity
+        activity_type = activity.activity_type
+        if activity_type.retriable and (
+            self.config.transient_retry_prob > 0
+            and self.rng.random() < self.config.transient_retry_prob
+        ):
+            # Retriable activities may fail transiently; they are simply
+            # retried until they succeed (their lock is already held and
+            # the flight stays in place, so gated successors keep
+            # waiting).
+            self.stats.retries += 1
+            self.records[process.pid].retries += 1
+            self.engine.schedule(
+                self.config.retry_delay + activity_type.cost,
+                lambda: self._complete_regular(flight),
+            )
+            return
+        self._inflight.pop(activity.uid, None)
+        self.stats.note_inflight(self.engine.now, -1)
+        self._release_dependents(flight)
+        failed = (
+            not activity_type.retriable
+            and self.rng.random() < activity_type.failure_probability
+        )
+        if failed:
+            self._on_activity_failed(process, activity)
+        else:
+            self._on_activity_committed(process, activity)
+        self._post_event()
+
+    def _on_activity_committed(
+        self, process: Process, activity: Activity
+    ) -> None:
+        self._run_subsystem_program(process, activity)
+        process.on_committed(activity)
+        self.trace.record_activity(process, activity)
+        self.records[process.pid].activities_committed += 1
+        stashed = self._stashed_failures.get(process.pid)
+        if stashed is not None and process.outstanding == 1:
+            del self._stashed_failures[process.pid]
+            self._resolve_failure(process, stashed)
+            return
+        if stashed is None:
+            self._step(process)
+
+    def _on_activity_failed(
+        self, process: Process, activity: Activity
+    ) -> None:
+        stashed = self._stashed_failures.get(process.pid)
+        if stashed is not None:
+            # A sibling of an already-stashed failure failed as well; the
+            # node is doomed either way, so this activity is simply
+            # abandoned and the drain condition re-checked.
+            process.abandon(activity)
+            if process.outstanding == 1:
+                del self._stashed_failures[process.pid]
+                self._resolve_failure(process, stashed)
+            return
+        if process.outstanding > 1:
+            # Parallel siblings still in flight: drain them first, then
+            # resolve the failure.  Parked sibling requests are abandoned
+            # right away — the node can never complete.
+            self._cancel_parked_of(process, kinds=(RequestKind.REGULAR,))
+            if process.outstanding > 1:
+                self._stashed_failures[process.pid] = activity
+                return
+        self._resolve_failure(process, activity)
+
+    def _resolve_failure(
+        self, process: Process, activity: Activity
+    ) -> None:
+        plan = process.on_failed(activity)
+        if plan.resolution is Resolution.RETRY:  # pragma: no cover
+            raise SchedulerError(
+                "retriable failures are handled inline; on_failed must "
+                "not return RETRY here"
+            )
+        if plan.resolution is Resolution.ABORT_SUBPROCESS:
+            self.stats.subprocess_aborts += 1
+            self._start_compensation_run(
+                process,
+                plan,
+                label="subprocess-abort",
+                on_done=lambda: self._after_subprocess_abort(process),
+            )
+        else:
+            self.stats.intrinsic_aborts += 1
+            self._start_compensation_run(
+                process,
+                plan,
+                label="intrinsic-abort",
+                on_done=lambda: self._finalize_abort(
+                    process, resubmit=False
+                ),
+            )
+
+    def _after_subprocess_abort(self, process: Process) -> None:
+        process.start_next_branch()
+        self._step(process)
+
+    # ------------------------------------------------------------------
+    # compensation runs
+    # ------------------------------------------------------------------
+    def _start_compensation_run(
+        self, process: Process, plan: FailurePlan, label: str, on_done
+    ) -> None:
+        if process.pid in self._comp_runs:
+            raise SchedulerError(
+                f"P{process.pid}: overlapping compensation runs"
+            )
+        run = CompensationRun(
+            process=process,
+            queue=list(plan.compensations),
+            on_done=on_done,
+            label=label,
+        )
+        self._comp_runs[process.pid] = run
+        self._advance_compensation(run)
+
+    def _advance_compensation(self, run: CompensationRun) -> None:
+        process = run.process
+        if not run.queue:
+            del self._comp_runs[process.pid]
+            run.on_done()
+            return
+        entry = run.queue[0]
+        activity = process.make_compensation(entry)
+        decision = self.protocol.request_compensation_lock(
+            process, activity
+        )
+        self._apply_decision(
+            decision,
+            ParkedRequest(
+                kind=RequestKind.COMPENSATION,
+                process=process,
+                activity=activity,
+                parked_at=self.engine.now,
+            ),
+        )
+
+    def _complete_compensation(self, flight: InflightActivity) -> None:
+        if flight.cancelled:  # pragma: no cover - compensations never
+            return            # belong to abortable processes
+        process = flight.process
+        activity = flight.activity
+        self._inflight.pop(activity.uid, None)
+        self.stats.note_inflight(self.engine.now, -1)
+        self._release_dependents(flight)
+        run = self._comp_runs.get(process.pid)
+        if run is None or not run.queue:
+            raise SchedulerError(
+                f"P{process.pid}: stray compensation {activity}"
+            )
+        entry = run.queue.pop(0)
+        self._run_subsystem_program(process, activity)
+        process.on_compensated(entry, activity)
+        self.trace.record_activity(process, activity)
+        undone_cost = entry.activity.activity_type.cost
+        self.stats.compensations += 1
+        self.stats.compensated_cost += undone_cost
+        if run.label.startswith("protocol-abort"):
+            self.stats.compensated_cost_protocol += undone_cost
+        elif run.label == "intrinsic-abort":
+            self.stats.compensated_cost_intrinsic += undone_cost
+        else:
+            self.stats.compensated_cost_subprocess += undone_cost
+        record = self.records[process.pid]
+        record.compensations += 1
+        record.compensated_cost += undone_cost
+        record.compensated_names.append(entry.activity.name)
+        record.compensated_causes.append(run.label)
+        self._advance_compensation(run)
+        self._post_event()
+
+    # ------------------------------------------------------------------
+    # aborts (protocol-induced)
+    # ------------------------------------------------------------------
+    def _begin_protocol_abort(
+        self, pid: int, cause: str = "cascade"
+    ) -> None:
+        """Abort a running process on the protocol's behalf.
+
+        ``cause`` distinguishes the paper's cascading aborts (Comp-,
+        Piv-, and C⁻¹-Rule victims), deadlock-cycle resolution (reachable
+        under the cost-based extension and the baselines only), and
+        baseline self-aborts; compensation records carry it so the
+        experiments can attribute undone work to its channel.
+        """
+        process = self._processes.get(pid)
+        if process is None or process.state is not ProcessState.RUNNING:
+            return  # already terminating (or terminated)
+        self._cancel_all_work(process)
+        plan = process.plan_protocol_abort()
+        self.stats.protocol_aborts += 1
+        self.records[pid].cascade_aborts += 1
+        self._start_compensation_run(
+            process,
+            plan,
+            label=f"protocol-abort:{cause}",
+            on_done=lambda: self._finalize_abort(process, resubmit=True),
+        )
+
+    def _cancel_all_work(self, process: Process) -> None:
+        """Cancel in-flight activities and parked requests of a victim."""
+        self._cancel_parked_of(
+            process,
+            kinds=(
+                RequestKind.REGULAR,
+                RequestKind.COMMIT,
+            ),
+        )
+        stashed = self._stashed_failures.pop(process.pid, None)
+        if stashed is not None:
+            # The stashed activity already completed (failed) and was
+            # still counted as outstanding pending sibling drain.
+            process.abandon(stashed)
+        for flight in list(self._inflight.values()):
+            if flight.process.pid != process.pid:
+                continue
+            flight.cancelled = True
+            del self._inflight[flight.activity.uid]
+            if flight.started:
+                self.stats.note_inflight(self.engine.now, -1)
+            self._release_dependents(flight)
+            process.abandon(flight.activity)
+
+    def _cancel_parked_of(
+        self, process: Process, kinds: tuple[RequestKind, ...]
+    ) -> None:
+        keep: list[ParkedRequest] = []
+        for request in self._parked:
+            if (
+                request.process.pid == process.pid
+                and request.kind in kinds
+            ):
+                if request.kind is RequestKind.REGULAR:
+                    process.abandon(request.activity)
+                continue
+            keep.append(request)
+        self._parked = keep
+
+    def _finalize_abort(self, process: Process, resubmit: bool) -> None:
+        process.finish_abort()
+        self.trace.record_abort(process)
+        self.protocol.detach(process)
+        del self._processes[process.pid]
+        self.protocol.stats.aborts += 1
+        if resubmit:
+            record = self.records[process.pid]
+            record.resubmissions += 1
+            self.stats.resubmissions += 1
+            if record.resubmissions > self.config.max_resubmissions:
+                raise StarvationError(
+                    f"P{process.pid} exceeded "
+                    f"{self.config.max_resubmissions} resubmissions"
+                )
+            successor = process.resubmit()
+            self.engine.schedule(
+                self.config.resubmit_delay,
+                lambda: self._resubmit(successor),
+            )
+        self._retry_parked()
+
+    def _resubmit(self, process: Process) -> None:
+        self._processes[process.pid] = process
+        self.protocol.attach(process)
+        self._step(process)
+        self._post_event()
+
+    # ------------------------------------------------------------------
+    # commits
+    # ------------------------------------------------------------------
+    def _finalize_commit(self, process: Process) -> None:
+        process.finish_commit()
+        self.trace.record_commit(process)
+        self.protocol.detach(process)
+        del self._processes[process.pid]
+        self.stats.committed += 1
+        self.records[process.pid].committed_at = self.engine.now
+        self._retry_parked()
+
+    # ------------------------------------------------------------------
+    # parked-request machinery
+    # ------------------------------------------------------------------
+    def _retry_parked(self) -> None:
+        """Re-evaluate parked requests after a process terminated."""
+        progress = True
+        while progress:
+            progress = False
+            live = set(self._processes)
+            for request in list(self._parked):
+                if request.wait_for & live == request.wait_for:
+                    continue  # nothing it waited for has terminated
+                if request not in self._parked:
+                    continue
+                self._parked.remove(request)
+                process = request.process
+                if process.state.is_terminal:
+                    continue
+                if request.kind is RequestKind.REGULAR:
+                    decision = self.protocol.request_activity_lock(
+                        process, request.activity, request.mode
+                    )
+                elif request.kind is RequestKind.COMPENSATION:
+                    decision = self.protocol.request_compensation_lock(
+                        process, request.activity
+                    )
+                else:
+                    decision = self.protocol.try_commit(process)
+                self._apply_decision(decision, request)
+                progress = True
+
+    def _has_parked_commit(self, process: Process) -> bool:
+        return any(
+            request.kind is RequestKind.COMMIT
+            and request.process.pid == process.pid
+            for request in self._parked
+        )
+
+    # ------------------------------------------------------------------
+    # deadlock resolution (cost-based extension only)
+    # ------------------------------------------------------------------
+    def _resolve_wait_cycles(self) -> None:
+        """Break wait-for cycles among genuinely blocked requests.
+
+        The graph is rebuilt from the parked requests themselves (the
+        source of truth).  A cycle means every member is parked — nobody
+        on it can progress.  Under the basic process-locking protocol no
+        cycle can form (timestamp discipline); with pseudo pivots or the
+        baseline protocols, the youngest running process on the cycle is
+        sacrificed; cycles without a running member are escalated to the
+        forced-progress path (pure OSL's unresolvable violations).
+        """
+        edges: dict[int, set[int]] = {}
+        for request in self._parked:
+            blockers = request.wait_for
+            if request.reason == "awaiting-cascade":
+                # A victim that is still running has its abort initiation
+                # pending in the current callback; only victims whose
+                # aborts are genuinely under way (and possibly stuck) are
+                # wait-graph edges.
+                blockers = frozenset(
+                    pid
+                    for pid in blockers
+                    if (proc := self._processes.get(pid)) is not None
+                    and proc.state is ProcessState.ABORTING
+                )
+            edges.setdefault(request.process.pid, set()).update(blockers)
+        graph = WaitForGraph()
+        for waiter, blockers in edges.items():
+            graph.set_waits(waiter, frozenset(blockers))
+        cycle = graph.find_cycle()
+        if cycle is None:
+            return
+        table = getattr(self.protocol, "table", None)
+        protected = (
+            table.p_lock_holders()
+            if table is not None
+            and self.config.prefer_unprotected_victims
+            else set()
+        )
+        try:
+            victim = choose_cycle_victim(
+                cycle,
+                timestamps=self.protocol.timestamps(),
+                running=self.protocol.running_pids(),
+                protected=protected,
+            )
+        except ProtocolError:
+            if not getattr(
+                self.protocol, "forced_commit_on_unresolvable", False
+            ):
+                raise
+            self._force_progress_in_cycle(cycle)
+            return
+        self.stats.deadlock_victims += 1
+        self._begin_protocol_abort(victim, cause="deadlock")
+
+    def _force_progress_in_cycle(self, cycle: list[int]) -> None:
+        """Break an unresolvable cycle without a running member.
+
+        Only reachable under the pure-OSL baseline, whose arrival-order
+        sharing can deadlock completing processes against each other and
+        aborting processes among themselves.  Preference order: force a
+        parked commit through (a completing process escapes the cycle),
+        else force a parked compensation through out of order.  Both model
+        the consistency violation a real deployment would suffer and are
+        counted as such.
+        """
+        for request in list(self._parked):
+            if (
+                request.kind is RequestKind.COMMIT
+                and request.process.pid in cycle
+            ):
+                self._parked.remove(request)
+                self.stats.unresolvable_violations += 1
+                self._finalize_commit(request.process)
+                return
+        hooks = (
+            (RequestKind.COMPENSATION, "force_grant_compensation"),
+            (RequestKind.REGULAR, "force_grant_regular"),
+        )
+        for kind, hook_name in hooks:
+            force = getattr(self.protocol, hook_name, None)
+            if force is None:
+                continue
+            for request in list(self._parked):
+                if (
+                    request.kind is kind
+                    and request.process.pid in cycle
+                ):
+                    self._parked.remove(request)
+                    self.stats.unresolvable_violations += 1
+                    self._apply_decision(
+                        force(request.process, request.activity), request
+                    )
+                    return
+        raise ProtocolError(
+            f"unresolvable wait cycle {cycle} with no forcible request"
+        )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _run_subsystem_program(
+        self, process: Process, activity: Activity
+    ) -> None:
+        if self.subsystems is None:
+            return
+        subsystem_name = activity.activity_type.subsystem
+        if subsystem_name not in self.subsystems:
+            return
+        subsystem = self.subsystems.get(subsystem_name)
+        if activity.name in subsystem.catalog:
+            subsystem.execute_activity(
+                activity.name, timestamp=process.timestamp
+            )
+
+    def _post_event(self) -> None:
+        if self.config.audit:
+            self.protocol.audit()

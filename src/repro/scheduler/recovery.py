@@ -1,0 +1,314 @@
+"""Crash recovery for the process manager ("fault-tolerant execution").
+
+The paper's title promises fault-tolerant execution of transactional
+processes; beyond per-process failure handling (alternatives,
+compensation), a production process manager must also survive *its own*
+failure.  This module models that:
+
+* :func:`crash` captures what a real PM would have on durable storage at
+  the moment of a crash — the **process journal**: for every live
+  process its program, timestamp, incarnation, state, executed-activity
+  ledger (with compensation status), open failure scopes, and pending
+  work.  Volatile state — the lock table, in-flight activities, parked
+  lock requests, the event queue — is deliberately *not* captured.
+* :func:`recover` rebuilds a fresh manager from the image: locks are
+  re-acquired in the original sharing order (the pre-crash state was
+  rule-produced, hence consistent), completing processes resume
+  *forward* (they must commit — guaranteed termination), running
+  processes simply continue (their lock state is intact; in-flight
+  activities were lost and are relaunched), and aborting processes
+  finish their abort-process execution.
+
+The recovered manager's trace continues the pre-crash trace, so the
+combined schedule can be checked against CT and P-RC end to end — the
+recovery tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.activities.activity import Activity, ensure_uid_floor
+from repro.core.locks import LockMode
+from repro.errors import SchedulerError
+from repro.process.instance import LedgerEntry, Process, _Scope
+from repro.process.program import ProcessProgram, ProgramNode
+from repro.process.state import ProcessState
+from repro.scheduler.events import ProcessRecord, RequestKind
+from repro.scheduler.manager import ManagerConfig, ProcessManager
+from repro.scheduler.trace import TraceRecorder
+from repro.theory.schedule import ScheduleEvent
+
+
+@dataclass(frozen=True)
+class LedgerRecord:
+    """Durable form of one executed activity."""
+
+    name: str
+    uid: int
+    seq: int
+    node_id: int
+    compensated: bool
+    compensates: int | None
+
+
+@dataclass(frozen=True)
+class ScopeRecord:
+    """Durable form of one open failure scope."""
+
+    node_id: int
+    branch_index: int
+    ledger_start: int
+
+
+@dataclass(frozen=True)
+class ProcessSnapshot:
+    """The journal entry of one live process."""
+
+    pid: int
+    timestamp: int
+    incarnation: int
+    program: ProcessProgram
+    state: str
+    wcc: float
+    next_seq: int
+    current_node_id: int | None
+    pending_launch: tuple[str, ...]
+    unwinding: bool
+    ledger: tuple[LedgerRecord, ...]
+    scopes: tuple[ScopeRecord, ...]
+
+
+@dataclass
+class CrashImage:
+    """Everything that survives a process-manager crash."""
+
+    snapshots: list[ProcessSnapshot]
+    trace_events: list[ScheduleEvent]
+    records: dict[int, ProcessRecord] = field(default_factory=dict)
+    crashed_at: float = 0.0
+    max_pid: int = 0
+
+
+# ----------------------------------------------------------------------
+# capturing
+# ----------------------------------------------------------------------
+def crash(manager: ProcessManager) -> CrashImage:
+    """Capture the durable journal of a (running) manager.
+
+    Read-only: the caller simply abandons the crashed manager
+    afterwards.  Pending (launched-but-uncommitted) activities are
+    recorded by *name only* — their subsystem transactions abort with
+    the crash (the bottom layer is ACA) and they will be relaunched.
+    """
+    snapshots = []
+    for process in manager._processes.values():
+        pending = list(process.ready_activities())
+        for flight in manager._inflight.values():
+            if (
+                flight.process.pid == process.pid
+                and not flight.cancelled
+                and flight.kind is RequestKind.REGULAR
+            ):
+                pending.append(flight.activity.name)
+        for request in manager._parked:
+            if (
+                request.process.pid == process.pid
+                and request.kind is RequestKind.REGULAR
+            ):
+                pending.append(request.activity.name)
+        stashed = manager._stashed_failures.get(process.pid)
+        if stashed is not None:
+            pending.append(stashed.name)
+        snapshots.append(_snapshot_process(process, tuple(pending)))
+    return CrashImage(
+        snapshots=snapshots,
+        trace_events=list(manager.trace.events),
+        records=dict(manager.records),
+        crashed_at=manager.engine.now,
+        max_pid=max(manager.records, default=0),
+    )
+
+
+def _snapshot_process(
+    process: Process, pending: tuple[str, ...]
+) -> ProcessSnapshot:
+    ledger = tuple(
+        LedgerRecord(
+            name=entry.activity.name,
+            uid=entry.activity.uid,
+            seq=entry.activity.seq,
+            node_id=entry.node.node_id,
+            compensated=entry.compensated,
+            compensates=entry.activity.compensates,
+        )
+        for entry in process.ledger
+    )
+    scopes = tuple(
+        ScopeRecord(
+            node_id=scope.node.node_id,
+            branch_index=scope.branch_index,
+            ledger_start=scope.ledger_start,
+        )
+        for scope in process._scopes
+    )
+    current = process._current
+    return ProcessSnapshot(
+        pid=process.pid,
+        timestamp=process.timestamp,
+        incarnation=process.incarnation,
+        program=process.program,
+        state=process.state.value,
+        wcc=process.wcc,
+        next_seq=process._seq,
+        current_node_id=current.node_id if current is not None else None,
+        pending_launch=pending,
+        unwinding=process.unwinding,
+        ledger=ledger,
+        scopes=scopes,
+    )
+
+
+# ----------------------------------------------------------------------
+# restoring
+# ----------------------------------------------------------------------
+def restore_process(snapshot: ProcessSnapshot) -> Process:
+    """Rebuild a :class:`Process` from its journal entry."""
+    nodes: dict[int, ProgramNode] = {
+        node.node_id: node for node in snapshot.program.iter_nodes()
+    }
+    process = Process(
+        pid=snapshot.pid,
+        program=snapshot.program,
+        timestamp=snapshot.timestamp,
+        incarnation=snapshot.incarnation,
+    )
+    process.state = ProcessState(snapshot.state)
+    process.wcc = snapshot.wcc
+    process._seq = snapshot.next_seq
+    process.ledger = [
+        LedgerEntry(
+            activity=Activity(
+                activity_type=snapshot.program.registry.get(record.name),
+                process_id=snapshot.pid,
+                seq=record.seq,
+                compensates=record.compensates,
+                uid=record.uid,
+            ),
+            node=nodes[record.node_id],
+            compensated=record.compensated,
+        )
+        for record in snapshot.ledger
+    ]
+    process._scopes = [
+        _Scope(
+            node=nodes[record.node_id],
+            branch_index=record.branch_index,
+            ledger_start=record.ledger_start,
+        )
+        for record in snapshot.scopes
+    ]
+    if snapshot.current_node_id is not None:
+        node = nodes[snapshot.current_node_id]
+        process._current = node
+        process._to_launch = list(snapshot.pending_launch)
+        process._node_commits = len(node.activities) - len(
+            snapshot.pending_launch
+        )
+    else:
+        process._current = None
+        process._to_launch = []
+        process._node_commits = 0
+    process._outstanding = 0
+    process._unwinding = snapshot.unwinding
+    process._committed_pnr_count = sum(
+        1
+        for record in snapshot.ledger
+        if snapshot.program.registry.get(record.name).point_of_no_return
+    )
+    return process
+
+
+def rebuild_locks(protocol, processes: list[Process]) -> None:
+    """Re-acquire every surviving lock in the original sharing order.
+
+    Under strict 2PL a live process holds one lock per ledger activity
+    (regular *and* compensating); activity uids are globally monotone in
+    launch order, so replaying acquisitions in uid order reproduces the
+    sharing order.  Completing processes and cost-protected processes
+    had their locks pivot-converted; the conversion is replayed after
+    the base acquisition.
+    """
+    entries = sorted(
+        (
+            (entry.activity.uid, process, entry)
+            for process in processes
+            for entry in process.ledger
+        ),
+        key=lambda item: item[0],
+    )
+    for __, process, entry in entries:
+        activity_type = entry.activity.activity_type
+        mode = (
+            LockMode.P
+            if activity_type.point_of_no_return
+            else LockMode.C
+        )
+        protocol.restore_grant(
+            process, entry.activity.name, mode, entry.activity.uid
+        )
+    for process in processes:
+        protected = process.state is ProcessState.COMPLETING or (
+            getattr(protocol, "cost_based", False)
+            and process.wcc >= process.program.wcc_threshold
+        )
+        if protected:
+            for entry in protocol.table.c_locks_of(process.pid):
+                entry.upgrade_to_p()
+
+
+def recover(
+    image: CrashImage,
+    protocol,
+    config: ManagerConfig | None = None,
+    subsystems=None,
+    seed: int = 0,
+) -> ProcessManager:
+    """Build a fresh manager that continues where the crash left off.
+
+    ``protocol`` must be a *fresh* instance over the same registry and
+    conflict matrix (the lock table is volatile and is rebuilt here).
+    """
+    if protocol.table.lock_count:
+        raise SchedulerError(
+            "recovery needs a fresh protocol instance (its lock table "
+            "is rebuilt from the journal)"
+        )
+    processes = [
+        restore_process(snapshot)
+        for snapshot in sorted(
+            image.snapshots, key=lambda snap: snap.timestamp
+        )
+    ]
+    max_ts = max((p.timestamp for p in processes), default=0)
+    protocol.ensure_timestamp_floor(max_ts)
+    max_uid = max(
+        (
+            entry.activity.uid
+            for process in processes
+            for entry in process.ledger
+        ),
+        default=0,
+    )
+    ensure_uid_floor(max_uid)
+    manager = ProcessManager(
+        protocol, subsystems=subsystems, config=config, seed=seed
+    )
+    manager.trace = TraceRecorder(image.trace_events)
+    manager.records.update(image.records)
+    manager._pids = itertools.count(image.max_pid + 1)
+    rebuild_locks(protocol, processes)
+    for process in processes:
+        manager.adopt_recovered(process)
+    return manager

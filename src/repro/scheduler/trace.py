@@ -1,0 +1,73 @@
+"""Observed-schedule recording.
+
+The :class:`TraceRecorder` turns the simulation's committed activities and
+process terminations into the theory layer's
+:class:`~repro.theory.schedule.ProcessSchedule`, which the correctness
+oracles (P-RED / CT / P-RC) consume.
+"""
+
+from __future__ import annotations
+
+from repro.activities.activity import Activity
+from repro.process.instance import Process
+from repro.theory.schedule import (
+    ConflictFn,
+    EventKind,
+    ProcessSchedule,
+    ScheduleEvent,
+)
+
+
+class TraceRecorder:
+    """Collects schedule events in observed (virtual-time) order.
+
+    Pass ``events`` to continue an earlier trace — crash recovery seeds
+    the new manager's recorder with the pre-crash schedule so the
+    combined history can be checked end to end.
+    """
+
+    def __init__(self, events: list[ScheduleEvent] | None = None) -> None:
+        self.events: list[ScheduleEvent] = list(events or [])
+
+    def record_activity(self, process: Process, activity: Activity) -> None:
+        """Record a committed (regular or compensating) activity."""
+        activity_type = activity.activity_type
+        self.events.append(
+            ScheduleEvent(
+                position=len(self.events),
+                process=process.key,
+                kind=EventKind.ACTIVITY,
+                name=activity.name,
+                uid=activity.uid,
+                compensates=activity.compensates,
+                compensatable=activity_type.compensatable,
+                point_of_no_return=activity_type.point_of_no_return,
+            )
+        )
+
+    def record_commit(self, process: Process) -> None:
+        """Record ``C_i``."""
+        self.events.append(
+            ScheduleEvent(
+                position=len(self.events),
+                process=process.key,
+                kind=EventKind.COMMIT,
+            )
+        )
+
+    def record_abort(self, process: Process) -> None:
+        """Record ``A_i`` (after the abort-process execution finished)."""
+        self.events.append(
+            ScheduleEvent(
+                position=len(self.events),
+                process=process.key,
+                kind=EventKind.ABORT,
+            )
+        )
+
+    def to_schedule(self, conflict: ConflictFn) -> ProcessSchedule:
+        """Wrap the recorded events as a checkable process schedule."""
+        return ProcessSchedule(list(self.events), conflict)
+
+    def __len__(self) -> int:
+        return len(self.events)

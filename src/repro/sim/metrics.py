@@ -1,0 +1,98 @@
+"""Metric extraction from simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.scheduler.manager import RunResult
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Flat summary of one simulation run."""
+
+    protocol: str
+    committed: int
+    submitted: int
+    makespan: float
+    throughput: float
+    mean_latency: float
+    mean_concurrency: float
+    protocol_aborts: int
+    intrinsic_aborts: int
+    subprocess_aborts: int
+    resubmissions: int
+    compensations: int
+    compensated_cost: float
+    deadlock_victims: int
+    unresolvable_violations: int
+    defers: int
+    cascade_victims: int
+
+    def as_row(self) -> dict[str, float]:
+        """Dictionary form for table rendering."""
+        return {
+            "protocol": self.protocol,
+            "committed": self.committed,
+            "makespan": round(self.makespan, 2),
+            "throughput": round(self.throughput, 4),
+            "latency": round(self.mean_latency, 2),
+            "concurrency": round(self.mean_concurrency, 3),
+            "cascades": self.cascade_victims,
+            "resubmits": self.resubmissions,
+            "comp_cost": round(self.compensated_cost, 1),
+            "unresolvable": self.unresolvable_violations,
+        }
+
+
+def summarize(protocol_name: str, result: RunResult) -> RunMetrics:
+    """Condense a :class:`RunResult` into a :class:`RunMetrics` row."""
+    protocol_stats = result.protocol_stats
+    unresolvable = getattr(protocol_stats, "unresolvable", 0)
+    unresolvable += result.stats.unresolvable_violations
+    return RunMetrics(
+        protocol=protocol_name,
+        committed=result.stats.committed,
+        submitted=result.stats.submitted,
+        makespan=result.makespan,
+        throughput=result.throughput,
+        mean_latency=result.mean_latency,
+        mean_concurrency=result.mean_concurrency,
+        protocol_aborts=result.stats.protocol_aborts,
+        intrinsic_aborts=result.stats.intrinsic_aborts,
+        subprocess_aborts=result.stats.subprocess_aborts,
+        resubmissions=result.stats.resubmissions,
+        compensations=result.stats.compensations,
+        compensated_cost=result.stats.compensated_cost,
+        deadlock_victims=result.stats.deadlock_victims,
+        unresolvable_violations=unresolvable,
+        defers=getattr(protocol_stats, "defers", 0),
+        cascade_victims=getattr(protocol_stats, "cascade_victims", 0),
+    )
+
+
+def mean(values: list[float]) -> float:
+    """Arithmetic mean (0.0 for an empty list)."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def aggregate(metrics: list[RunMetrics]) -> dict[str, float]:
+    """Average the numeric fields of several runs (repetition sweeps)."""
+    if not metrics:
+        return {}
+    return {
+        "committed": mean([m.committed for m in metrics]),
+        "throughput": mean([m.throughput for m in metrics]),
+        "latency": mean([m.mean_latency for m in metrics]),
+        "concurrency": mean([m.mean_concurrency for m in metrics]),
+        "makespan": mean([m.makespan for m in metrics]),
+        "cascades": mean([m.cascade_victims for m in metrics]),
+        "resubmits": mean([m.resubmissions for m in metrics]),
+        "comp_cost": mean([m.compensated_cost for m in metrics]),
+        "unresolvable": mean(
+            [m.unresolvable_violations for m in metrics]
+        ),
+        "deadlock_victims": mean([m.deadlock_victims for m in metrics]),
+    }

@@ -1,0 +1,24 @@
+"""Seeded randomness helpers.
+
+All stochastic components draw from :class:`random.Random` instances
+derived deterministically from a base seed and a stream label, so that
+workload generation, failure sampling, and any future noise source can be
+varied independently while keeping runs reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+
+def derive_rng(seed: int, stream: str) -> random.Random:
+    """A :class:`random.Random` unique to ``(seed, stream)``."""
+    mixed = (seed & 0xFFFFFFFF) ^ zlib.crc32(stream.encode("utf-8"))
+    return random.Random(mixed)
+
+
+def spread_seeds(seed: int, count: int) -> list[int]:
+    """``count`` derived seeds for repetition sweeps."""
+    rng = derive_rng(seed, "spread")
+    return [rng.randrange(2**31) for _ in range(count)]

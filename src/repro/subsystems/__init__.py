@@ -1,0 +1,38 @@
+"""Transactional subsystems: the CPSR + ACA bottom layer of the model."""
+
+from repro.subsystems.lock_manager import DataLockManager, DataLockMode
+from repro.subsystems.programs import (
+    Operation,
+    OpKind,
+    ProgramCatalog,
+    TransactionProgram,
+    inverse_program,
+)
+from repro.subsystems.storage import RecordStore
+from repro.subsystems.subsystem import SubsystemPool, TransactionalSubsystem
+from repro.subsystems.transactions import Transaction, TransactionState
+from repro.subsystems.wal import (
+    WalKind,
+    WalRecord,
+    WriteAheadLog,
+    recover_store,
+)
+
+__all__ = [
+    "DataLockManager",
+    "DataLockMode",
+    "Operation",
+    "OpKind",
+    "ProgramCatalog",
+    "RecordStore",
+    "SubsystemPool",
+    "Transaction",
+    "TransactionProgram",
+    "TransactionState",
+    "TransactionalSubsystem",
+    "WalKind",
+    "WalRecord",
+    "WriteAheadLog",
+    "inverse_program",
+    "recover_store",
+]

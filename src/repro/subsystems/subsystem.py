@@ -1,0 +1,246 @@
+"""Transactional subsystem facade (the paper's bottom layer).
+
+A :class:`TransactionalSubsystem` bundles a record store, a data-level
+strict-2PL lock manager, and a history recorder.  It offers two execution
+paths:
+
+* :meth:`execute_atomic` — run a whole transaction program in one step;
+  this is what the process manager uses when an activity commits in the
+  simulation (each activity is atomic by definition, Section 2);
+* :meth:`begin` — hand out a stepwise :class:`Transaction` so tests can
+  interleave operations of several transactions and verify that the
+  subsystem really produces serializable (CPSR), cascade-free (ACA)
+  histories.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+
+from repro.errors import (
+    DataDeadlockAvoided,
+    SubsystemError,
+    SubsystemWouldBlock,
+)
+from repro.subsystems.lock_manager import DataLockManager
+from repro.subsystems.programs import ProgramCatalog, TransactionProgram
+from repro.subsystems.storage import RecordStore
+from repro.subsystems.transactions import Transaction, TransactionState
+from repro.subsystems.wal import WriteAheadLog, recover_store
+
+
+class TransactionalSubsystem:
+    """One independent transactional application (CPSR + ACA)."""
+
+    def __init__(self, name: str, durable: bool = False) -> None:
+        self.name = name
+        self.store = RecordStore()
+        self.locks = DataLockManager()
+        self.catalog = ProgramCatalog()
+        #: Undo write-ahead log; present when the subsystem is durable.
+        self.wal: WriteAheadLog | None = (
+            WriteAheadLog() if durable else None
+        )
+        self._active: list[Transaction] = []
+        #: Flat operation history ``(txn_id, op, key)`` with op in
+        #: ``{"r", "w", "c", "a"}``, used for serializability checking.
+        self.history: list[tuple[int, str, str]] = []
+        self._txn_ids = itertools.count(1)
+        self.committed_count = 0
+        self.aborted_count = 0
+
+    # ------------------------------------------------------------------
+    # execution paths
+    # ------------------------------------------------------------------
+    def begin(self, timestamp: int | None = None) -> Transaction:
+        """Start a stepwise transaction (mainly for substrate tests)."""
+        txn_id = next(self._txn_ids)
+        txn = Transaction(
+            txn_id=txn_id,
+            timestamp=timestamp if timestamp is not None else txn_id,
+            store=self.store,
+            locks=self.locks,
+            history=self.history,
+            wal=self.wal,
+        )
+        self._active = [
+            t
+            for t in self._active
+            if t.state is TransactionState.ACTIVE
+        ]
+        self._active.append(txn)
+        return txn
+
+    def execute_atomic(
+        self, program: TransactionProgram, timestamp: int | None = None
+    ) -> list[object]:
+        """Run ``program`` as one transaction, committing on success.
+
+        The atomic path can never block: it starts with no locks held and
+        releases everything before returning, so lock conflicts with other
+        in-flight transactions cannot exist in simulator use (activities
+        are applied at distinct virtual instants).
+
+        Returns the list of values read by the program.
+        """
+        txn = self.begin(timestamp)
+        try:
+            results = program.run(txn)
+        except (SubsystemWouldBlock, DataDeadlockAvoided):
+            txn.abort()
+            self.aborted_count += 1
+            raise
+        except Exception:
+            txn.abort()
+            self.aborted_count += 1
+            raise
+        txn.commit()
+        self.committed_count += 1
+        return results
+
+    def execute_activity(
+        self, activity_name: str, timestamp: int | None = None
+    ) -> list[object]:
+        """Run the transaction program registered for an activity type."""
+        return self.execute_atomic(
+            self.catalog.get(activity_name), timestamp
+        )
+
+    # ------------------------------------------------------------------
+    # history analysis (substrate guarantees)
+    # ------------------------------------------------------------------
+    def serialization_graph(self) -> "nx.DiGraph":
+        """Conflict graph over committed transactions of the history.
+
+        An edge ``i -> j`` means a committed operation of ``i`` precedes a
+        conflicting committed operation of ``j``.
+        """
+        committed = {
+            txn for txn, op, _ in self.history if op == "c"
+        }
+        graph: nx.DiGraph = nx.DiGraph()
+        graph.add_nodes_from(committed)
+        ops = [
+            (txn, op, key)
+            for txn, op, key in self.history
+            if txn in committed and op in ("r", "w")
+        ]
+        for i, (txn_a, op_a, key_a) in enumerate(ops):
+            for txn_b, op_b, key_b in ops[i + 1:]:
+                if txn_a == txn_b or key_a != key_b:
+                    continue
+                if "w" in (op_a, op_b):
+                    graph.add_edge(txn_a, txn_b)
+        return graph
+
+    def is_serializable(self) -> bool:
+        """Whether the committed projection of the history is CPSR."""
+        return nx.is_directed_acyclic_graph(self.serialization_graph())
+
+    def avoids_cascading_aborts(self) -> bool:
+        """ACA check: every read sees only already-committed writes.
+
+        For each read of ``key`` by ``t``, any earlier write of ``key`` by
+        another transaction must be followed by that transaction's commit
+        before the read.
+        """
+        commit_pos: dict[int, int] = {}
+        abort_pos: dict[int, int] = {}
+        for pos, (txn, op, _) in enumerate(self.history):
+            if op == "c":
+                commit_pos[txn] = pos
+            elif op == "a":
+                abort_pos[txn] = pos
+        for pos, (reader, op, key) in enumerate(self.history):
+            if op != "r":
+                continue
+            for wpos, (writer, wop, wkey) in enumerate(
+                self.history[:pos]
+            ):
+                if wop != "w" or wkey != key or writer == reader:
+                    continue
+                terminated = (
+                    commit_pos.get(writer, len(self.history)) < pos
+                    or abort_pos.get(writer, len(self.history)) < pos
+                )
+                if not terminated:
+                    return False
+        return True
+
+    def simulate_crash_and_recover(self) -> int:
+        """Crash the subsystem and run WAL recovery; returns undo count.
+
+        A crash loses every in-flight transaction and every lock; the
+        store (our "disk", written in place — a steal policy) keeps
+        whatever was applied.  Recovery rolls the losers back via their
+        logged before-images, restoring a committed-only state.  Only
+        available on durable subsystems.
+
+        In-flight :class:`Transaction` handles become unusable (their
+        state is forced to aborted); callers must begin new ones.
+        """
+        if self.wal is None:
+            raise SubsystemError(
+                f"subsystem {self.name!r} is not durable; construct it "
+                "with durable=True to get WAL recovery"
+            )
+        losers = 0
+        for txn in self._active:
+            if txn.state is TransactionState.ACTIVE:
+                txn.state = TransactionState.ABORTED
+                self.history.append((txn.txn_id, "a", ""))
+                losers += 1
+        self._active = []
+        self.locks = DataLockManager()
+        undone = recover_store(self.store, self.wal)
+        self.aborted_count += losers
+        return undone
+
+    def register_program(
+        self, activity_name: str, program: TransactionProgram
+    ) -> None:
+        """Bind an activity type name to its transaction program."""
+        self.catalog.register(activity_name, program)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TransactionalSubsystem({self.name!r}, "
+            f"{len(self.store)} records, "
+            f"{self.committed_count} commits)"
+        )
+
+
+class SubsystemPool:
+    """The universe of available subsystems, keyed by name."""
+
+    def __init__(self) -> None:
+        self._subsystems: dict[str, TransactionalSubsystem] = {}
+
+    def create(self, name: str) -> TransactionalSubsystem:
+        if name in self._subsystems:
+            raise SubsystemError(f"subsystem {name!r} already exists")
+        subsystem = TransactionalSubsystem(name)
+        self._subsystems[name] = subsystem
+        return subsystem
+
+    def get(self, name: str) -> TransactionalSubsystem:
+        try:
+            return self._subsystems[name]
+        except KeyError:
+            raise SubsystemError(f"unknown subsystem {name!r}") from None
+
+    def get_or_create(self, name: str) -> TransactionalSubsystem:
+        if name not in self._subsystems:
+            return self.create(name)
+        return self._subsystems[name]
+
+    def __iter__(self):
+        return iter(self._subsystems.values())
+
+    def __len__(self) -> int:
+        return len(self._subsystems)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._subsystems

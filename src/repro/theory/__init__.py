@@ -1,0 +1,59 @@
+"""Correctness theory: schedules, reduction, and the RED/CT/P-RC criteria."""
+
+from repro.theory.criteria import (
+    RecoverabilityReport,
+    RecoverabilityViolation,
+    check_all_prefixes_recoverable,
+    check_process_recoverability,
+    has_correct_termination,
+    is_prefix_reducible,
+    is_process_recoverable,
+    is_reducible,
+)
+from repro.theory.explain import (
+    IrreducibilityWitness,
+    StuckPair,
+    explain_irreducibility,
+    first_bad_prefix,
+)
+from repro.theory.graphs import (
+    is_conflict_serializable,
+    serialization_graph,
+    serialization_order,
+)
+from repro.theory.reduction import (
+    deciders_agree,
+    exact_is_reducible,
+    poly_is_reducible,
+    reduce_schedule,
+)
+from repro.theory.schedule import (
+    EventKind,
+    ProcessSchedule,
+    ScheduleEvent,
+)
+
+__all__ = [
+    "EventKind",
+    "IrreducibilityWitness",
+    "ProcessSchedule",
+    "StuckPair",
+    "explain_irreducibility",
+    "first_bad_prefix",
+    "RecoverabilityReport",
+    "RecoverabilityViolation",
+    "ScheduleEvent",
+    "check_all_prefixes_recoverable",
+    "check_process_recoverability",
+    "deciders_agree",
+    "exact_is_reducible",
+    "has_correct_termination",
+    "is_conflict_serializable",
+    "is_prefix_reducible",
+    "is_process_recoverable",
+    "is_reducible",
+    "poly_is_reducible",
+    "reduce_schedule",
+    "serialization_graph",
+    "serialization_order",
+]

@@ -1,0 +1,171 @@
+"""Correctness criteria for process schedules (paper Definitions 4–7).
+
+* :func:`is_reducible` — RED (Definition 4), polynomial decider.
+* :func:`is_prefix_reducible` — P-RED (Definition 5): every prefix RED.
+* :func:`has_correct_termination` — CT (Definition 6): the *complete*
+  schedule is P-RED.  The simulator always runs workloads to quiescence,
+  so completed schedules are directly available; checking a partial
+  schedule for CT is a caller error.
+* :func:`is_process_recoverable` — P-RC (Definition 7): no completing
+  process ever depends on a running one.
+
+All functions take a :class:`~repro.theory.schedule.ProcessSchedule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ScheduleError
+from repro.theory.reduction import poly_is_reducible
+from repro.theory.schedule import (
+    EventKind,
+    ProcessSchedule,
+    ScheduleEvent,
+)
+
+
+def is_reducible(schedule: ProcessSchedule) -> bool:
+    """RED: the schedule can be transformed into a serial one."""
+    return poly_is_reducible(schedule)
+
+
+def is_prefix_reducible(
+    schedule: ProcessSchedule, stride: int = 1
+) -> bool:
+    """P-RED: every prefix of the schedule is reducible.
+
+    ``stride`` samples prefixes for large schedules (the full schedule is
+    always included); use the default of 1 for exhaustive checking.
+    """
+    length = len(schedule.events)
+    checked: set[int] = set()
+    for cut in range(1, length + 1, max(1, stride)):
+        checked.add(cut)
+    checked.add(length)
+    for cut in sorted(checked):
+        if not poly_is_reducible(schedule.prefix(cut)):
+            return False
+    return True
+
+
+def has_correct_termination(
+    schedule: ProcessSchedule, stride: int = 1
+) -> bool:
+    """CT: the completed schedule is prefix-reducible (Definition 6)."""
+    if not schedule.is_complete:
+        raise ScheduleError(
+            "correct termination is defined over complete schedules; "
+            "complete the schedule (terminate all processes) first"
+        )
+    return is_prefix_reducible(schedule, stride=stride)
+
+
+@dataclass
+class RecoverabilityViolation:
+    """A witness that Definition 7 is violated."""
+
+    earlier: ScheduleEvent
+    later: ScheduleEvent
+    reason: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"P-RC violation between {self.earlier} and {self.later}: "
+            f"{self.reason}"
+        )
+
+
+@dataclass
+class RecoverabilityReport:
+    """Outcome of a P-RC check, with violation witnesses."""
+
+    violations: list[RecoverabilityViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def check_process_recoverability(
+    schedule: ProcessSchedule,
+) -> RecoverabilityReport:
+    """Evaluate Definition 7 and collect all violations.
+
+    For every cross-process conflicting pair ``a_ik^c <_S a_jm`` where
+    ``a_ik`` is compensatable and neither its compensation nor its
+    process's next point of no return precedes ``a_jm``:
+
+    1. if ``a_jm`` is compensatable and ``a_j*`` has been observed, then
+       ``a_i* <_S a_j*`` must hold;
+    2. if ``a_jm`` is not compensatable, then ``a_i* <_S a_jm`` must hold.
+    """
+    report = RecoverabilityReport()
+    comp_pos: dict[int, int] = {}
+    for event in schedule.events:
+        if event.is_activity and event.compensates is not None:
+            comp_pos[event.compensates] = event.position
+
+    for earlier, later in schedule.conflicting_activity_pairs():
+        if not earlier.compensatable or earlier.is_compensation:
+            continue
+        if later.is_compensation:
+            # Compensations are protocol-generated; their ordering
+            # constraints are captured by the C⁻¹-Rule and checked via
+            # reducibility, not via Definition 7.
+            continue
+        undo = comp_pos.get(earlier.uid)
+        if undo is not None and undo < later.position:
+            continue  # a_ik⁻¹ <_S a_jm: the dependency was dissolved
+        i_star = schedule.next_point_of_no_return(
+            earlier.process, earlier.position
+        )
+        if i_star is not None and i_star.position < later.position:
+            continue  # a_i* <_S a_jm: P_i already committed past a_ik
+        if later.compensatable:
+            j_star = schedule.next_point_of_no_return(
+                later.process, later.position
+            )
+            if j_star is None:
+                continue  # a_j* not in S: no constraint yet
+            if i_star is None or i_star.position >= j_star.position:
+                report.violations.append(
+                    RecoverabilityViolation(
+                        earlier,
+                        later,
+                        "the reader's point of no return "
+                        f"{j_star} precedes the writer's "
+                        f"({i_star})",
+                    )
+                )
+        else:
+            if i_star is None or i_star.position >= later.position:
+                report.violations.append(
+                    RecoverabilityViolation(
+                        earlier,
+                        later,
+                        "a non-compensatable activity executed before "
+                        "the conflicting writer reached its point of "
+                        "no return",
+                    )
+                )
+    return report
+
+
+def is_process_recoverable(schedule: ProcessSchedule) -> bool:
+    """P-RC: Definition 7 holds (boolean form)."""
+    return check_process_recoverability(schedule).ok
+
+
+def check_all_prefixes_recoverable(schedule: ProcessSchedule) -> bool:
+    """Whether every prefix of the schedule is P-RC.
+
+    Definition 7 is monotone in the following sense only: new events can
+    *create* violations but can also *discharge* the ``a_j* in S`` guard,
+    so prefix checking is genuinely stronger and is what a dynamic
+    scheduler must guarantee.
+    """
+    for cut in range(1, len(schedule.events) + 1):
+        if not is_process_recoverable(schedule.prefix(cut)):
+            return False
+    return True

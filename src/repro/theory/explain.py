@@ -1,0 +1,157 @@
+"""Witness extraction for correctness violations.
+
+The boolean criteria checkers answer *whether* a schedule is reducible
+or recoverable; this module answers *why not*, producing concrete
+witnesses for debugging protocol variants:
+
+* :func:`explain_irreducibility` — the serialization-graph cycle among
+  surviving activities, plus any compensation pairs stuck behind
+  conflicting in-between activities;
+* :func:`first_bad_prefix` — the shortest prefix that already violates
+  reducibility (dynamic schedulers must keep every prefix reducible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.theory.graphs import serialization_graph
+from repro.theory.reduction import reduce_schedule
+from repro.theory.schedule import (
+    ProcessKey,
+    ProcessSchedule,
+    ScheduleEvent,
+)
+
+
+@dataclass
+class StuckPair:
+    """A compensation pair that cannot cancel."""
+
+    regular: ScheduleEvent
+    compensation: ScheduleEvent
+    blockers: list[ScheduleEvent] = field(default_factory=list)
+
+    def describe(self) -> str:
+        blocked_by = ", ".join(str(b) for b in self.blockers)
+        return (
+            f"pair ({self.regular}, {self.compensation}) blocked by "
+            f"[{blocked_by}]"
+        )
+
+
+@dataclass
+class IrreducibilityWitness:
+    """Everything needed to understand a reducibility failure."""
+
+    cycle: list[ProcessKey]
+    cycle_edges: list[tuple[ScheduleEvent, ScheduleEvent]]
+    stuck_pairs: list[StuckPair]
+
+    def describe(self) -> str:
+        lines = ["schedule is not reducible"]
+        if self.cycle:
+            names = " -> ".join(
+                f"P{pid}" if inc == 0 else f"P{pid}.{inc}"
+                for pid, inc in self.cycle
+            )
+            lines.append(f"  serialization cycle: {names}")
+            for first, second in self.cycle_edges:
+                lines.append(f"    {first} <_S {second} (conflict)")
+        for pair in self.stuck_pairs:
+            lines.append(f"  {pair.describe()}")
+        return "\n".join(lines)
+
+
+def explain_irreducibility(
+    schedule: ProcessSchedule,
+) -> IrreducibilityWitness | None:
+    """Witness for a reducibility failure, or ``None`` if reducible."""
+    survivors = reduce_schedule(schedule)
+    graph = serialization_graph(survivors, schedule.conflict)
+    try:
+        cycle_edges_raw = nx.find_cycle(graph)
+    except nx.NetworkXNoCycle:
+        return None
+    cycle = [edge[0] for edge in cycle_edges_raw]
+    cycle_edges = []
+    for source, target in ((e[0], e[1]) for e in cycle_edges_raw):
+        pair = _witness_conflict(
+            survivors, schedule, source, target
+        )
+        if pair is not None:
+            cycle_edges.append(pair)
+    return IrreducibilityWitness(
+        cycle=cycle,
+        cycle_edges=cycle_edges,
+        stuck_pairs=_stuck_pairs(schedule, survivors),
+    )
+
+
+def _witness_conflict(
+    survivors: list[ScheduleEvent],
+    schedule: ProcessSchedule,
+    source: ProcessKey,
+    target: ProcessKey,
+) -> tuple[ScheduleEvent, ScheduleEvent] | None:
+    for i, first in enumerate(survivors):
+        if first.process != source:
+            continue
+        for second in survivors[i + 1:]:
+            if second.process != target:
+                continue
+            if schedule.conflict(first.name, second.name):
+                return (first, second)
+    return None
+
+
+def _stuck_pairs(
+    schedule: ProcessSchedule, survivors: list[ScheduleEvent]
+) -> list[StuckPair]:
+    surviving_uids = {event.uid for event in survivors}
+    by_uid = {event.uid: event for event in schedule.activities}
+    order = {
+        event.uid: index
+        for index, event in enumerate(schedule.activities)
+    }
+    pairs = []
+    for event in schedule.activities:
+        if event.compensates is None:
+            continue
+        if event.uid not in surviving_uids:
+            continue  # cancelled fine
+        regular = by_uid.get(event.compensates)
+        if regular is None:
+            continue
+        lo, hi = order[regular.uid], order[event.uid]
+        blockers = [
+            between
+            for between in schedule.activities[lo + 1: hi]
+            if between.uid in surviving_uids
+            and (
+                between.process == regular.process
+                or schedule.conflict(between.name, regular.name)
+            )
+        ]
+        pairs.append(
+            StuckPair(
+                regular=regular, compensation=event, blockers=blockers
+            )
+        )
+    return pairs
+
+
+def first_bad_prefix(schedule: ProcessSchedule) -> int | None:
+    """Length of the shortest irreducible prefix, or ``None``.
+
+    A dynamic scheduler must keep every prefix reducible (P-RED); the
+    returned length pinpoints the first decision that broke it.
+    """
+    from repro.theory.reduction import poly_is_reducible
+
+    for cut in range(1, len(schedule.events) + 1):
+        if not poly_is_reducible(schedule.prefix(cut)):
+            return cut
+    return None

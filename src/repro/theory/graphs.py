@@ -1,0 +1,52 @@
+"""Serialization-graph utilities for process schedules."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import networkx as nx
+
+from repro.theory.schedule import ConflictFn, ProcessKey, ScheduleEvent
+
+
+def serialization_graph(
+    activities: Iterable[ScheduleEvent], conflict: ConflictFn
+) -> "nx.DiGraph":
+    """Process-level conflict graph over the given activity events.
+
+    Nodes are process keys; an edge ``P_i -> P_j`` is added whenever some
+    activity of ``P_i`` precedes a conflicting activity of ``P_j`` in the
+    observed order.  Compensating activities participate like regular ones
+    (perfect commutativity makes their conflict behaviour identical to
+    their regular activity's).
+    """
+    events = sorted(activities, key=lambda e: e.position)
+    graph: nx.DiGraph = nx.DiGraph()
+    for event in events:
+        graph.add_node(event.process)
+    for i, first in enumerate(events):
+        for second in events[i + 1:]:
+            if first.process == second.process:
+                continue
+            if conflict(first.name, second.name):
+                graph.add_edge(first.process, second.process)
+    return graph
+
+
+def is_conflict_serializable(
+    activities: Iterable[ScheduleEvent], conflict: ConflictFn
+) -> bool:
+    """Acyclicity of the process-level serialization graph."""
+    return nx.is_directed_acyclic_graph(
+        serialization_graph(activities, conflict)
+    )
+
+
+def serialization_order(
+    activities: Iterable[ScheduleEvent], conflict: ConflictFn
+) -> list[ProcessKey] | None:
+    """A topological process order witnessing serializability, if any."""
+    graph = serialization_graph(activities, conflict)
+    if not nx.is_directed_acyclic_graph(graph):
+        return None
+    return list(nx.topological_sort(graph))

@@ -1,0 +1,176 @@
+"""Reducibility of process schedules (paper Definition 4).
+
+A process schedule is *reducible* (RED) when finitely many applications of
+
+* the **commutativity rule** — adjacent commuting activities of different
+  processes may swap — and
+* the **compensation rule** — an adjacent pair ``(a, a⁻¹)`` of the same
+  process may be removed —
+
+transform it into a *serial* schedule (each process's surviving activities
+contiguous).  Two independent deciders are provided:
+
+:func:`exact_is_reducible`
+    A memoized breadth-first search over literal rule applications.
+    Complete but exponential; intended for schedules of at most a dozen
+    activities (property tests cross-validate the polynomial decider
+    against it).
+
+:func:`poly_is_reducible`
+    A polynomial decision procedure: greedily cancel compensated pairs
+    whose open interval contains no surviving conflicting activity of
+    another process and no surviving activity of the same process, then
+    test acyclicity of the process-level serialization graph over the
+    survivors.  Cancelling a removable pair only ever deletes conflict
+    edges and unblocks other pairs, so the greedy fixpoint is confluent
+    and the procedure is exact under perfect commutativity.
+
+Both deciders deliberately refrain from intra-process swaps (rule 1,
+case ``i = j``): the observed order of one process's activities is treated
+as required.  This is conservative — it can only under-approximate
+reducibility — and the protocol's schedules pass without intra-process
+swaps, which keeps the two deciders comparable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.theory.graphs import is_conflict_serializable
+from repro.theory.schedule import ConflictFn, ProcessSchedule, ScheduleEvent
+
+
+def _activity_list(schedule: ProcessSchedule) -> list[ScheduleEvent]:
+    return schedule.activities
+
+
+# ----------------------------------------------------------------------
+# exact decider (search)
+# ----------------------------------------------------------------------
+def exact_is_reducible(
+    schedule: ProcessSchedule, max_states: int = 200_000
+) -> bool:
+    """Decide RED by exhaustive rule application (small schedules only).
+
+    Raises
+    ------
+    RuntimeError
+        If the search frontier exceeds ``max_states`` states — callers
+        should fall back to :func:`poly_is_reducible` for big inputs.
+    """
+    events = _activity_list(schedule)
+    conflict = schedule.conflict
+    initial = tuple(e.uid for e in events)
+    info = {e.uid: e for e in events}
+
+    def is_serial(state: tuple[int, ...]) -> bool:
+        seen: list = []
+        last = None
+        for uid in state:
+            proc = info[uid].process
+            if proc != last:
+                if proc in seen:
+                    return False
+                seen.append(proc)
+                last = proc
+        return True
+
+    frontier = [initial]
+    visited = {initial}
+    while frontier:
+        state = frontier.pop()
+        if is_serial(state):
+            return True
+        if len(visited) > max_states:
+            raise RuntimeError(
+                "exact reducibility search exceeded the state budget; "
+                "use poly_is_reducible for schedules this large"
+            )
+        for succ in _successors(state, info, conflict):
+            if succ not in visited:
+                visited.add(succ)
+                frontier.append(succ)
+    return False
+
+
+def _successors(state, info, conflict):
+    for i in range(len(state) - 1):
+        first = info[state[i]]
+        second = info[state[i + 1]]
+        if (
+            first.process != second.process
+            and not conflict(first.name, second.name)
+        ):
+            swapped = list(state)
+            swapped[i], swapped[i + 1] = swapped[i + 1], swapped[i]
+            yield tuple(swapped)
+        if (
+            first.process == second.process
+            and second.compensates == first.uid
+        ):
+            yield state[:i] + state[i + 2:]
+
+
+# ----------------------------------------------------------------------
+# polynomial decider
+# ----------------------------------------------------------------------
+def poly_is_reducible(schedule: ProcessSchedule) -> bool:
+    """Decide RED in polynomial time (see module docstring)."""
+    survivors = reduce_schedule(schedule)
+    return is_conflict_serializable(survivors, schedule.conflict)
+
+
+def reduce_schedule(
+    schedule: ProcessSchedule,
+) -> list[ScheduleEvent]:
+    """Apply the compensation rule to a fixpoint; return the survivors.
+
+    A compensated pair ``(a, a⁻¹)`` is cancelled when the events observed
+    strictly between them that are still surviving contain neither an
+    activity conflicting with ``a`` from another process nor any activity
+    of ``a``'s own process (same-process activities cannot be swapped out
+    of the interval, so they must cancel first).
+    """
+    events = _activity_list(schedule)
+    conflict = schedule.conflict
+    order = {e.uid: idx for idx, e in enumerate(events)}
+    by_uid = {e.uid: e for e in events}
+    pairs: list[tuple[ScheduleEvent, ScheduleEvent]] = []
+    for event in events:
+        if event.compensates is not None:
+            regular = by_uid.get(event.compensates)
+            if regular is not None:
+                pairs.append((regular, event))
+    removed: set[int] = set()
+
+    changed = True
+    while changed:
+        changed = False
+        for regular, comp in pairs:
+            if regular.uid in removed or comp.uid in removed:
+                continue
+            lo, hi = order[regular.uid], order[comp.uid]
+            if lo > hi:
+                continue  # malformed: compensation observed first
+            blocked = False
+            for between in events[lo + 1: hi]:
+                if between.uid in removed:
+                    continue
+                if between.process == regular.process:
+                    blocked = True
+                    break
+                if conflict(between.name, regular.name):
+                    blocked = True
+                    break
+            if not blocked:
+                removed.add(regular.uid)
+                removed.add(comp.uid)
+                changed = True
+    return [e for e in events if e.uid not in removed]
+
+
+def deciders_agree(
+    schedule: ProcessSchedule,
+) -> tuple[bool, bool]:
+    """Run both deciders; returns ``(exact, polynomial)`` verdicts."""
+    return exact_is_reducible(schedule), poly_is_reducible(schedule)

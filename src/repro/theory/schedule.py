@@ -1,0 +1,198 @@
+"""Process schedules (paper Definition 3).
+
+A :class:`ProcessSchedule` records the observed execution order ``<_S`` of
+activities as a totally ordered event list (the simulator commits at most
+one activity per virtual instant, so the observed partial order is a total
+order — the common case for dynamic schedulers).  Besides regular and
+compensating activities the event list contains the termination events
+``C_i`` / ``A_i`` of each process, which Definition 7 (P-RC) refers to.
+
+Process identity is ``(pid, incarnation)``: a resubmitted process is
+formally a new process that shares the original's timestamp.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ScheduleError
+
+ProcessKey = tuple[int, int]
+ConflictFn = Callable[[str, str], bool]
+
+
+class EventKind(enum.Enum):
+    """Kinds of entries in the observed schedule."""
+
+    ACTIVITY = "activity"
+    COMMIT = "commit"
+    ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class ScheduleEvent:
+    """One entry of the observed execution order ``<_S``.
+
+    Parameters
+    ----------
+    position:
+        Index in the total observed order.
+    process:
+        ``(pid, incarnation)`` of the owning process.
+    kind:
+        Activity, process commit (``C_i``) or process abort (``A_i``).
+    name:
+        Activity type name (empty for terminal events).
+    uid:
+        Globally unique activity invocation id (0 for terminal events).
+    compensates:
+        For compensating activities, the uid of the regular activity
+        undone; ``None`` otherwise.
+    compensatable:
+        Whether the activity type has a compensating counterpart.
+    point_of_no_return:
+        Whether committing this activity forecloses compensation (pivot or
+        retriable non-compensatable activity).
+    """
+
+    position: int
+    process: ProcessKey
+    kind: EventKind
+    name: str = ""
+    uid: int = 0
+    compensates: int | None = None
+    compensatable: bool = False
+    point_of_no_return: bool = False
+
+    @property
+    def is_activity(self) -> bool:
+        return self.kind is EventKind.ACTIVITY
+
+    @property
+    def is_compensation(self) -> bool:
+        return self.compensates is not None
+
+    @property
+    def is_regular(self) -> bool:
+        return self.is_activity and not self.is_compensation
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        pid, inc = self.process
+        owner = f"P{pid}" if inc == 0 else f"P{pid}.{inc}"
+        if self.kind is EventKind.COMMIT:
+            return f"C({owner})"
+        if self.kind is EventKind.ABORT:
+            return f"A({owner})"
+        return f"{self.name}({owner})"
+
+
+class ProcessSchedule:
+    """The observed schedule ``S = (P_S, A_S, ≺_S, <_S)``.
+
+    Parameters
+    ----------
+    events:
+        Events in observed order; positions must be 0..n-1 and increasing.
+    conflict:
+        Type-level conflict test ``CON`` (symmetric, perfect commutativity
+        assumed).
+    """
+
+    def __init__(
+        self, events: Sequence[ScheduleEvent], conflict: ConflictFn
+    ) -> None:
+        self.events = list(events)
+        self.conflict = conflict
+        for index, event in enumerate(self.events):
+            if event.position != index:
+                raise ScheduleError(
+                    f"event {event} has position {event.position}, "
+                    f"expected {index}"
+                )
+        self._terminal: dict[ProcessKey, ScheduleEvent] = {}
+        for event in self.events:
+            if event.kind is not EventKind.ACTIVITY:
+                if event.process in self._terminal:
+                    raise ScheduleError(
+                        f"process {event.process} terminates twice"
+                    )
+                self._terminal[event.process] = event
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def activities(self) -> list[ScheduleEvent]:
+        """Only the activity events, in observed order."""
+        return [e for e in self.events if e.is_activity]
+
+    @property
+    def processes(self) -> list[ProcessKey]:
+        """All processes appearing in the schedule (stable order)."""
+        seen: dict[ProcessKey, None] = {}
+        for event in self.events:
+            seen.setdefault(event.process, None)
+        return list(seen)
+
+    def events_of(self, process: ProcessKey) -> list[ScheduleEvent]:
+        return [e for e in self.events if e.process == process]
+
+    def terminal_event(self, process: ProcessKey) -> ScheduleEvent | None:
+        """The ``C_i`` / ``A_i`` event of ``process``, if present."""
+        return self._terminal.get(process)
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every process has terminated (Definition 3)."""
+        return all(p in self._terminal for p in self.processes)
+
+    def prefix(self, length: int) -> "ProcessSchedule":
+        """The prefix of the first ``length`` events, re-wrapped."""
+        return ProcessSchedule(self.events[:length], self.conflict)
+
+    # ------------------------------------------------------------------
+    # conflict helpers
+    # ------------------------------------------------------------------
+    def conflicting_activity_pairs(
+        self,
+    ) -> list[tuple[ScheduleEvent, ScheduleEvent]]:
+        """Ordered cross-process conflicting activity pairs ``(a, b)``.
+
+        ``a`` precedes ``b`` in ``<_S`` and ``CON(a, b)`` holds.
+        """
+        acts = self.activities
+        pairs = []
+        for i, first in enumerate(acts):
+            for second in acts[i + 1:]:
+                if first.process == second.process:
+                    continue
+                if self.conflict(first.name, second.name):
+                    pairs.append((first, second))
+        return pairs
+
+    def next_point_of_no_return(
+        self, process: ProcessKey, after_position: int
+    ) -> ScheduleEvent | None:
+        """``a_i*``: the process's next no-return event after a position.
+
+        Returns the first point-of-no-return activity of ``process``
+        following ``after_position`` in the observed order, or its commit
+        event, or ``None`` if neither has been observed yet (partial
+        schedule).
+        """
+        for event in self.events[after_position + 1:]:
+            if event.process != process:
+                continue
+            if event.is_activity and event.point_of_no_return:
+                return event
+            if event.kind is EventKind.COMMIT:
+                return event
+        return None
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return " ".join(str(e) for e in self.events)

@@ -1,0 +1,15 @@
+"""Domain scenarios from the paper's application claims (Section 6)."""
+
+from repro.workloads.ecommerce import Scenario, payment_scenario
+from repro.workloads.hospital import LAB_PANEL_COST, hospital_scenario
+from repro.workloads.manufacturing import manufacturing_scenario
+from repro.workloads.travel import travel_scenario
+
+__all__ = [
+    "LAB_PANEL_COST",
+    "Scenario",
+    "hospital_scenario",
+    "manufacturing_scenario",
+    "payment_scenario",
+    "travel_scenario",
+]

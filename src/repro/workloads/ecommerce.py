@@ -1,0 +1,183 @@
+"""Electronic-commerce payment processes.
+
+The paper repeatedly motivates process locking with e-commerce payment
+processing (Section 2.2: "compensatable steps followed by a pivot step as
+point-of-no-return (the commit decision) and subsequent retriable steps,
+the latter being arranged in two alternatives for successful or
+unsuccessful outcomes").  This module builds exactly that shape on top of
+three concrete subsystems (shop inventory, payment gateway, shipping
+desk), with grounded transaction programs so the conflict relation is
+derived rather than postulated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.activities.commutativity import (
+    ConflictMatrix,
+    derive_from_read_write_sets,
+)
+from repro.activities.registry import ActivityRegistry
+from repro.process.builder import ProgramBuilder
+from repro.process.program import ProcessProgram
+from repro.subsystems.programs import (
+    Operation,
+    TransactionProgram,
+    inverse_program,
+)
+from repro.subsystems.subsystem import SubsystemPool
+
+
+@dataclass
+class Scenario:
+    """A ready-to-run domain scenario."""
+
+    name: str
+    registry: ActivityRegistry
+    conflicts: ConflictMatrix
+    programs: list[ProcessProgram]
+    data_programs: dict[str, TransactionProgram] = field(
+        default_factory=dict
+    )
+
+    def make_subsystems(self) -> SubsystemPool:
+        pool = SubsystemPool()
+        for activity_type in self.registry:
+            pool.get_or_create(activity_type.subsystem)
+        for name, program in self.data_programs.items():
+            subsystem = pool.get(self.registry.get(name).subsystem)
+            subsystem.register_program(name, program)
+        return pool
+
+
+def payment_scenario(
+    customers: int = 6,
+    items: int = 4,
+    failure_probability: float = 0.05,
+    wcc_threshold: float = math.inf,
+) -> Scenario:
+    """``customers`` concurrent purchase processes over ``items`` SKUs.
+
+    Each process: check cart → reserve stock (compensatable) → authorize
+    payment (compensatable) → **charge card** (pivot: money moves) →
+    preferred fulfilment (express shipping) with standard shipping as the
+    assured fallback.
+    """
+    registry = ActivityRegistry()
+    data: dict[str, TransactionProgram] = {}
+
+    def grounded_compensatable(
+        name: str,
+        subsystem: str,
+        cost: float,
+        comp_cost: float,
+        ops: list[Operation],
+        p: float = 0.0,
+    ) -> None:
+        registry.define_compensatable(
+            name,
+            subsystem,
+            cost=cost,
+            compensation_cost=comp_cost,
+            failure_probability=p,
+        )
+        program = TransactionProgram(name=name, operations=tuple(ops))
+        data[name] = program
+        data[f"{name}^-1"] = inverse_program(program)
+
+    for item in range(items):
+        sku = f"sku{item}"
+        grounded_compensatable(
+            f"reserve_{sku}",
+            "shop",
+            cost=2.0,
+            comp_cost=1.0,
+            ops=[
+                Operation.read(f"shop:stock_{sku}"),
+                Operation.write(f"shop:reserved_{sku}"),
+            ],
+            p=failure_probability,
+        )
+    grounded_compensatable(
+        "authorize_payment",
+        "gateway",
+        cost=1.5,
+        comp_cost=0.5,
+        ops=[Operation.write("gateway:auth_log")],
+        p=failure_probability,
+    )
+    registry.define_pivot(
+        "charge_card",
+        "gateway",
+        cost=1.0,
+        failure_probability=failure_probability / 2,
+    )
+    data["charge_card"] = TransactionProgram(
+        name="charge_card",
+        operations=(Operation.write("gateway:ledger"),),
+    )
+    # The preferred fulfilment may fail (the courier can refuse the job);
+    # its booking is compensatable so the alternative can take over.
+    grounded_compensatable(
+        "ship_express",
+        "shipping",
+        cost=3.0,
+        comp_cost=0.5,
+        ops=[Operation.write("shipping:express_queue")],
+        p=max(failure_probability, 0.05),
+    )
+    registry.define_retriable("ship_standard", "shipping", cost=2.0)
+    data["ship_standard"] = TransactionProgram(
+        name="ship_standard",
+        operations=(Operation.write("shipping:standard_queue"),),
+    )
+    registry.define_compensatable(
+        "check_cart",
+        "shop",
+        cost=0.5,
+        compensation_cost=0.0,
+        failure_probability=0.0,
+    )
+    data["check_cart"] = TransactionProgram(
+        name="check_cart", operations=(Operation.read("shop:catalog"),)
+    )
+    data["check_cart^-1"] = TransactionProgram(
+        name="check_cart^-1", operations=()
+    )
+
+    access = {
+        name: (program.read_set, program.write_set)
+        for name, program in data.items()
+        if not registry.get(name).is_compensation
+    }
+    conflicts = derive_from_read_write_sets(registry, access)
+
+    programs = []
+    for customer in range(customers):
+        sku = f"sku{customer % items}"
+        program = (
+            ProgramBuilder(
+                f"purchase[{customer}:{sku}]",
+                registry,
+                wcc_threshold=wcc_threshold,
+            )
+            .step("check_cart")
+            .step(f"reserve_{sku}")
+            .step("authorize_payment")
+            .pivot("charge_card")
+            .alternatives(
+                lambda b: b.step("ship_express"),
+                lambda b: b.step("ship_standard"),
+            )
+            .build()
+        )
+        programs.append(program)
+    return Scenario(
+        name="ecommerce-payment",
+        registry=registry,
+        conflicts=conflicts,
+        programs=programs,
+        data_programs=data,
+    )

@@ -1,0 +1,167 @@
+"""Hospital information system flows (paper Section 6, [Schuler et al.]).
+
+Clinical order-entry processes coordinate several departmental systems:
+the patient record, the laboratory, the pharmacy, and the billing office.
+Administering medication is the point of no return — a drug cannot be
+un-administered — which makes the workload a natural fit for process
+locking's pivot semantics; everything before it (orders, lab bookings,
+pharmacy reservations) is compensatable paperwork.
+
+These processes are *long-running and expensive* compared to payment
+processes, which is why the cost-based extension matters here: the
+scenario marks lab work as expensive so a finite ``Wcc*`` shields
+half-finished clinical processes from cascading aborts.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.activities.commutativity import derive_from_read_write_sets
+from repro.activities.registry import ActivityRegistry
+from repro.process.builder import ProgramBuilder
+from repro.subsystems.programs import (
+    Operation,
+    TransactionProgram,
+    inverse_program,
+)
+from repro.workloads.ecommerce import Scenario
+
+#: Execution cost of a laboratory panel — the "expensive activity" whose
+#: compensation the cost-based extension is meant to avoid.
+LAB_PANEL_COST = 25.0
+
+
+def hospital_scenario(
+    patients: int = 5,
+    wards: int = 2,
+    failure_probability: float = 0.06,
+    wcc_threshold: float = math.inf,
+) -> Scenario:
+    """``patients`` concurrent clinical order-entry processes.
+
+    Pass a finite ``wcc_threshold`` (e.g. ``LAB_PANEL_COST``) to protect
+    processes from cascades once their accumulated worst-case cost covers
+    the lab panel.
+    """
+    registry = ActivityRegistry()
+    data: dict[str, TransactionProgram] = {}
+
+    def compensatable(
+        name: str,
+        subsystem: str,
+        cost: float,
+        comp_cost: float,
+        keys: list[str],
+        p: float = 0.0,
+        reads: list[str] | None = None,
+    ) -> None:
+        registry.define_compensatable(
+            name,
+            subsystem,
+            cost=cost,
+            compensation_cost=comp_cost,
+            failure_probability=p,
+        )
+        ops = [Operation.read(k) for k in (reads or [])]
+        ops += [Operation.write(k) for k in keys]
+        program = TransactionProgram(name=name, operations=tuple(ops))
+        data[name] = program
+        data[f"{name}^-1"] = inverse_program(program)
+
+    for ward in range(wards):
+        compensatable(
+            f"admit_ward_{ward}",
+            "records",
+            cost=2.0,
+            comp_cost=1.0,
+            keys=[f"records:ward_{ward}_census"],
+            p=failure_probability,
+        )
+    for ward in range(wards):
+        # One lab worklist per ward: panels of different wards commute,
+        # so the cross-process conflicts come from the shared pharmacy
+        # and records systems — the situation in which an expensive,
+        # already-committed panel can fall victim to a cascading abort.
+        compensatable(
+            f"order_lab_panel_w{ward}",
+            "lab",
+            cost=LAB_PANEL_COST,
+            comp_cost=8.0,
+            keys=[f"lab:worklist_w{ward}"],
+            p=failure_probability,
+        )
+    compensatable(
+        "reserve_medication",
+        "pharmacy",
+        cost=3.0,
+        comp_cost=1.0,
+        keys=["pharmacy:stock"],
+        p=failure_probability,
+    )
+    compensatable(
+        "schedule_follow_up",
+        "records",
+        cost=1.0,
+        comp_cost=0.2,
+        keys=["records:appointments"],
+        p=max(failure_probability, 0.05),
+    )
+    registry.define_pivot(
+        "administer_medication",
+        "pharmacy",
+        cost=2.0,
+        failure_probability=failure_probability / 2,
+    )
+    data["administer_medication"] = TransactionProgram(
+        name="administer_medication",
+        operations=(
+            Operation.read("pharmacy:stock"),
+            Operation.write("pharmacy:administered"),
+        ),
+    )
+    registry.define_retriable("file_billing", "billing", cost=1.0)
+    data["file_billing"] = TransactionProgram(
+        name="file_billing",
+        operations=(Operation.write("billing:claims"),),
+    )
+    registry.define_retriable("notify_physician", "records", cost=0.5)
+    data["notify_physician"] = TransactionProgram(
+        name="notify_physician",
+        operations=(Operation.write("records:inbox"),),
+    )
+
+    access = {
+        name: (program.read_set, program.write_set)
+        for name, program in data.items()
+        if not registry.get(name).is_compensation
+    }
+    conflicts = derive_from_read_write_sets(registry, access)
+
+    programs = []
+    for patient in range(patients):
+        ward = f"admit_ward_{patient % wards}"
+        panel = f"order_lab_panel_w{patient % wards}"
+        programs.append(
+            ProgramBuilder(
+                f"order-entry[{patient}]",
+                registry,
+                wcc_threshold=wcc_threshold,
+            )
+            .step(ward)
+            .step(panel)
+            .step("reserve_medication")
+            .pivot("administer_medication")
+            .alternatives(
+                lambda b: b.sequence("schedule_follow_up", "file_billing"),
+                lambda b: b.sequence("notify_physician", "file_billing"),
+            )
+            .build()
+        )
+    return Scenario(
+        name="hospital-order-entry",
+        registry=registry,
+        conflicts=conflicts,
+        programs=programs,
+        data_programs=data,
+    )

@@ -1,0 +1,147 @@
+"""Computer-integrated manufacturing: subsystem coordination.
+
+The paper's CIM application coordinates autonomous shop-floor systems —
+stock, a machining cell, an assembly cell, and quality assurance.  Work
+orders reserve material and book machine slots (compensatable), cut the
+material (pivot: the raw block is gone), then assemble and file QA
+records (assured).
+
+The scenario is conflict-heavy by construction: every order competes for
+the same machine calendar, making it a good stress test for ordered
+sharing (E1 uses it as the high-contention datapoint).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.activities.commutativity import derive_from_read_write_sets
+from repro.activities.registry import ActivityRegistry
+from repro.process.builder import ProgramBuilder
+from repro.subsystems.programs import (
+    Operation,
+    TransactionProgram,
+    inverse_program,
+)
+from repro.workloads.ecommerce import Scenario
+
+
+def manufacturing_scenario(
+    orders: int = 6,
+    machines: int = 2,
+    failure_probability: float = 0.07,
+    wcc_threshold: float = math.inf,
+) -> Scenario:
+    """``orders`` concurrent work orders over ``machines`` machining cells."""
+    registry = ActivityRegistry()
+    data: dict[str, TransactionProgram] = {}
+
+    def compensatable(
+        name: str,
+        subsystem: str,
+        cost: float,
+        comp_cost: float,
+        keys: list[str],
+        p: float = 0.0,
+    ) -> None:
+        registry.define_compensatable(
+            name,
+            subsystem,
+            cost=cost,
+            compensation_cost=comp_cost,
+            failure_probability=p,
+        )
+        program = TransactionProgram(
+            name=name,
+            operations=tuple(Operation.write(k) for k in keys),
+        )
+        data[name] = program
+        data[f"{name}^-1"] = inverse_program(program)
+
+    compensatable(
+        "reserve_material",
+        "stock",
+        cost=2.0,
+        comp_cost=1.0,
+        keys=["stock:raw_blocks"],
+        p=failure_probability,
+    )
+    for machine in range(machines):
+        compensatable(
+            f"book_machine_{machine}",
+            "machining",
+            cost=3.0,
+            comp_cost=1.0,
+            keys=[f"machining:calendar_m{machine}", "machining:load"],
+            p=failure_probability,
+        )
+    compensatable(
+        "stage_tooling",
+        "machining",
+        cost=1.5,
+        comp_cost=0.5,
+        keys=["machining:tool_crib"],
+        p=failure_probability,
+    )
+    compensatable(
+        "premium_finish",
+        "assembly",
+        cost=2.0,
+        comp_cost=0.5,
+        keys=["assembly:finishing_line"],
+        p=max(failure_probability, 0.05),
+    )
+    registry.define_pivot(
+        "cut_material",
+        "machining",
+        cost=4.0,
+        failure_probability=failure_probability / 2,
+    )
+    data["cut_material"] = TransactionProgram(
+        name="cut_material",
+        operations=(Operation.write("machining:load"),),
+    )
+    registry.define_retriable("assemble", "assembly", cost=3.0)
+    data["assemble"] = TransactionProgram(
+        name="assemble",
+        operations=(Operation.write("assembly:line"),),
+    )
+    registry.define_retriable("file_qa_record", "qa", cost=1.0)
+    data["file_qa_record"] = TransactionProgram(
+        name="file_qa_record",
+        operations=(Operation.write("qa:records"),),
+    )
+
+    access = {
+        name: (program.read_set, program.write_set)
+        for name, program in data.items()
+        if not registry.get(name).is_compensation
+    }
+    conflicts = derive_from_read_write_sets(registry, access)
+
+    programs = []
+    for order in range(orders):
+        machine = f"book_machine_{order % machines}"
+        programs.append(
+            ProgramBuilder(
+                f"work-order[{order}]",
+                registry,
+                wcc_threshold=wcc_threshold,
+            )
+            .step("reserve_material")
+            .step(machine)
+            .step("stage_tooling")
+            .pivot("cut_material")
+            .alternatives(
+                lambda b: b.sequence("premium_finish", "assemble"),
+                lambda b: b.sequence("assemble", "file_qa_record"),
+            )
+            .build()
+        )
+    return Scenario(
+        name="manufacturing-cim",
+        registry=registry,
+        conflicts=conflicts,
+        programs=programs,
+        data_programs=data,
+    )

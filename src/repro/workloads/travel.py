@@ -1,0 +1,146 @@
+"""Travel booking: the classic flexible-transaction example.
+
+A trip books a flight and a hotel (compensatable, may run in parallel),
+optionally a rental car, then issues the non-refundable ticket (pivot).
+Afterwards the process confirms the preferred itinerary; if confirmation
+fails, it falls back to the assured notification path.
+
+The scenario deliberately shares hotels and flights across trips to
+generate cross-process conflicts.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.activities.commutativity import (
+    derive_from_read_write_sets,
+)
+from repro.activities.registry import ActivityRegistry
+from repro.process.builder import ProgramBuilder
+from repro.subsystems.programs import (
+    Operation,
+    TransactionProgram,
+    inverse_program,
+)
+from repro.workloads.ecommerce import Scenario
+
+
+def travel_scenario(
+    trips: int = 6,
+    hotels: int = 2,
+    flights: int = 2,
+    parallel_booking: bool = True,
+    failure_probability: float = 0.08,
+    wcc_threshold: float = math.inf,
+) -> Scenario:
+    """``trips`` concurrent trip-booking processes."""
+    registry = ActivityRegistry()
+    data: dict[str, TransactionProgram] = {}
+
+    def compensatable(
+        name: str,
+        subsystem: str,
+        cost: float,
+        comp_cost: float,
+        keys: list[str],
+        p: float,
+    ) -> None:
+        registry.define_compensatable(
+            name,
+            subsystem,
+            cost=cost,
+            compensation_cost=comp_cost,
+            failure_probability=p,
+        )
+        program = TransactionProgram(
+            name=name,
+            operations=tuple(Operation.write(k) for k in keys),
+        )
+        data[name] = program
+        data[f"{name}^-1"] = inverse_program(program)
+
+    for flight in range(flights):
+        compensatable(
+            f"book_flight_{flight}",
+            "airline",
+            cost=3.0,
+            comp_cost=1.5,
+            keys=[f"airline:seats_f{flight}"],
+            p=failure_probability,
+        )
+    for hotel in range(hotels):
+        compensatable(
+            f"book_hotel_{hotel}",
+            "hotel",
+            cost=2.5,
+            comp_cost=1.0,
+            keys=[f"hotel:rooms_h{hotel}"],
+            p=failure_probability,
+        )
+    compensatable(
+        "book_car",
+        "rental",
+        cost=1.5,
+        comp_cost=0.5,
+        keys=["rental:fleet"],
+        p=failure_probability,
+    )
+    compensatable(
+        "confirm_itinerary",
+        "airline",
+        cost=1.0,
+        comp_cost=0.2,
+        keys=["airline:confirmations"],
+        p=max(failure_probability, 0.05),
+    )
+    registry.define_pivot(
+        "issue_ticket",
+        "airline",
+        cost=1.0,
+        failure_probability=failure_probability / 2,
+    )
+    data["issue_ticket"] = TransactionProgram(
+        name="issue_ticket",
+        operations=(Operation.write("airline:tickets"),),
+    )
+    registry.define_retriable("send_itinerary_mail", "notify", cost=0.5)
+    data["send_itinerary_mail"] = TransactionProgram(
+        name="send_itinerary_mail",
+        operations=(Operation.write("notify:outbox"),),
+    )
+
+    access = {
+        name: (program.read_set, program.write_set)
+        for name, program in data.items()
+        if not registry.get(name).is_compensation
+    }
+    conflicts = derive_from_read_write_sets(registry, access)
+
+    programs = []
+    for trip in range(trips):
+        flight = f"book_flight_{trip % flights}"
+        hotel = f"book_hotel_{trip % hotels}"
+        builder = ProgramBuilder(
+            f"trip[{trip}]", registry, wcc_threshold=wcc_threshold
+        )
+        if parallel_booking:
+            builder.parallel(flight, hotel)
+        else:
+            builder.sequence(flight, hotel)
+        programs.append(
+            builder.step("book_car")
+            .pivot("issue_ticket")
+            .alternatives(
+                lambda b: b.step("confirm_itinerary"),
+                lambda b: b.step("send_itinerary_mail"),
+            )
+            .build()
+        )
+    return Scenario(
+        name="travel-booking",
+        registry=registry,
+        conflicts=conflicts,
+        programs=programs,
+        data_programs=data,
+    )

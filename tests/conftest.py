@@ -1,0 +1,88 @@
+"""Shared fixtures for the process-locking test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.activities.commutativity import ConflictMatrix
+from repro.activities.registry import ActivityRegistry
+from repro.core.protocol import ProcessLockManager
+from repro.process.builder import ProgramBuilder
+from repro.process.instance import Process
+from repro.process.program import ProcessProgram
+
+
+@pytest.fixture
+def registry() -> ActivityRegistry:
+    """A small catalogue covering all four activity classes.
+
+    * ``reserve`` / ``wrap`` — compensatable (``wrap`` conflicts nothing)
+    * ``charge`` — pivot
+    * ``ship`` — retriable (non-compensatable)
+    * ``audit`` — retriable *and* compensatable
+    """
+    reg = ActivityRegistry()
+    reg.define_compensatable(
+        "reserve", "shop", cost=2.0, compensation_cost=1.0,
+        failure_probability=0.1,
+    )
+    reg.define_compensatable(
+        "wrap", "shop", cost=1.0, compensation_cost=0.5
+    )
+    reg.define_pivot("charge", "bank", cost=1.0, failure_probability=0.05)
+    reg.define_retriable("ship", "shop", cost=1.5)
+    reg.define_retriable("audit", "bank", cost=0.5, compensation_cost=0.1)
+    return reg
+
+
+@pytest.fixture
+def conflicts(registry: ActivityRegistry) -> ConflictMatrix:
+    """``reserve`` self-conflicts and conflicts ``wrap``; rest commutes."""
+    matrix = ConflictMatrix(registry)
+    matrix.declare_conflict("reserve", "reserve")
+    matrix.declare_conflict("reserve", "wrap")
+    matrix.declare_conflict("charge", "charge")
+    matrix.close_perfect()
+    return matrix
+
+
+@pytest.fixture
+def order_program(registry: ActivityRegistry) -> ProcessProgram:
+    """reserve → wrap → charge (pivot) → [ship] with assured fallback."""
+    return (
+        ProgramBuilder("order", registry)
+        .step("reserve")
+        .step("wrap")
+        .pivot("charge")
+        .alternatives(lambda b: b.step("ship"))
+        .build()
+    )
+
+
+@pytest.fixture
+def flat_program(registry: ActivityRegistry) -> ProcessProgram:
+    """A pivot-free program (behaves like a regular transaction)."""
+    return (
+        ProgramBuilder("flat", registry)
+        .step("reserve")
+        .step("wrap")
+        .build()
+    )
+
+
+@pytest.fixture
+def protocol(registry, conflicts) -> ProcessLockManager:
+    return ProcessLockManager(registry, conflicts)
+
+
+def make_process(
+    protocol: ProcessLockManager,
+    program: ProcessProgram,
+    pid: int,
+) -> Process:
+    """Create, timestamp, and attach a process (helper, not a fixture)."""
+    process = Process(
+        pid=pid, program=program, timestamp=protocol.new_timestamp()
+    )
+    protocol.attach(process)
+    return process

@@ -1,0 +1,190 @@
+"""Unit and property tests for the conflict relation ``CON``."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.activities.commutativity import (
+    ConflictMatrix,
+    derive_from_read_write_sets,
+)
+from repro.activities.registry import ActivityRegistry
+from repro.errors import CommutativityError
+
+
+@pytest.fixture
+def reg() -> ActivityRegistry:
+    registry = ActivityRegistry()
+    registry.define_compensatable("a", "s1", cost=1.0,
+                                  compensation_cost=0.5)
+    registry.define_compensatable("b", "s1", cost=1.0,
+                                  compensation_cost=0.5)
+    registry.define_pivot("p", "s1", cost=1.0)
+    registry.define_compensatable("other", "s2", cost=1.0,
+                                  compensation_cost=0.5)
+    return registry
+
+
+class TestDeclaration:
+    def test_symmetry(self, reg):
+        matrix = ConflictMatrix(reg)
+        matrix.declare_conflict("a", "b")
+        assert matrix.conflict("a", "b")
+        assert matrix.conflict("b", "a")
+
+    def test_self_conflict(self, reg):
+        matrix = ConflictMatrix(reg)
+        matrix.declare_conflict("a", "a")
+        assert matrix.conflict("a", "a")
+        assert not matrix.conflict("b", "b")
+
+    def test_cross_subsystem_conflict_rejected(self, reg):
+        matrix = ConflictMatrix(reg)
+        with pytest.raises(CommutativityError):
+            matrix.declare_conflict("a", "other")
+
+    def test_unknown_type_rejected(self, reg):
+        matrix = ConflictMatrix(reg)
+        with pytest.raises(CommutativityError):
+            matrix.conflict("a", "ghost")
+
+    def test_commute_is_complement(self, reg):
+        matrix = ConflictMatrix(reg)
+        matrix.declare_conflict("a", "b")
+        assert not matrix.commute("a", "b")
+        assert matrix.commute("a", "p")
+
+
+class TestPerfectClosure:
+    def test_close_propagates_to_compensations(self, reg):
+        matrix = ConflictMatrix(reg)
+        matrix.declare_conflict("a", "b")
+        matrix.close_perfect()
+        assert matrix.conflict("a^-1", "b")
+        assert matrix.conflict("a", "b^-1")
+        assert matrix.conflict("a^-1", "b^-1")
+
+    def test_close_handles_self_conflicts(self, reg):
+        matrix = ConflictMatrix(reg)
+        matrix.declare_conflict("a", "a")
+        matrix.close_perfect()
+        assert matrix.conflict("a", "a^-1")
+        assert matrix.conflict("a^-1", "a^-1")
+
+    def test_close_with_pivot_partner(self, reg):
+        # Pivots have no compensation; closure must not invent one.
+        matrix = ConflictMatrix(reg)
+        matrix.declare_conflict("a", "p")
+        matrix.close_perfect()
+        assert matrix.conflict("a^-1", "p")
+        assert matrix.is_perfect()
+
+    def test_is_perfect_detects_gaps(self, reg):
+        matrix = ConflictMatrix(reg)
+        matrix.declare_conflict("a", "b")
+        assert not matrix.is_perfect()
+        matrix.close_perfect()
+        assert matrix.is_perfect()
+
+    def test_close_is_idempotent(self, reg):
+        matrix = ConflictMatrix(reg)
+        matrix.declare_conflict("a", "b")
+        matrix.close_perfect()
+        before = matrix.pairs()
+        matrix.close_perfect()
+        assert matrix.pairs() == before
+
+    def test_conflicting_types(self, reg):
+        matrix = ConflictMatrix(reg)
+        matrix.declare_conflict("a", "b")
+        matrix.declare_conflict("a", "a")
+        matrix.close_perfect()
+        types = matrix.conflicting_types("a")
+        assert {"a", "b", "a^-1", "b^-1"} <= types
+
+    def test_density_counts_regular_pairs(self, reg):
+        matrix = ConflictMatrix(reg)
+        assert matrix.density() == 0.0
+        matrix.declare_conflict("a", "b")
+        assert 0.0 < matrix.density() < 1.0
+
+
+class TestDerivation:
+    def test_write_write_conflict(self, reg):
+        access = {
+            "a": (frozenset(), frozenset({"k"})),
+            "b": (frozenset(), frozenset({"k"})),
+            "p": (frozenset(), frozenset({"m"})),
+            "other": (frozenset(), frozenset({"k"})),
+        }
+        matrix = derive_from_read_write_sets(reg, access)
+        assert matrix.conflict("a", "b")
+        assert not matrix.conflict("a", "p")
+        # same key, different subsystem: keys are namespaced by caller,
+        # but even identical strings never conflict across subsystems.
+        assert not matrix.conflict("a", "other")
+
+    def test_read_read_commutes(self, reg):
+        access = {
+            "a": (frozenset({"k"}), frozenset()),
+            "b": (frozenset({"k"}), frozenset()),
+            "p": (frozenset(), frozenset()),
+            "other": (frozenset(), frozenset()),
+        }
+        matrix = derive_from_read_write_sets(reg, access)
+        assert not matrix.conflict("a", "b")
+
+    def test_read_write_conflict(self, reg):
+        access = {
+            "a": (frozenset({"k"}), frozenset()),
+            "b": (frozenset(), frozenset({"k"})),
+            "p": (frozenset(), frozenset()),
+            "other": (frozenset(), frozenset()),
+        }
+        matrix = derive_from_read_write_sets(reg, access)
+        assert matrix.conflict("a", "b")
+
+    def test_derived_matrix_is_perfect(self, reg):
+        access = {
+            "a": (frozenset({"x"}), frozenset({"k"})),
+            "b": (frozenset({"k"}), frozenset({"x"})),
+            "p": (frozenset(), frozenset({"k"})),
+            "other": (frozenset(), frozenset()),
+        }
+        matrix = derive_from_read_write_sets(reg, access)
+        assert matrix.is_perfect()
+
+    def test_self_conflict_from_writes(self, reg):
+        access = {
+            "a": (frozenset(), frozenset({"k"})),
+            "b": (frozenset(), frozenset()),
+            "p": (frozenset(), frozenset()),
+            "other": (frozenset(), frozenset()),
+        }
+        matrix = derive_from_read_write_sets(reg, access)
+        assert matrix.conflict("a", "a")
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b", "p"]),
+            st.sampled_from(["a", "b", "p"]),
+        ),
+        max_size=6,
+    )
+)
+def test_property_closure_always_perfect(pairs):
+    """close_perfect() yields a perfect relation for any declaration."""
+    registry = ActivityRegistry()
+    registry.define_compensatable("a", "s", cost=1.0,
+                                  compensation_cost=0.5)
+    registry.define_compensatable("b", "s", cost=1.0,
+                                  compensation_cost=0.5)
+    registry.define_pivot("p", "s", cost=1.0)
+    matrix = ConflictMatrix(registry)
+    for first, second in pairs:
+        matrix.declare_conflict(first, second)
+    matrix.close_perfect()
+    assert matrix.is_perfect()

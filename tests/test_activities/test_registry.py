@@ -1,0 +1,112 @@
+"""Unit tests for the activity registry."""
+
+import math
+
+import pytest
+
+from repro.activities.activity import INFINITE_COST
+from repro.activities.registry import ActivityRegistry
+from repro.errors import ActivityModelError, UnknownActivityError
+
+
+@pytest.fixture
+def reg() -> ActivityRegistry:
+    registry = ActivityRegistry()
+    registry.define_compensatable(
+        "book", "travel", cost=3.0, compensation_cost=1.0,
+        failure_probability=0.2,
+    )
+    registry.define_pivot("pay", "bank", cost=1.0)
+    registry.define_retriable("mail", "notify", cost=0.5)
+    return registry
+
+
+class TestDefinition:
+    def test_compensatable_registers_both_types(self, reg):
+        assert "book" in reg
+        assert "book^-1" in reg
+        assert reg.get("book^-1").is_compensation
+
+    def test_compensation_link(self, reg):
+        comp = reg.compensation_of("book")
+        assert comp.name == "book^-1"
+        assert comp.retriable
+        assert comp.subsystem == "travel"
+
+    def test_compensation_cost_round_trip(self, reg):
+        assert reg.compensation_cost("book") == 1.0
+        assert reg.get("book").compensation_cost == 1.0
+
+    def test_pivot_compensation_cost_is_infinite(self, reg):
+        assert reg.compensation_cost("pay") == INFINITE_COST
+
+    def test_duplicate_name_rejected(self, reg):
+        with pytest.raises(ActivityModelError):
+            reg.define_pivot("book", "travel", cost=1.0)
+
+    def test_custom_compensation_name(self):
+        registry = ActivityRegistry()
+        registry.define_compensatable(
+            "add", "calc", cost=1.0, compensation_cost=1.0,
+            compensation_name="subtract",
+        )
+        assert registry.compensation_of("add").name == "subtract"
+
+    def test_infinite_compensation_cost_rejected(self):
+        registry = ActivityRegistry()
+        with pytest.raises(ActivityModelError):
+            registry.define_compensatable(
+                "a", "s", cost=1.0, compensation_cost=math.inf
+            )
+
+    def test_retriable_with_compensation_is_orthogonal(self):
+        registry = ActivityRegistry()
+        activity = registry.define_retriable(
+            "log", "sys", cost=1.0, compensation_cost=0.5
+        )
+        assert activity.retriable
+        assert activity.compensatable
+
+    def test_retriable_zero_failure_probability_forced(self, reg):
+        assert reg.get("mail").failure_probability == 0.0
+
+
+class TestLookup:
+    def test_unknown_name_raises(self, reg):
+        with pytest.raises(UnknownActivityError):
+            reg.get("nope")
+
+    def test_compensation_of_pivot_raises(self, reg):
+        with pytest.raises(ActivityModelError):
+            reg.compensation_of("pay")
+
+    def test_len_counts_compensations(self, reg):
+        # book, book^-1, pay, mail
+        assert len(reg) == 4
+
+    def test_regular_types_excludes_compensations(self, reg):
+        names = {t.name for t in reg.regular_types()}
+        assert names == {"book", "pay", "mail"}
+
+    def test_subsystems(self, reg):
+        assert reg.subsystems() == {"travel", "bank", "notify"}
+
+    def test_iteration_order_is_definition_order(self, reg):
+        assert reg.names[0] == "book"
+        assert reg.names[1] == "book^-1"
+
+
+class TestValidate:
+    def test_clean_registry_validates(self, reg):
+        reg.validate()
+
+    def test_same_subsystem_enforced_for_compensation(self):
+        registry = ActivityRegistry()
+        registry.define_compensatable(
+            "a", "s1", cost=1.0, compensation_cost=0.5
+        )
+        # Forge an inconsistent entry to show validate() catches it.
+        broken = registry.get("a^-1")
+        object.__setattr__(broken, "subsystem", "s2")
+        with pytest.raises(ActivityModelError):
+            registry.validate()

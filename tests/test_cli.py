@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "bogus"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "process-locking"
+        assert args.processes == 8
+
+
+class TestCommands:
+    def test_exhibits(self, capsys):
+        assert main(["exhibits"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out
+        assert "Figure 1" in out
+
+    def test_run_with_check(self, capsys):
+        code = main(
+            ["run", "--processes", "4", "--density", "0.4",
+             "--seed", "3", "--check"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CT   (Theorem 1): True" in out
+        assert "P-RC (Theorem 2): True" in out
+
+    def test_run_with_trace(self, capsys):
+        assert main(["run", "--processes", "2", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "observed schedule:" in out
+
+    def test_run_grounded(self, capsys):
+        assert main(
+            ["run", "--processes", "4", "--grounded", "--check"]
+        ) == 0
+
+    def test_compare(self, capsys):
+        code = main(
+            ["compare", "--processes", "4",
+             "--protocols", "serial", "process-locking"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serial" in out
+        assert "process-locking" in out
+
+    @pytest.mark.parametrize(
+        "name", ["payment", "travel", "hospital", "manufacturing"]
+    )
+    def test_scenarios(self, name, capsys):
+        assert main(["scenario", name]) == 0
+        out = capsys.readouterr().out
+        assert "CT   (Theorem 1): True" in out
+
+    def test_sweep_threshold(self, capsys):
+        code = main(
+            ["sweep-threshold", "--processes", "4",
+             "--thresholds", "0", "inf"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Wcc* sweep" in out
+        assert "inf" in out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "bogus"])
+
+
+class TestNewCommands:
+    def test_conformance_single(self, capsys):
+        assert main(["conformance", "process-locking"]) == 0
+        out = capsys.readouterr().out
+        assert "conformance report: process-locking" in out
+        assert "FAIL" not in out
+
+    def test_conformance_all_protocols(self, capsys):
+        assert main(["conformance"]) == 0
+        out = capsys.readouterr().out
+        assert "osl-pure" in out
+        assert "[FAIL] early-verification" in out
+
+    def test_run_json(self, capsys):
+        import json
+
+        assert main(["run", "--processes", "3", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["protocol"] == "process-locking"
+
+    def test_run_timeline(self, capsys):
+        assert main(["run", "--processes", "3", "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out

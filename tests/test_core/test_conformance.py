@@ -1,0 +1,93 @@
+"""Tests for the protocol conformance suite (the rule checklist)."""
+
+import pytest
+
+from repro.baselines.aca import CascadeAvoidingScheduler
+from repro.baselines.osl import PureOrderedSharedLocking
+from repro.baselines.s2pl import StrictTwoPhaseLocking
+from repro.baselines.serial import SerialScheduler
+from repro.core.conformance import CHECKS, run_conformance
+from repro.core.protocol import ProcessLockManager
+
+
+class TestProcessLocking:
+    def test_fully_conformant(self):
+        report = run_conformance(ProcessLockManager, "process-locking")
+        assert report.fully_conformant, report.describe()
+
+    def test_basic_protocol_also_conformant(self):
+        report = run_conformance(
+            lambda reg, con: ProcessLockManager(
+                reg, con, cost_based=False
+            ),
+            "process-locking-basic",
+        )
+        assert report.fully_conformant, report.describe()
+
+    def test_every_check_ran(self):
+        report = run_conformance(ProcessLockManager)
+        assert len(report.checks) == len(CHECKS)
+
+
+class TestBaselineProfiles:
+    """Each baseline fails exactly the checks that motivate the paper."""
+
+    def test_pure_osl_fails_verification_and_p_exclusivity(self):
+        report = run_conformance(PureOrderedSharedLocking, "osl-pure")
+        assert report.failed == {
+            "early-verification",
+            "p-exclusive-behind-c",
+            "p-p-exclusive",
+        }
+
+    def test_osl_still_honours_relinquish_rule(self):
+        report = run_conformance(PureOrderedSharedLocking)
+        assert "commit-respects-hold" in report.passed
+        assert "compensation-cascades" in report.passed
+
+    def test_s2pl_fails_only_sharing(self):
+        report = run_conformance(StrictTwoPhaseLocking, "s2pl")
+        assert report.failed == {
+            "c-shares-behind-older-c",
+            "c-shares-behind-older-p",
+        }
+
+    def test_serial_fails_only_sharing(self):
+        report = run_conformance(SerialScheduler, "serial")
+        assert report.failed == {
+            "c-shares-behind-older-c",
+            "c-shares-behind-older-p",
+        }
+
+    def test_aca_profile_matches_s2pl(self):
+        aca = run_conformance(CascadeAvoidingScheduler, "aca")
+        s2pl = run_conformance(StrictTwoPhaseLocking, "s2pl")
+        assert aca.failed == s2pl.failed
+
+
+class TestReport:
+    def test_describe_mentions_every_check(self):
+        report = run_conformance(ProcessLockManager, "pl")
+        text = report.describe()
+        for name, __, __desc in CHECKS:
+            assert name in text
+        assert "PASS" in text
+
+    def test_broken_protocol_counts_exceptions_as_failures(self):
+        class Broken:
+            def __init__(self, registry, conflicts):
+                self.registry = registry
+                self._ts = iter(range(1, 100))
+
+            def new_timestamp(self):
+                return next(self._ts)
+
+            def attach(self, process):
+                pass
+
+            def request_activity_lock(self, *args):
+                raise RuntimeError("boom")
+
+        report = run_conformance(Broken, "broken")
+        assert not report.fully_conformant
+        assert len(report.failed) == len(CHECKS)

@@ -1,0 +1,48 @@
+"""Unit tests for decision objects and protocol statistics."""
+
+import pytest
+
+from repro.core.decisions import (
+    AbortVictims,
+    Defer,
+    Grant,
+    ProtocolStats,
+    SelfAbort,
+)
+
+
+class TestDecisionObjects:
+    def test_grant_defaults_to_no_locks(self):
+        assert Grant().locks == ()
+
+    def test_defer_requires_waiters(self):
+        with pytest.raises(ValueError):
+            Defer(wait_for=frozenset(), reason="empty")
+
+    def test_abort_victims_requires_victims(self):
+        with pytest.raises(ValueError):
+            AbortVictims(victims=frozenset())
+
+    def test_decisions_are_immutable(self):
+        defer = Defer(wait_for=frozenset({1}), reason="x")
+        with pytest.raises(AttributeError):
+            defer.reason = "y"
+
+    def test_self_abort_carries_reason(self):
+        assert SelfAbort(reason="wait-die").reason == "wait-die"
+
+
+class TestProtocolStats:
+    def test_note_defer_counts_by_reason(self):
+        stats = ProtocolStats()
+        stats.note_defer("a")
+        stats.note_defer("a")
+        stats.note_defer("b")
+        assert stats.defers == 3
+        assert stats.defer_reasons == {"a": 2, "b": 1}
+
+    def test_fresh_stats_are_zero(self):
+        stats = ProtocolStats()
+        assert stats.c_grants == 0
+        assert stats.cascade_victims == 0
+        assert stats.commits == 0

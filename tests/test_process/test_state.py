@@ -1,0 +1,59 @@
+"""Unit tests for the process state machine."""
+
+import pytest
+
+from repro.errors import ProcessStateError
+from repro.process.state import ProcessState, check_transition
+
+
+class TestStateProperties:
+    def test_active_states(self):
+        assert ProcessState.RUNNING.is_active
+        assert ProcessState.COMPLETING.is_active
+        assert not ProcessState.ABORTING.is_active
+        assert not ProcessState.ABORTED.is_active
+        assert not ProcessState.COMMITTED.is_active
+
+    def test_live_states(self):
+        assert ProcessState.RUNNING.is_live
+        assert ProcessState.COMPLETING.is_live
+        assert ProcessState.ABORTING.is_live
+        assert not ProcessState.ABORTED.is_live
+        assert not ProcessState.COMMITTED.is_live
+
+    def test_terminal_states(self):
+        assert ProcessState.ABORTED.is_terminal
+        assert ProcessState.COMMITTED.is_terminal
+        assert not ProcessState.RUNNING.is_terminal
+
+
+class TestTransitions:
+    @pytest.mark.parametrize(
+        "current,target",
+        [
+            (ProcessState.RUNNING, ProcessState.COMPLETING),
+            (ProcessState.RUNNING, ProcessState.ABORTING),
+            (ProcessState.RUNNING, ProcessState.COMMITTED),
+            (ProcessState.COMPLETING, ProcessState.COMMITTED),
+            (ProcessState.ABORTING, ProcessState.ABORTED),
+        ],
+    )
+    def test_legal(self, current, target):
+        check_transition(current, target)
+
+    @pytest.mark.parametrize(
+        "current,target",
+        [
+            # Past the point of no return there is no way back:
+            (ProcessState.COMPLETING, ProcessState.ABORTING),
+            (ProcessState.COMPLETING, ProcessState.RUNNING),
+            (ProcessState.ABORTING, ProcessState.COMMITTED),
+            (ProcessState.ABORTING, ProcessState.RUNNING),
+            (ProcessState.ABORTED, ProcessState.RUNNING),
+            (ProcessState.COMMITTED, ProcessState.ABORTING),
+            (ProcessState.RUNNING, ProcessState.ABORTED),
+        ],
+    )
+    def test_illegal(self, current, target):
+        with pytest.raises(ProcessStateError):
+            check_transition(current, target)

@@ -1,0 +1,101 @@
+"""Public-API hygiene: exports resolve, and public items are documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.activities",
+    "repro.analysis",
+    "repro.baselines",
+    "repro.core",
+    "repro.process",
+    "repro.scheduler",
+    "repro.sim",
+    "repro.subsystems",
+    "repro.theory",
+    "repro.workloads",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    module = importlib.import_module(package_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), (
+            f"{package_name}.__all__ lists {name!r} but the attribute "
+            "is missing"
+        )
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_public_classes_and_functions_documented(package_name):
+    module = importlib.import_module(package_name)
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        item = getattr(module, name, None)
+        if inspect.isclass(item) or inspect.isfunction(item):
+            if not inspect.getdoc(item):
+                undocumented.append(f"{package_name}.{name}")
+    assert not undocumented, (
+        "public items without docstrings: "
+        + ", ".join(undocumented)
+    )
+
+
+def test_version_is_exported():
+    assert repro.__version__
+
+
+def test_modules_have_docstrings():
+    for package_name in PACKAGES:
+        module = importlib.import_module(package_name)
+        assert module.__doc__, f"{package_name} lacks a module docstring"
+
+
+def test_protocol_registry_covers_bundled_protocols():
+    from repro.sim.runner import PROTOCOL_FACTORIES
+
+    assert {
+        "process-locking",
+        "process-locking-basic",
+        "s2pl",
+        "osl-pure",
+        "serial",
+        "aca",
+    } <= set(PROTOCOL_FACTORIES)
+
+
+def test_error_hierarchy():
+    from repro import errors
+
+    roots = [
+        errors.ActivityModelError,
+        errors.CommutativityError,
+        errors.ProcessProgramError,
+        errors.ProcessStateError,
+        errors.SchedulerError,
+        errors.ProtocolError,
+        errors.SubsystemError,
+        errors.ScheduleError,
+    ]
+    for exc in roots:
+        assert issubclass(exc, errors.ReproError)
+    assert issubclass(errors.StarvationError, errors.SchedulerError)
+    assert issubclass(
+        errors.DataDeadlockAvoided, errors.TransactionAborted
+    )
+    assert issubclass(errors.UnknownActivityError,
+                      errors.ActivityModelError)
+
+
+def test_subsystem_would_block_carries_holders():
+    from repro.errors import SubsystemWouldBlock
+
+    exc = SubsystemWouldBlock(frozenset({3, 1}))
+    assert exc.holders == frozenset({1, 3})
+    assert "1" in str(exc) and "3" in str(exc)

@@ -1,0 +1,83 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.scheduler.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(2.0, lambda: fired.append("late"))
+        engine.schedule(1.0, lambda: fired.append("early"))
+        engine.run()
+        assert fired == ["early", "late"]
+        assert engine.now == 2.0
+
+    def test_ties_fire_in_schedule_order(self):
+        engine = SimulationEngine()
+        fired = []
+        for tag in ("a", "b", "c"):
+            engine.schedule(1.0, lambda t=tag: fired.append(t))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_nested_scheduling(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def outer():
+            fired.append(("outer", engine.now))
+            engine.schedule(3.0, inner)
+
+        def inner():
+            fired.append(("inner", engine.now))
+
+        engine.schedule(1.0, outer)
+        engine.run()
+        assert fired == [("outer", 1.0), ("inner", 4.0)]
+
+    def test_zero_delay_runs_after_current_callback(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def first():
+            engine.schedule(0.0, lambda: fired.append("second"))
+            fired.append("first")
+
+        engine.schedule(0.0, first)
+        engine.run()
+        assert fired == ["first", "second"]
+
+    def test_negative_delay_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(SchedulerError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_cancellation(self):
+        engine = SimulationEngine()
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append("x"))
+        engine.cancel(handle)
+        engine.run()
+        assert fired == []
+        assert engine.pending == 0
+
+    def test_event_budget_enforced(self):
+        engine = SimulationEngine()
+
+        def loop():
+            engine.schedule(1.0, loop)
+
+        engine.schedule(1.0, loop)
+        with pytest.raises(SchedulerError):
+            engine.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        engine = SimulationEngine()
+        for __ in range(5):
+            engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.events_processed == 5

@@ -1,0 +1,84 @@
+"""Unit tests for the manager's bookkeeping records."""
+
+from repro.process.instance import Process
+from repro.scheduler.events import (
+    CompensationRun,
+    InflightActivity,
+    ParkedRequest,
+    ProcessRecord,
+    RequestKind,
+)
+
+
+class TestProcessRecord:
+    def test_latency_requires_commit(self):
+        record = ProcessRecord(pid=1, submitted_at=10.0)
+        assert record.latency is None
+        record.committed_at = 25.0
+        assert record.latency == 15.0
+
+    def test_fresh_record_counters(self):
+        record = ProcessRecord(pid=1, submitted_at=0.0)
+        assert record.resubmissions == 0
+        assert record.compensations == 0
+        assert record.compensated_names == []
+        assert record.compensated_causes == []
+
+
+class TestParkedRequest:
+    def test_str_includes_kind_and_waiters(self, flat_program):
+        process = Process(pid=4, program=flat_program, timestamp=1)
+        activity = process.launch("reserve")
+        request = ParkedRequest(
+            kind=RequestKind.REGULAR,
+            process=process,
+            activity=activity,
+            wait_for=frozenset({7, 3}),
+            reason="test",
+        )
+        text = str(request)
+        assert "regular:reserve" in text
+        assert "P4" in text
+        assert "[3, 7]" in text
+
+    def test_commit_request_str(self, flat_program):
+        process = Process(pid=4, program=flat_program, timestamp=1)
+        request = ParkedRequest(
+            kind=RequestKind.COMMIT,
+            process=process,
+            wait_for=frozenset({1}),
+            reason="commit-on-hold",
+        )
+        assert "commit" in str(request)
+
+
+class TestInflightActivity:
+    def test_defaults(self, flat_program):
+        process = Process(pid=1, program=flat_program, timestamp=1)
+        activity = process.launch("reserve")
+        flight = InflightActivity(
+            process=process,
+            activity=activity,
+            kind=RequestKind.REGULAR,
+            started_at=0.0,
+        )
+        assert not flight.started
+        assert not flight.cancelled
+        assert flight.gate == set()
+
+
+class TestCompensationRun:
+    def test_carries_queue_and_callback(self, flat_program):
+        process = Process(pid=1, program=flat_program, timestamp=1)
+        activity = process.launch("reserve")
+        process.on_committed(activity)
+        fired = []
+        run = CompensationRun(
+            process=process,
+            queue=list(process.ledger),
+            on_done=lambda: fired.append(True),
+            label="test",
+        )
+        assert len(run.queue) == 1
+        run.on_done()
+        assert fired == [True]

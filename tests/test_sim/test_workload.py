@@ -1,0 +1,141 @@
+"""Tests for the synthetic workload generator."""
+
+import math
+
+import pytest
+
+from repro.sim.rng import derive_rng, spread_seeds
+from repro.sim.workload import WorkloadSpec, build_workload
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload(self):
+        spec = WorkloadSpec(seed=5)
+        first = build_workload(spec)
+        second = build_workload(spec)
+        assert [p.name for p in first.programs] == [
+            p.name for p in second.programs
+        ]
+        assert first.conflicts.pairs() == second.conflicts.pairs()
+        assert {t.name: t.cost for t in first.registry} == {
+            t.name: t.cost for t in second.registry
+        }
+
+    def test_different_seed_differs(self):
+        first = build_workload(WorkloadSpec(seed=1))
+        second = build_workload(WorkloadSpec(seed=2))
+        costs_a = {t.name: t.cost for t in first.registry}
+        costs_b = {t.name: t.cost for t in second.registry}
+        assert costs_a != costs_b
+
+    def test_derive_rng_streams_independent(self):
+        a = derive_rng(1, "x").random()
+        b = derive_rng(1, "y").random()
+        assert a != b
+
+    def test_spread_seeds_deterministic(self):
+        assert spread_seeds(3, 4) == spread_seeds(3, 4)
+
+
+class TestStructure:
+    def test_all_programs_validate(self):
+        workload = build_workload(
+            WorkloadSpec(parallel_probability=0.5, alternative_count=3,
+                         seed=8)
+        )
+        for program in workload.programs:
+            program.validate()
+
+    def test_program_count(self):
+        workload = build_workload(WorkloadSpec(n_processes=17, seed=1))
+        assert len(workload.programs) == 17
+
+    def test_conflicts_are_perfect(self):
+        workload = build_workload(WorkloadSpec(conflict_density=0.7,
+                                               seed=2))
+        assert workload.conflicts.is_perfect()
+
+    def test_expensive_fraction_marks_types(self):
+        workload = build_workload(
+            WorkloadSpec(expensive_fraction=1.0, expensive_cost=99.0,
+                         seed=3)
+        )
+        assert workload.expensive_types
+        for name in workload.expensive_types:
+            assert workload.registry.get(name).cost == 99.0
+
+    def test_threshold_propagates(self):
+        workload = build_workload(WorkloadSpec(wcc_threshold=12.5, seed=1))
+        assert all(
+            p.wcc_threshold == 12.5 for p in workload.programs
+        )
+
+    def test_arrival_spacing(self):
+        workload = build_workload(
+            WorkloadSpec(arrival_spacing=4.0, seed=1)
+        )
+        assert workload.arrival_time(0) == 0.0
+        assert workload.arrival_time(3) == 12.0
+
+    def test_with_changes(self):
+        spec = WorkloadSpec(seed=1)
+        changed = spec.with_(conflict_density=0.9)
+        assert changed.conflict_density == 0.9
+        assert changed.seed == spec.seed
+
+    def test_declared_workload_has_no_subsystems(self):
+        workload = build_workload(WorkloadSpec(seed=1))
+        assert workload.make_subsystems() is None
+
+
+class TestGrounded:
+    def test_grounded_builds_pool(self):
+        workload = build_workload(WorkloadSpec(grounded=True, seed=4))
+        pool = workload.make_subsystems()
+        assert pool is not None
+        assert len(pool) == workload.spec.n_subsystems
+
+    def test_every_activity_has_a_program(self):
+        workload = build_workload(WorkloadSpec(grounded=True, seed=4))
+        for activity_type in workload.registry:
+            assert activity_type.name in workload.data_programs
+
+    def test_derived_conflicts_match_rw_sets(self):
+        workload = build_workload(WorkloadSpec(grounded=True, seed=4))
+        regular = [
+            t.name for t in workload.registry.regular_types()
+        ]
+        for first in regular:
+            for second in regular:
+                prog_a = workload.data_programs[first]
+                prog_b = workload.data_programs[second]
+                same_sub = (
+                    workload.registry.get(first).subsystem
+                    == workload.registry.get(second).subsystem
+                )
+                expected = same_sub and prog_a.conflicts_with(prog_b)
+                assert workload.conflicts.conflict(first, second) == (
+                    expected
+                ) or workload.conflicts.conflict(first, second)
+                # (closure can only add conflicts, never remove)
+                if expected:
+                    assert workload.conflicts.conflict(first, second)
+
+    def test_fresh_pool_per_call(self):
+        workload = build_workload(WorkloadSpec(grounded=True, seed=4))
+        first = workload.make_subsystems()
+        second = workload.make_subsystems()
+        assert first is not second
+
+
+class TestValidation:
+    def test_tiny_spec_still_valid(self):
+        spec = WorkloadSpec(
+            n_processes=1, n_activity_types=4, min_length=1,
+            max_length=1, seed=0,
+        )
+        workload = build_workload(spec)
+        workload.programs[0].validate()
+
+    def test_inf_threshold_default(self):
+        assert math.isinf(WorkloadSpec().wcc_threshold)

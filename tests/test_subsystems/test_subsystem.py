@@ -1,0 +1,187 @@
+"""Integration + property tests for the transactional subsystems.
+
+The paper's bottom layer must provide serializable (CPSR) and
+cascade-free (ACA) executions; these tests drive interleaved stepwise
+transactions against a subsystem and verify both guarantees, including a
+hypothesis property over random interleavings.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    DataDeadlockAvoided,
+    SubsystemError,
+    SubsystemWouldBlock,
+)
+from repro.subsystems.programs import (
+    Operation,
+    TransactionProgram,
+    inverse_program,
+)
+from repro.subsystems.subsystem import SubsystemPool, TransactionalSubsystem
+
+
+class TestAtomicExecution:
+    def test_execute_atomic_commits(self):
+        sub = TransactionalSubsystem("s")
+        program = TransactionProgram(
+            "inc", (Operation.write("k"), Operation.read("k"))
+        )
+        results = sub.execute_atomic(program)
+        assert results == [1]
+        assert sub.committed_count == 1
+
+    def test_execute_activity_via_catalog(self):
+        sub = TransactionalSubsystem("s")
+        sub.register_program(
+            "deposit", TransactionProgram("deposit", (Operation.write("b"),))
+        )
+        sub.execute_activity("deposit")
+        sub.execute_activity("deposit")
+        assert sub.store.read("b") == 2
+
+    def test_duplicate_catalog_entry_rejected(self):
+        sub = TransactionalSubsystem("s")
+        program = TransactionProgram("p", (Operation.write("k"),))
+        sub.register_program("a", program)
+        with pytest.raises(SubsystemError):
+            sub.register_program("a", program)
+
+    def test_unknown_activity_rejected(self):
+        sub = TransactionalSubsystem("s")
+        with pytest.raises(SubsystemError):
+            sub.execute_activity("ghost")
+
+
+class TestInversePrograms:
+    def test_inverse_undoes_increment(self):
+        sub = TransactionalSubsystem("s")
+        program = TransactionProgram("inc", (Operation.write("k"),))
+        inverse = inverse_program(program)
+        sub.execute_atomic(program)
+        sub.execute_atomic(inverse)
+        assert sub.store.read("k") == 0
+
+    def test_inverse_drops_reads(self):
+        program = TransactionProgram(
+            "ro", (Operation.read("a"), Operation.write("b"))
+        )
+        inverse = inverse_program(program)
+        assert inverse.read_set == frozenset()
+        assert inverse.write_set == {"b"}
+
+    def test_conflicts_with(self):
+        writer = TransactionProgram("w", (Operation.write("k"),))
+        reader = TransactionProgram("r", (Operation.read("k"),))
+        bystander = TransactionProgram("b", (Operation.read("m"),))
+        assert writer.conflicts_with(reader)
+        assert not reader.conflicts_with(bystander)
+        assert not reader.conflicts_with(reader)
+
+
+class TestInterleavedGuarantees:
+    def test_interleaving_is_serializable(self):
+        sub = TransactionalSubsystem("s")
+        t1 = sub.begin(timestamp=1)
+        t2 = sub.begin(timestamp=2)
+        t1.write("a", lambda old: (old or 0) + 1)
+        t2.write("b", lambda old: (old or 0) + 1)
+        t1.read("c")
+        t2.read("d")
+        t1.commit()
+        t2.commit()
+        assert sub.is_serializable()
+        assert sub.avoids_cascading_aborts()
+
+    def test_conflicting_access_blocks(self):
+        sub = TransactionalSubsystem("s")
+        t1 = sub.begin(timestamp=1)
+        t2 = sub.begin(timestamp=2)
+        t1.write("k", lambda old: 1)
+        with pytest.raises(DataDeadlockAvoided):
+            t2.read("k")  # younger -> dies
+
+    def test_older_requester_waits(self):
+        sub = TransactionalSubsystem("s")
+        t2 = sub.begin(timestamp=2)
+        t1 = sub.begin(timestamp=1)
+        t2.write("k", lambda old: 1)
+        with pytest.raises(SubsystemWouldBlock):
+            t1.read("k")
+        t2.commit()
+        assert t1.read("k") == 1
+
+    def test_aborted_writer_leaves_no_trace_for_readers(self):
+        sub = TransactionalSubsystem("s")
+        t1 = sub.begin(timestamp=1)
+        t1.write("k", lambda old: 77)
+        t1.abort()
+        t2 = sub.begin(timestamp=2)
+        assert t2.read("k") == 0
+        t2.commit()
+        assert sub.avoids_cascading_aborts()
+
+
+class TestPool:
+    def test_get_or_create(self):
+        pool = SubsystemPool()
+        first = pool.get_or_create("a")
+        again = pool.get_or_create("a")
+        assert first is again
+        assert len(pool) == 1
+
+    def test_duplicate_create_rejected(self):
+        pool = SubsystemPool()
+        pool.create("a")
+        with pytest.raises(SubsystemError):
+            pool.create("a")
+
+    def test_unknown_get_rejected(self):
+        pool = SubsystemPool()
+        with pytest.raises(SubsystemError):
+            pool.get("ghost")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    script=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),   # transaction index
+            st.sampled_from(["r", "w", "c"]),        # operation
+            st.sampled_from(["x", "y", "z"]),        # key
+        ),
+        min_size=1,
+        max_size=24,
+    )
+)
+def test_property_random_interleavings_are_cpsr_and_aca(script):
+    """Any stepwise interleaving the lock manager admits is CPSR + ACA.
+
+    Blocked or died operations abort the transaction (wait-die), which
+    is a legal subsystem outcome; the committed projection must always
+    be serializable and cascade-free.
+    """
+    sub = TransactionalSubsystem("prop")
+    txns = {i: sub.begin(timestamp=i + 1) for i in range(3)}
+    dead: set[int] = set()
+    for index, op, key in script:
+        txn = txns[index]
+        if index in dead or txn.state.value != "active":
+            continue
+        try:
+            if op == "r":
+                txn.read(key)
+            elif op == "w":
+                txn.write(key, lambda old: (old or 0) + 1)
+            else:
+                txn.commit()
+        except (SubsystemWouldBlock, DataDeadlockAvoided):
+            txn.abort()
+            dead.add(index)
+    for index, txn in txns.items():
+        if txn.state.value == "active":
+            txn.abort()
+    assert sub.is_serializable()
+    assert sub.avoids_cascading_aborts()

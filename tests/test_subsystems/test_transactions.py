@@ -1,0 +1,90 @@
+"""Unit tests for subsystem transactions (undo, strictness)."""
+
+import pytest
+
+from repro.errors import TransactionAborted
+from repro.subsystems.subsystem import TransactionalSubsystem
+
+
+@pytest.fixture
+def sub() -> TransactionalSubsystem:
+    return TransactionalSubsystem("test")
+
+
+class TestCommitAbort:
+    def test_commit_makes_writes_visible(self, sub):
+        txn = sub.begin()
+        txn.write("k", lambda old: 42)
+        txn.commit()
+        assert sub.store.read("k") == 42
+
+    def test_abort_restores_before_images(self, sub):
+        seed = sub.begin()
+        seed.write("k", lambda old: 10)
+        seed.commit()
+        txn = sub.begin()
+        txn.write("k", lambda old: 99)
+        txn.write("m", lambda old: 1)
+        txn.abort()
+        assert sub.store.read("k") == 10
+        assert sub.store.read("m") == 0
+
+    def test_abort_restores_in_reverse_order(self, sub):
+        txn = sub.begin()
+        txn.write("k", lambda old: 1)
+        txn.write("k", lambda old: 2)
+        txn.abort()
+        assert sub.store.read("k") == 0
+
+    def test_no_ops_after_commit(self, sub):
+        txn = sub.begin()
+        txn.commit()
+        with pytest.raises(TransactionAborted):
+            txn.read("k")
+
+    def test_no_ops_after_abort(self, sub):
+        txn = sub.begin()
+        txn.abort()
+        with pytest.raises(TransactionAborted):
+            txn.write("k", lambda old: 1)
+
+    def test_locks_released_at_commit(self, sub):
+        txn = sub.begin()
+        txn.write("k", lambda old: 1)
+        txn.commit()
+        other = sub.begin()
+        assert other.read("k") == 1
+
+    def test_locks_released_at_abort(self, sub):
+        txn = sub.begin()
+        txn.write("k", lambda old: 1)
+        txn.abort()
+        other = sub.begin()
+        other.write("k", lambda old: 5)
+        other.commit()
+        assert sub.store.read("k") == 5
+
+    def test_reads_collected(self, sub):
+        seed = sub.begin()
+        seed.write("k", lambda old: 3)
+        seed.commit()
+        txn = sub.begin()
+        txn.read("k")
+        txn.read("m")
+        assert txn.reads == [3, 0]
+
+
+class TestHistoryRecording:
+    def test_history_records_operations(self, sub):
+        txn = sub.begin()
+        txn.read("a")
+        txn.write("b", lambda old: 1)
+        txn.commit()
+        ops = [(op, key) for _, op, key in sub.history]
+        assert ops == [("r", "a"), ("w", "b"), ("c", "")]
+
+    def test_history_records_aborts(self, sub):
+        txn = sub.begin()
+        txn.write("a", lambda old: 1)
+        txn.abort()
+        assert sub.history[-1][1] == "a"

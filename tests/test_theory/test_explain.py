@@ -1,0 +1,94 @@
+"""Tests for irreducibility witnesses."""
+
+import itertools
+
+from repro.theory.explain import (
+    explain_irreducibility,
+    first_bad_prefix,
+)
+from repro.theory.schedule import (
+    EventKind,
+    ProcessSchedule,
+    ScheduleEvent,
+)
+
+_uids = itertools.count(9000)
+
+
+def act(pos, proc, name, compensates=None):
+    return ScheduleEvent(
+        position=pos,
+        process=(proc, 0),
+        kind=EventKind.ACTIVITY,
+        name=name,
+        uid=next(_uids),
+        compensates=compensates,
+        compensatable=True,
+    )
+
+
+def conflict_same_name(a, b):
+    return a.rstrip("^-1") == b.rstrip("^-1") if False else a == b
+
+
+def always(a, b):
+    return True
+
+
+class TestWitnesses:
+    def test_reducible_schedule_has_no_witness(self):
+        schedule = ProcessSchedule(
+            [act(0, 1, "a"), act(1, 2, "a")], always
+        )
+        assert explain_irreducibility(schedule) is None
+
+    def test_cycle_witness(self):
+        events = [
+            act(0, 1, "a"),
+            act(1, 2, "a"),
+            act(2, 2, "b"),
+            act(3, 1, "b"),
+        ]
+        schedule = ProcessSchedule(events, lambda x, y: x == y)
+        witness = explain_irreducibility(schedule)
+        assert witness is not None
+        assert set(witness.cycle) == {(1, 0), (2, 0)}
+        assert witness.cycle_edges
+        text = witness.describe()
+        assert "serialization cycle" in text
+        assert "P1" in text and "P2" in text
+
+    def test_stuck_pair_witness(self):
+        first = act(0, 1, "a")
+        events = [
+            first,
+            act(1, 2, "a"),
+            act(2, 1, "a", compensates=first.uid),
+        ]
+        schedule = ProcessSchedule(events, always)
+        witness = explain_irreducibility(schedule)
+        assert witness is not None
+        assert len(witness.stuck_pairs) == 1
+        pair = witness.stuck_pairs[0]
+        assert pair.regular.uid == first.uid
+        assert len(pair.blockers) == 1
+        assert "blocked by" in pair.describe()
+
+
+class TestFirstBadPrefix:
+    def test_none_for_clean_schedule(self):
+        schedule = ProcessSchedule(
+            [act(0, 1, "a"), act(1, 2, "b")], lambda x, y: x == y
+        )
+        assert first_bad_prefix(schedule) is None
+
+    def test_finds_shortest_violation(self):
+        first = act(0, 1, "a")
+        events = [
+            first,
+            act(1, 2, "a"),
+            act(2, 1, "a", compensates=first.uid),
+            act(3, 2, "b"),
+        ]
+        schedule = ProcessSchedule(events, always)
+        assert first_bad_prefix(schedule) == 3
