@@ -25,11 +25,54 @@ from repro.errors import CommutativityError
 
 
 class ConflictMatrix:
-    """Symmetric boolean conflict relation over activity type names."""
+    """Symmetric boolean conflict relation over activity type names.
+
+    Hot-path queries are served from a precomputed adjacency index
+    (``type -> frozenset(conflicting types)``) that is invalidated by
+    every mutation (:meth:`declare_conflict`, :meth:`close_perfect`) and
+    rebuilt lazily on the next lookup.  :attr:`version` increments on
+    every mutation so dependent structures (the lock table's blocker
+    index) can detect staleness cheaply.
+    """
 
     def __init__(self, registry: ActivityRegistry) -> None:
         self._registry = registry
         self._conflicts: set[frozenset[str]] = set()
+        self._adjacency: dict[str, frozenset[str]] | None = None
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; changes whenever the relation changes."""
+        return self._version
+
+    def _invalidate(self) -> None:
+        self._adjacency = None
+        self._version += 1
+
+    def _build_adjacency(self) -> dict[str, frozenset[str]]:
+        """Materialize the adjacency index over the full registry.
+
+        Every registered type gets an entry (possibly empty), so the
+        hot-path lookup doubles as name validation: a miss means the
+        queried name is unknown.
+        """
+        neighbours: dict[str, set[str]] = {
+            activity_type.name: set() for activity_type in self._registry
+        }
+        for pair in self._conflicts:
+            names = tuple(pair)
+            first, second = (
+                names if len(names) == 2 else (names[0], names[0])
+            )
+            neighbours[first].add(second)
+            neighbours[second].add(first)
+        adjacency = {
+            name: frozenset(others)
+            for name, others in neighbours.items()
+        }
+        self._adjacency = adjacency
+        return adjacency
 
     # ------------------------------------------------------------------
     # construction
@@ -49,6 +92,7 @@ class ConflictMatrix:
                 "subsystems and therefore always commute"
             )
         self._conflicts.add(frozenset((first, second)))
+        self._invalidate()
 
     def declare_conflicts(self, pairs: Iterable[tuple[str, str]]) -> None:
         """Declare several conflicts at once."""
@@ -64,6 +108,7 @@ class ConflictMatrix:
         a compensation as a conflict on its regular activity.
         """
         changed = True
+        added = False
         while changed:
             changed = False
             for pair in list(self._conflicts):
@@ -75,6 +120,9 @@ class ConflictMatrix:
                     if variant not in self._conflicts:
                         self._conflicts.add(variant)
                         changed = True
+                        added = True
+        if added:
+            self._invalidate()
 
     def _perfect_variants(
         self, first: str, second: str
@@ -115,15 +163,26 @@ class ConflictMatrix:
         """Whether the two types commute (the complement of conflict)."""
         return not self.conflict(first, second)
 
-    def conflicting_types(self, name: str) -> set[str]:
-        """All activity type names that conflict with ``name``."""
-        self._registry.get(name)
-        result = set()
-        for pair in self._conflicts:
-            if name in pair:
-                other = set(pair) - {name}
-                result.add(next(iter(other)) if other else name)
-        return result
+    def conflicting_types(self, name: str) -> frozenset[str]:
+        """All activity type names that conflict with ``name``.
+
+        Served from the adjacency index in O(1); name validation happens
+        once at index-build time (a lookup miss on a fresh index means
+        the name is unknown).
+        """
+        adjacency = self._adjacency
+        if adjacency is None:
+            adjacency = self._build_adjacency()
+        try:
+            return adjacency[name]
+        except KeyError:
+            if name in self._registry:
+                # Type registered after the index was built: rebuild.
+                return self._build_adjacency()[name]
+            raise CommutativityError(
+                f"conflicting-types query over unknown activity type "
+                f"{name!r}"
+            ) from None
 
     def is_perfect(self) -> bool:
         """Check the perfect-commutativity property of Section 2.3."""

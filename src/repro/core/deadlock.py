@@ -19,9 +19,46 @@ step when the cost-based extension is off.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping
+
 import networkx as nx
 
 from repro.errors import ProtocolError
+
+
+def has_cycle(adjacency: Mapping[int, Iterable[int]]) -> bool:
+    """Whether the directed graph ``adjacency`` contains a cycle.
+
+    Iterative three-color depth-first search over a plain mapping.  The
+    scheduler runs this on every park as a guard in front of the much
+    heavier :meth:`WaitForGraph.find_cycle` (which must materialize a
+    :mod:`networkx` graph); waits are almost always acyclic, so the
+    guard turns the per-park deadlock check into cheap dict walks.
+    """
+    done: set[int] = set()
+    on_path: set[int] = set()
+    for root in adjacency:
+        if root in done:
+            continue
+        # stack of (node, iterator over its successors)
+        stack = [(root, iter(adjacency.get(root, ())))]
+        on_path.add(root)
+        while stack:
+            node, successors = stack[-1]
+            advanced = False
+            for nxt in successors:
+                if nxt in on_path:
+                    return True
+                if nxt not in done:
+                    on_path.add(nxt)
+                    stack.append((nxt, iter(adjacency.get(nxt, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                on_path.discard(node)
+                done.add(node)
+    return False
 
 
 class WaitForGraph:
@@ -49,11 +86,15 @@ class WaitForGraph:
             self._graph.remove_node(pid)
 
     def find_cycle(self) -> list[int] | None:
-        """Return one wait cycle as a list of pids, or ``None``."""
-        try:
-            cycle = nx.find_cycle(self._graph)
-        except nx.NetworkXNoCycle:
+        """Return one wait cycle as a list of pids, or ``None``.
+
+        Guarded by :func:`has_cycle`; the :mod:`networkx` edge search
+        (which picks the *same* cycle the original unguarded code did)
+        only runs when a cycle actually exists.
+        """
+        if not has_cycle(self._graph.adj):
             return None
+        cycle = nx.find_cycle(self._graph)
         return [edge[0] for edge in cycle]
 
     def assert_acyclic(self) -> None:

@@ -7,10 +7,32 @@ order, materialized in :attr:`LockEntry.position`.
 
 The table is pure bookkeeping: all *policy* (who may share behind whom,
 who gets aborted) lives in :mod:`repro.core.protocol`.
+
+Bookkeeping is *incremental* (see ``docs/performance.md``): besides the
+primary per-type and per-process lists, the table maintains
+
+* a per-process list of C-mode locks (kept current through
+  Comp→Piv conversions, which notify the table);
+* a per-process count of P-mode locks (powers :meth:`p_lock_holders`);
+* the **blocker index**: a pair of adjacency maps over pids recording,
+  for every process, which other live processes hold a conflicting lock
+  with a smaller sharing position (``blocked_by``) and the transposed
+  "who waits on me" view (``blocks``).  Because positions are drawn from
+  a strictly increasing global counter, every conflicting lock that
+  exists when a new lock is appended has a smaller position — so edges
+  are added on :meth:`acquire` and only ever removed by
+  :meth:`release_all`, making :meth:`commit_blockers` and
+  :meth:`on_hold` O(1) lookups instead of O(locks²) rescans.
+
+The per-type lists are position-sorted *by construction* (appends use a
+monotone counter; releases preserve relative order), so
+:meth:`conflicting_locks` merges the candidate lists instead of
+re-sorting their union.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Iterable, Iterator
 
 from repro.activities.commutativity import ConflictMatrix
@@ -20,12 +42,19 @@ from repro.process.instance import Process
 
 
 class LockTable:
-    """Per-activity-type ordered lock lists plus a per-process index."""
+    """Per-activity-type ordered lock lists plus incremental indexes."""
 
     def __init__(self, conflicts: ConflictMatrix) -> None:
         self._conflicts = conflicts
+        self._conflicts_version = conflicts.version
         self._by_type: dict[str, list[LockEntry]] = {}
         self._by_pid: dict[int, list[LockEntry]] = {}
+        self._c_by_pid: dict[int, list[LockEntry]] = {}
+        self._p_counts: dict[int, int] = {}
+        #: pid -> pids holding an earlier conflicting lock (live only).
+        self._blocked_by: dict[int, set[int]] = {}
+        #: pid -> pids holding a later conflicting lock (the transpose).
+        self._blocks: dict[int, set[int]] = {}
         self._position = 0
 
     # ------------------------------------------------------------------
@@ -39,6 +68,7 @@ class LockTable:
         activity_uid: int | None = None,
     ) -> LockEntry:
         """Append a granted lock to the type's list (policy pre-checked)."""
+        self._sync()
         self._position += 1
         entry = LockEntry(
             process=process,
@@ -46,43 +76,114 @@ class LockTable:
             mode=mode,
             position=self._position,
             activity_uid=activity_uid,
+            table=self,
         )
+        pid = process.pid
         self._by_type.setdefault(type_name, []).append(entry)
-        self._by_pid.setdefault(process.pid, []).append(entry)
+        self._by_pid.setdefault(pid, []).append(entry)
+        if mode is LockMode.C:
+            self._c_by_pid.setdefault(pid, []).append(entry)
+        else:
+            self._p_counts[pid] = self._p_counts.get(pid, 0) + 1
+        # Blocker index: every live conflicting lock predates this one
+        # (positions are globally monotone), so each foreign holder
+        # becomes a blocker of ``pid`` right now — and never later.
+        for candidate in self._conflicts.conflicting_types(type_name):
+            for other in self._by_type.get(candidate, ()):
+                if other.pid != pid:
+                    self._add_block_edge(other.pid, pid)
         return entry
 
     def release_all(self, pid: int) -> list[LockEntry]:
         """Drop every lock of ``pid`` (commit or abort of the process)."""
         released = self._by_pid.pop(pid, [])
-        for entry in released:
-            try:
-                self._by_type[entry.type_name].remove(entry)
-            except (KeyError, ValueError):  # pragma: no cover - defensive
+        affected_types = {entry.type_name for entry in released}
+        for type_name in affected_types:
+            entries = self._by_type.get(type_name)
+            if entries is None:  # pragma: no cover - defensive
                 raise ProtocolError(
-                    f"lock table corruption while releasing {entry}"
-                ) from None
-            if not self._by_type[entry.type_name]:
-                del self._by_type[entry.type_name]
+                    f"lock table corruption while releasing locks of "
+                    f"P{pid} on {type_name!r}"
+                )
+            survivors = [e for e in entries if e.pid != pid]
+            if survivors:
+                self._by_type[type_name] = survivors
+            else:
+                del self._by_type[type_name]
+        self._c_by_pid.pop(pid, None)
+        self._p_counts.pop(pid, None)
+        for waiter in self._blocks.pop(pid, ()):
+            blockers = self._blocked_by.get(waiter)
+            if blockers is not None:
+                blockers.discard(pid)
+                if not blockers:
+                    del self._blocked_by[waiter]
+        for blocker in self._blocked_by.pop(pid, ()):
+            waiters = self._blocks.get(blocker)
+            if waiters is not None:
+                waiters.discard(pid)
+                if not waiters:
+                    del self._blocks[blocker]
         return released
+
+    def _note_upgrade(self, entry: LockEntry) -> None:
+        """Keep the mode indexes current through a Comp→Piv conversion.
+
+        Called by :meth:`LockEntry.upgrade_to_p` after the mode flip; the
+        blocker index is mode-agnostic and needs no update.
+        """
+        pid = entry.pid
+        c_locks = self._c_by_pid.get(pid)
+        if c_locks is not None:
+            survivors = [e for e in c_locks if e is not entry]
+            if survivors:
+                self._c_by_pid[pid] = survivors
+            else:
+                del self._c_by_pid[pid]
+        self._p_counts[pid] = self._p_counts.get(pid, 0) + 1
+
+    def _add_block_edge(self, blocker: int, waiter: int) -> None:
+        self._blocked_by.setdefault(waiter, set()).add(blocker)
+        self._blocks.setdefault(blocker, set()).add(waiter)
+
+    def _sync(self) -> None:
+        """Rebuild the blocker index if the conflict relation changed.
+
+        Declaring conflicts while locks are live is unusual (workloads
+        build their matrix up front) but legal; the version check keeps
+        the incremental index honest at the cost of one integer compare
+        on the hot path.
+        """
+        if self._conflicts.version == self._conflicts_version:
+            return
+        self._conflicts_version = self._conflicts.version
+        self._blocked_by = {}
+        self._blocks = {}
+        entries = [e for es in self._by_pid.values() for e in es]
+        conflict = self._conflicts.conflict
+        for mine in entries:
+            for other in entries:
+                if (
+                    other.pid != mine.pid
+                    and other.position < mine.position
+                    and conflict(other.type_name, mine.type_name)
+                ):
+                    self._add_block_edge(other.pid, mine.pid)
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def locks_of(self, pid: int) -> list[LockEntry]:
+    def locks_of(self, pid: int) -> tuple[LockEntry, ...]:
         """Live locks of one process, in acquisition order."""
-        return list(self._by_pid.get(pid, []))
+        return tuple(self._by_pid.get(pid, ()))
 
-    def c_locks_of(self, pid: int) -> list[LockEntry]:
-        """Live C-mode locks of one process."""
-        return [
-            entry
-            for entry in self._by_pid.get(pid, [])
-            if entry.mode is LockMode.C
-        ]
+    def c_locks_of(self, pid: int) -> tuple[LockEntry, ...]:
+        """Live C-mode locks of one process, in acquisition order."""
+        return tuple(self._c_by_pid.get(pid, ()))
 
-    def locks_on(self, type_name: str) -> list[LockEntry]:
+    def locks_on(self, type_name: str) -> tuple[LockEntry, ...]:
         """The ordered lock list of one activity type."""
-        return list(self._by_type.get(type_name, []))
+        return tuple(self._by_type.get(type_name, ()))
 
     def conflicting_locks(
         self, type_name: str, exclude_pid: int | None = None
@@ -91,17 +192,26 @@ class LockTable:
 
         Includes locks on ``type_name`` itself when the type
         self-conflicts (``CON(t, t)``), which is the common case for
-        state-changing activities under perfect commutativity.
+        state-changing activities under perfect commutativity.  The
+        per-type lists are position-sorted by construction, so the
+        result is a k-way merge, not a sort.
         """
-        result: list[LockEntry] = []
-        candidates = set(self._conflicts.conflicting_types(type_name))
-        for candidate in candidates:
-            for entry in self._by_type.get(candidate, ()):
-                if exclude_pid is not None and entry.pid == exclude_pid:
-                    continue
-                result.append(entry)
-        result.sort(key=lambda entry: entry.position)
-        return result
+        lists = [
+            entries
+            for candidate in self._conflicts.conflicting_types(type_name)
+            if (entries := self._by_type.get(candidate))
+        ]
+        if not lists:
+            return []
+        if len(lists) == 1:
+            merged: Iterable[LockEntry] = lists[0]
+        else:
+            merged = heapq.merge(
+                *lists, key=lambda entry: entry.position
+            )
+        if exclude_pid is None:
+            return list(merged)
+        return [entry for entry in merged if entry.pid != exclude_pid]
 
     def entry_for_activity(
         self, pid: int, activity_uid: int
@@ -117,20 +227,32 @@ class LockTable:
 
         Commit-Rule: a process cannot commit while any of its locks is on
         hold, i.e. while another live process holds a conflicting lock
-        with a smaller sharing position.
+        with a smaller sharing position.  Served from the incremental
+        blocker index in O(answer).
         """
-        blockers: set[int] = set()
-        for mine in self._by_pid.get(process.pid, ()):
-            for other in self.conflicting_locks(
-                mine.type_name, exclude_pid=process.pid
-            ):
-                if other.position < mine.position:
-                    blockers.add(other.pid)
-        return blockers
+        self._sync()
+        return set(self._blocked_by.get(process.pid, ()))
+
+    def blockers_of(self, pid: int) -> frozenset[int]:
+        """Pids holding an earlier conflicting lock than ``pid``."""
+        self._sync()
+        return frozenset(self._blocked_by.get(pid, ()))
+
+    def waiters_on(self, pid: int) -> frozenset[int]:
+        """Pids whose commit is held up by ``pid`` (the reverse map).
+
+        The transpose of :meth:`blockers_of`: exactly the processes whose
+        locks are on hold behind a lock of ``pid``.  Consumers that used
+        to rebuild this relation by scanning every live lock (wait-graph
+        construction, wake-up scheduling) read it here instead.
+        """
+        self._sync()
+        return frozenset(self._blocks.get(pid, ()))
 
     def on_hold(self, process: Process) -> bool:
         """Whether any lock of ``process`` is currently on hold."""
-        return bool(self.commit_blockers(process))
+        self._sync()
+        return bool(self._blocked_by.get(process.pid))
 
     def holders(self) -> set[int]:
         """Pids of all processes currently holding locks."""
@@ -138,11 +260,7 @@ class LockTable:
 
     def p_lock_holders(self) -> set[int]:
         """Pids of processes holding at least one P-mode lock."""
-        return {
-            pid
-            for pid, entries in self._by_pid.items()
-            if any(e.mode is LockMode.P for e in entries)
-        }
+        return set(self._p_counts)
 
     def iter_entries(self) -> Iterator[LockEntry]:
         for entries in self._by_pid.values():
@@ -157,8 +275,15 @@ class LockTable:
 
         * every held lock belongs to a live process;
         * per-type lists are position-sorted;
-        * the two indexes agree.
+        * the primary indexes agree;
+        * the mode indexes (C lists, P counts) match the entries;
+        * the blocker index matches a naive recomputation.
+
+        Syncs with the conflict matrix first: after a mid-run
+        ``declare_conflict`` the blocker index is stale by design until
+        the next query, and the audit must judge the synced state.
         """
+        self._sync()
         live = set(live_pids)
         seen_ids: set[int] = set()
         for type_name, entries in self._by_type.items():
@@ -176,3 +301,47 @@ class LockTable:
         index_ids = {e.lock_id for e in self.iter_entries()}
         if index_ids != seen_ids:
             raise ProtocolError("lock table indexes disagree")
+        for pid, entries in self._by_pid.items():
+            c_ids = [
+                e.lock_id for e in entries if e.mode is LockMode.C
+            ]
+            if [e.lock_id for e in self._c_by_pid.get(pid, [])] != c_ids:
+                raise ProtocolError(
+                    f"C-lock index of P{pid} disagrees with the entries"
+                )
+            p_count = sum(
+                1 for e in entries if e.mode is LockMode.P
+            )
+            if self._p_counts.get(pid, 0) != p_count:
+                raise ProtocolError(
+                    f"P-lock count of P{pid} disagrees with the entries"
+                )
+        self._check_blocker_index()
+
+    def _check_blocker_index(self) -> None:
+        from repro.core.reference import naive_blocked_by
+
+        expected = naive_blocked_by(self)
+        actual = {
+            pid: set(blockers)
+            for pid, blockers in self._blocked_by.items()
+            if blockers
+        }
+        if actual != expected:
+            raise ProtocolError(
+                f"blocker index disagrees with naive recomputation: "
+                f"index={actual} naive={expected}"
+            )
+        transpose: dict[int, set[int]] = {}
+        for waiter, blockers in self._blocked_by.items():
+            for blocker in blockers:
+                transpose.setdefault(blocker, set()).add(waiter)
+        blocks = {
+            pid: set(waiters)
+            for pid, waiters in self._blocks.items()
+            if waiters
+        }
+        if blocks != transpose:
+            raise ProtocolError(
+                "blocks map is not the transpose of blocked_by"
+            )

@@ -65,6 +65,9 @@ class LockEntry:
         locks is the order of their positions.
     activity_uid:
         The activity invocation this lock was acquired for.
+    table:
+        The owning lock table, when the entry is table-managed; mode
+        changes notify it so its mode indexes stay current.
     """
 
     process: Process
@@ -74,6 +77,7 @@ class LockEntry:
     activity_uid: int | None = None
     converted: bool = False
     lock_id: int = field(default_factory=lambda: next(_lock_ids))
+    table: object = field(default=None, repr=False, compare=False)
 
     @property
     def pid(self) -> int:
@@ -88,6 +92,8 @@ class LockEntry:
         if self.mode is LockMode.C:
             self.mode = LockMode.P
             self.converted = True
+            if self.table is not None:
+                self.table._note_upgrade(self)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -53,6 +53,7 @@ documented in DESIGN.md:
 from __future__ import annotations
 
 import itertools
+from collections.abc import Sequence
 
 from repro.activities.activity import Activity
 from repro.activities.commutativity import ConflictMatrix
@@ -415,7 +416,7 @@ class ProcessLockManager:
         self,
         process: Process,
         activity: Activity,
-        own_c_locks: list[LockEntry],
+        own_c_locks: Sequence[LockEntry],
         real_pivot: bool,
     ) -> Grant:
         for entry in own_c_locks:

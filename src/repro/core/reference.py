@@ -1,0 +1,101 @@
+"""Naive reference implementations of the indexed hot-path queries.
+
+The scheduling hot path is served by incremental indexes (the conflict
+adjacency map in :class:`~repro.activities.commutativity.ConflictMatrix`,
+the blocker index in :class:`~repro.core.lock_table.LockTable`, and the
+process manager's wake-up index).  This module keeps the original
+recompute-from-scratch formulations alive as *oracles*:
+
+* :meth:`LockTable.check_invariants` compares the blocker index against
+  :func:`naive_blocked_by` on every audit;
+* the property tests churn a table through random histories and assert
+  index/oracle agreement after every step;
+* ``benchmarks/test_perf_scaling.py`` runs whole workloads through the
+  naive path and asserts byte-identical schedules (and measures the
+  speedup the indexes buy).
+
+The functions intentionally reach into private table state — they *are*
+the specification of what that state means.
+"""
+
+from __future__ import annotations
+
+from repro.process.instance import Process
+
+
+def naive_conflicting_types(matrix, name: str) -> set[str]:
+    """O(pairs) scan over every declared conflict (pre-index behavior)."""
+    matrix._registry.get(name)
+    result: set[str] = set()
+    for pair in matrix._conflicts:
+        if name in pair:
+            other = set(pair) - {name}
+            result.add(next(iter(other)) if other else name)
+    return result
+
+
+def naive_conflicting_locks(
+    table, type_name: str, exclude_pid: int | None = None
+) -> list:
+    """Collect-then-sort formulation of ``conflicting_locks``."""
+    result = []
+    candidates = set(
+        naive_conflicting_types(table._conflicts, type_name)
+    )
+    for candidate in candidates:
+        for entry in table._by_type.get(candidate, ()):
+            if exclude_pid is not None and entry.pid == exclude_pid:
+                continue
+            result.append(entry)
+    result.sort(key=lambda entry: entry.position)
+    return result
+
+
+def naive_commit_blockers(table, process: Process) -> set[int]:
+    """O(locks²) re-derivation of the Commit-Rule blockers."""
+    blockers: set[int] = set()
+    for mine in table._by_pid.get(process.pid, ()):
+        for other in naive_conflicting_locks(
+            table, mine.type_name, exclude_pid=process.pid
+        ):
+            if other.position < mine.position:
+                blockers.add(other.pid)
+    return blockers
+
+
+def naive_find_wait_cycle(edges: dict[int, set[int]]) -> list | None:
+    """Unguarded cycle search (pre-guard behavior).
+
+    Builds the :class:`~repro.core.deadlock.WaitForGraph` and runs the
+    :mod:`networkx` edge search on *every* call — the formulation the
+    scheduler used before :func:`~repro.core.deadlock.has_cycle` was put
+    in front of it.  When a cycle exists both return the same one.
+    """
+    import networkx as nx
+
+    from repro.core.deadlock import WaitForGraph
+
+    graph = WaitForGraph()
+    for waiter, blockers in edges.items():
+        graph.set_waits(waiter, frozenset(blockers))
+    try:
+        cycle = nx.find_cycle(graph._graph)
+    except nx.NetworkXNoCycle:
+        return None
+    return [edge[0] for edge in cycle]
+
+
+def naive_blocked_by(table) -> dict[int, set[int]]:
+    """The full blocker relation recomputed pairwise from the entries."""
+    blocked_by: dict[int, set[int]] = {}
+    entries = [e for es in table._by_pid.values() for e in es]
+    conflict = table._conflicts.conflict
+    for mine in entries:
+        for other in entries:
+            if (
+                other.pid != mine.pid
+                and other.position < mine.position
+                and conflict(other.type_name, mine.type_name)
+            ):
+                blocked_by.setdefault(mine.pid, set()).add(other.pid)
+    return blocked_by

@@ -26,7 +26,13 @@ class RequestKind(enum.Enum):
 
 @dataclass
 class ParkedRequest:
-    """A lock/commit request waiting for other processes to terminate."""
+    """A lock/commit request waiting for other processes to terminate.
+
+    ``seq`` is the manager-assigned park order (re-assigned every time
+    the request is re-parked); the wake-up scheduler retries eligible
+    requests in ``seq`` order, which reproduces the historical
+    scan-the-parked-list-in-order semantics exactly.
+    """
 
     kind: RequestKind
     process: Process
@@ -35,6 +41,7 @@ class ParkedRequest:
     wait_for: frozenset[int] = frozenset()
     reason: str = ""
     parked_at: float = 0.0
+    seq: int = 0
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         what = (

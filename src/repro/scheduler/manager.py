@@ -16,12 +16,17 @@ execution machinery.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import random
 from dataclasses import dataclass, field
 
 from repro.activities.activity import Activity
-from repro.core.deadlock import WaitForGraph, choose_cycle_victim
+from repro.core.deadlock import (
+    WaitForGraph,
+    choose_cycle_victim,
+    has_cycle,
+)
 from repro.core.decisions import (
     AbortVictims,
     Decision,
@@ -167,7 +172,15 @@ class ProcessManager:
         self.records: dict[int, ProcessRecord] = {}
         self._pids = itertools.count(1)
         self._processes: dict[int, Process] = {}
-        self._parked: list[ParkedRequest] = []
+        #: Parked requests keyed by park sequence (insertion-ordered).
+        self._parked: dict[int, ParkedRequest] = {}
+        self._park_seq = itertools.count(1)
+        #: pid -> park seqs of requests waiting on that pid.
+        self._wait_index: dict[int, set[int]] = {}
+        #: Min-heap of park seqs woken by a termination, pending retry.
+        self._wake_pending: list[int] = []
+        #: Pids with a parked COMMIT request (O(1) membership).
+        self._parked_commit_pids: set[int] = set()
         self._inflight: dict[int, InflightActivity] = {}
         #: uid -> uids of flights gated behind it (execution ordering).
         self._dependents: dict[int, set[int]] = {}
@@ -211,7 +224,7 @@ class ProcessManager:
             }
             raise SchedulerError(
                 f"simulation drained with live processes: {leftovers}; "
-                f"parked={[str(p) for p in self._parked]}"
+                f"parked={[str(p) for p in self._parked.values()]}"
             )
         return RunResult(
             records=self.records,
@@ -324,14 +337,14 @@ class ProcessManager:
         elif isinstance(decision, Defer):
             request.wait_for = decision.wait_for
             request.reason = decision.reason
-            self._parked.append(request)
+            self._park(request)
             self._resolve_wait_cycles()
         elif isinstance(decision, AbortVictims):
             # Park the request until the victims' aborts complete, then
             # retry; protocol state already counted the cascade.
             request.wait_for = decision.victims
             request.reason = "awaiting-cascade"
-            self._parked.append(request)
+            self._park(request)
             for victim_pid in decision.victims:
                 self._begin_protocol_abort(victim_pid)
             self._resolve_wait_cycles()
@@ -653,17 +666,18 @@ class ProcessManager:
     def _cancel_parked_of(
         self, process: Process, kinds: tuple[RequestKind, ...]
     ) -> None:
-        keep: list[ParkedRequest] = []
-        for request in self._parked:
+        doomed = [
+            request
+            for request in self._parked.values()
             if (
                 request.process.pid == process.pid
                 and request.kind in kinds
-            ):
-                if request.kind is RequestKind.REGULAR:
-                    process.abandon(request.activity)
-                continue
-            keep.append(request)
-        self._parked = keep
+            )
+        ]
+        for request in doomed:
+            self._unpark(request)
+            if request.kind is RequestKind.REGULAR:
+                process.abandon(request.activity)
 
     def _finalize_abort(self, process: Process, resubmit: bool) -> None:
         process.finish_abort()
@@ -685,7 +699,7 @@ class ProcessManager:
                 self.config.resubmit_delay,
                 lambda: self._resubmit(successor),
             )
-        self._retry_parked()
+        self._retry_parked(process.pid)
 
     def _resubmit(self, process: Process) -> None:
         self._processes[process.pid] = process
@@ -703,62 +717,88 @@ class ProcessManager:
         del self._processes[process.pid]
         self.stats.committed += 1
         self.records[process.pid].committed_at = self.engine.now
-        self._retry_parked()
+        self._retry_parked(process.pid)
 
     # ------------------------------------------------------------------
     # parked-request machinery
     # ------------------------------------------------------------------
-    def _retry_parked(self) -> None:
-        """Re-evaluate parked requests after a process terminated."""
-        progress = True
-        while progress:
-            progress = False
-            live = set(self._processes)
-            for request in list(self._parked):
-                if request.wait_for & live == request.wait_for:
-                    continue  # nothing it waited for has terminated
-                if request not in self._parked:
-                    continue
-                self._parked.remove(request)
-                process = request.process
-                if process.state.is_terminal:
-                    continue
-                if request.kind is RequestKind.REGULAR:
-                    decision = self.protocol.request_activity_lock(
-                        process, request.activity, request.mode
-                    )
-                elif request.kind is RequestKind.COMPENSATION:
-                    decision = self.protocol.request_compensation_lock(
-                        process, request.activity
-                    )
-                else:
-                    decision = self.protocol.try_commit(process)
-                self._apply_decision(decision, request)
-                progress = True
+    def _park(self, request: ParkedRequest) -> None:
+        """Store a deferred request and index its wait set.
+
+        Every (re-)park draws a fresh sequence number, so the parked
+        store stays ordered by park time exactly like the historical
+        append-to-a-list representation.
+        """
+        request.seq = next(self._park_seq)
+        self._parked[request.seq] = request
+        for pid in request.wait_for:
+            self._wait_index.setdefault(pid, set()).add(request.seq)
+        if request.kind is RequestKind.COMMIT:
+            self._parked_commit_pids.add(request.process.pid)
+
+    def _unpark(self, request: ParkedRequest) -> None:
+        """Remove a parked request and unregister its wait-index entries."""
+        del self._parked[request.seq]
+        for pid in request.wait_for:
+            bucket = self._wait_index.get(pid)
+            if bucket is not None:
+                bucket.discard(request.seq)
+                if not bucket:
+                    del self._wait_index[pid]
+        if request.kind is RequestKind.COMMIT:
+            self._parked_commit_pids.discard(request.process.pid)
+
+    def _retry_parked(self, dead_pid: int) -> None:
+        """Wake the requests that waited on a terminated process.
+
+        The wait index maps each pid to the parked requests waiting on
+        it, so a termination wakes exactly its dependents instead of
+        re-polling the whole parked list to a fixpoint.  Woken requests
+        are drained in park order through a shared min-heap; retries can
+        terminate further processes, whose reentrant calls push into the
+        same heap — the innermost drain therefore always retries the
+        oldest eligible request first, which reproduces the historical
+        scan-in-park-order fixpoint exactly.
+        """
+        bucket = self._wait_index.pop(dead_pid, None)
+        if bucket:
+            for seq in bucket:
+                heapq.heappush(self._wake_pending, seq)
+        while self._wake_pending:
+            seq = heapq.heappop(self._wake_pending)
+            request = self._parked.get(seq)
+            if request is None:
+                continue  # cancelled or already retried reentrantly
+            if all(
+                pid in self._processes for pid in request.wait_for
+            ):
+                continue  # re-parked; everything it waits on is live
+            self._unpark(request)
+            process = request.process
+            if process.state.is_terminal:
+                continue
+            if request.kind is RequestKind.REGULAR:
+                decision = self.protocol.request_activity_lock(
+                    process, request.activity, request.mode
+                )
+            elif request.kind is RequestKind.COMPENSATION:
+                decision = self.protocol.request_compensation_lock(
+                    process, request.activity
+                )
+            else:
+                decision = self.protocol.try_commit(process)
+            self._apply_decision(decision, request)
 
     def _has_parked_commit(self, process: Process) -> bool:
-        return any(
-            request.kind is RequestKind.COMMIT
-            and request.process.pid == process.pid
-            for request in self._parked
-        )
+        return process.pid in self._parked_commit_pids
 
     # ------------------------------------------------------------------
     # deadlock resolution (cost-based extension only)
     # ------------------------------------------------------------------
-    def _resolve_wait_cycles(self) -> None:
-        """Break wait-for cycles among genuinely blocked requests.
-
-        The graph is rebuilt from the parked requests themselves (the
-        source of truth).  A cycle means every member is parked — nobody
-        on it can progress.  Under the basic process-locking protocol no
-        cycle can form (timestamp discipline); with pseudo pivots or the
-        baseline protocols, the youngest running process on the cycle is
-        sacrificed; cycles without a running member are escalated to the
-        forced-progress path (pure OSL's unresolvable violations).
-        """
+    def _wait_edges(self) -> dict[int, set[int]]:
+        """The waits-for relation of the currently parked requests."""
         edges: dict[int, set[int]] = {}
-        for request in self._parked:
+        for request in self._parked.values():
             blockers = request.wait_for
             if request.reason == "awaiting-cascade":
                 # A victim that is still running has its abort initiation
@@ -772,12 +812,44 @@ class ProcessManager:
                     and proc.state is ProcessState.ABORTING
                 )
             edges.setdefault(request.process.pid, set()).update(blockers)
+        return edges
+
+    @staticmethod
+    def _find_wait_cycle(
+        edges: dict[int, set[int]]
+    ) -> list[int] | None:
+        """One wait cycle in ``edges``, or ``None``.
+
+        The cheap :func:`~repro.core.deadlock.has_cycle` walk answers the
+        common acyclic case without materializing a
+        :class:`WaitForGraph`; when a cycle exists, the graph is built
+        exactly as before and the original search picks the same cycle.
+        """
+        if not has_cycle(edges):
+            return None
         graph = WaitForGraph()
         for waiter, blockers in edges.items():
             graph.set_waits(waiter, frozenset(blockers))
-        cycle = graph.find_cycle()
+        return graph.find_cycle()
+
+    def _resolve_wait_cycles(self) -> None:
+        """Break wait-for cycles among genuinely blocked requests.
+
+        The graph is rebuilt from the parked requests themselves (the
+        source of truth).  A cycle means every member is parked — nobody
+        on it can progress.  Under the basic process-locking protocol no
+        cycle can form (timestamp discipline); with pseudo pivots or the
+        baseline protocols, the youngest running process on the cycle is
+        sacrificed; cycles without a running member are escalated to the
+        forced-progress path (pure OSL's unresolvable violations).
+        """
+        cycle = self._find_wait_cycle(self._wait_edges())
         if cycle is None:
             return
+        self._act_on_wait_cycle(cycle)
+
+    def _act_on_wait_cycle(self, cycle: list[int]) -> None:
+        """Abort the cycle's victim (or force progress when unabortable)."""
         table = getattr(self.protocol, "table", None)
         protected = (
             table.p_lock_holders()
@@ -813,12 +885,12 @@ class ProcessManager:
         the consistency violation a real deployment would suffer and are
         counted as such.
         """
-        for request in list(self._parked):
+        for request in list(self._parked.values()):
             if (
                 request.kind is RequestKind.COMMIT
                 and request.process.pid in cycle
             ):
-                self._parked.remove(request)
+                self._unpark(request)
                 self.stats.unresolvable_violations += 1
                 self._finalize_commit(request.process)
                 return
@@ -830,12 +902,12 @@ class ProcessManager:
             force = getattr(self.protocol, hook_name, None)
             if force is None:
                 continue
-            for request in list(self._parked):
+            for request in list(self._parked.values()):
                 if (
                     request.kind is kind
                     and request.process.pid in cycle
                 ):
-                    self._parked.remove(request)
+                    self._unpark(request)
                     self.stats.unresolvable_violations += 1
                     self._apply_decision(
                         force(request.process, request.activity), request

@@ -112,7 +112,7 @@ def crash(manager: ProcessManager) -> CrashImage:
                 and flight.kind is RequestKind.REGULAR
             ):
                 pending.append(flight.activity.name)
-        for request in manager._parked:
+        for request in manager._parked.values():
             if (
                 request.process.pid == process.pid
                 and request.kind is RequestKind.REGULAR

@@ -28,6 +28,9 @@ class RunMetrics:
     unresolvable_violations: int
     defers: int
     cascade_victims: int
+    #: Lock-table operations the protocol performed (grants, conversions,
+    #: deferments, commit checks) — the denominator for lock-ops/sec.
+    lock_ops: int = 0
 
     def as_row(self) -> dict[str, float]:
         """Dictionary form for table rendering."""
@@ -68,6 +71,22 @@ def summarize(protocol_name: str, result: RunResult) -> RunMetrics:
         unresolvable_violations=unresolvable,
         defers=getattr(protocol_stats, "defers", 0),
         cascade_victims=getattr(protocol_stats, "cascade_victims", 0),
+        lock_ops=lock_operations(protocol_stats),
+    )
+
+
+def lock_operations(protocol_stats: object) -> int:
+    """Total lock-table operations recorded by a protocol's counters."""
+    return sum(
+        getattr(protocol_stats, name, 0)
+        for name in (
+            "c_grants",
+            "p_grants",
+            "conversions",
+            "defers",
+            "commits",
+            "aborts",
+        )
     )
 
 

@@ -1,0 +1,185 @@
+"""Property tests: the incremental indexes agree with the naive oracles.
+
+The lock table is churned through randomized acquire / upgrade /
+release / conflict-declaration histories; after every step the
+incremental structures (blocker index, mode indexes, conflict adjacency)
+must agree with the recompute-from-scratch reference formulations in
+:mod:`repro.core.reference`, and :meth:`LockTable.check_invariants`
+must hold.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.activities.commutativity import ConflictMatrix
+from repro.activities.registry import ActivityRegistry
+from repro.core.deadlock import has_cycle
+from repro.core.lock_table import LockTable
+from repro.core.locks import LockMode
+from repro.core.reference import (
+    naive_blocked_by,
+    naive_commit_blockers,
+    naive_conflicting_locks,
+    naive_conflicting_types,
+)
+
+TYPE_NAMES = [f"t{i}" for i in range(6)]
+PIDS = list(range(1, 6))
+
+
+class FakeProcess:
+    """The table only ever reads ``pid`` from a process."""
+
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+
+
+def make_relation(
+    pairs: list[tuple[str, str]]
+) -> tuple[ActivityRegistry, ConflictMatrix]:
+    registry = ActivityRegistry()
+    for name in TYPE_NAMES:
+        registry.define_compensatable(
+            name, "shop", cost=1.0, compensation_cost=0.5
+        )
+    matrix = ConflictMatrix(registry)
+    for left, right in pairs:
+        matrix.declare_conflict(left, right)
+    return registry, matrix
+
+
+def assert_agrees_with_oracles(
+    table: LockTable, processes: dict[int, FakeProcess]
+) -> None:
+    # check_invariants already audits the blocker index against
+    # naive_blocked_by and the mode indexes against the entries.
+    table.check_invariants(live_pids=table.holders())
+    for process in processes.values():
+        assert table.commit_blockers(process) == naive_commit_blockers(
+            table, process
+        )
+        assert table.on_hold(process) == bool(
+            naive_commit_blockers(table, process)
+        )
+    oracle = naive_blocked_by(table)
+    for pid in PIDS:
+        assert table.blockers_of(pid) == frozenset(oracle.get(pid, ()))
+        assert table.waiters_on(pid) == frozenset(
+            waiter
+            for waiter, blockers in oracle.items()
+            if pid in blockers
+        )
+    for name in TYPE_NAMES:
+        assert table.conflicting_locks(name) == naive_conflicting_locks(
+            table, name
+        )
+        assert table._conflicts.conflicting_types(name) == frozenset(
+            naive_conflicting_types(table._conflicts, name)
+        )
+
+
+pair_strategy = st.tuples(
+    st.sampled_from(TYPE_NAMES), st.sampled_from(TYPE_NAMES)
+)
+
+op_strategy = st.one_of(
+    st.tuples(
+        st.just("acquire"),
+        st.sampled_from(PIDS),
+        st.sampled_from(TYPE_NAMES),
+        st.sampled_from([LockMode.C, LockMode.P]),
+    ),
+    st.tuples(st.just("upgrade"), st.integers(min_value=0)),
+    st.tuples(st.just("release"), st.sampled_from(PIDS)),
+    st.tuples(st.just("declare"), pair_strategy),
+)
+
+
+class TestLockTableProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        initial_pairs=st.lists(pair_strategy, max_size=8),
+        ops=st.lists(op_strategy, min_size=1, max_size=40),
+    )
+    def test_indexes_agree_with_oracles_under_churn(
+        self, initial_pairs, ops
+    ):
+        __, matrix = make_relation(initial_pairs)
+        table = LockTable(matrix)
+        processes = {pid: FakeProcess(pid) for pid in PIDS}
+        for op in ops:
+            kind = op[0]
+            if kind == "acquire":
+                __, pid, name, mode = op
+                table.acquire(processes[pid], name, mode)
+            elif kind == "upgrade":
+                entries = [
+                    entry
+                    for entry in table.iter_entries()
+                    if entry.mode is LockMode.C
+                ]
+                if entries:
+                    entries[op[1] % len(entries)].upgrade_to_p()
+            elif kind == "release":
+                table.release_all(op[1])
+            else:  # declare: mutate the relation mid-history
+                left, right = op[1]
+                matrix.declare_conflict(left, right)
+            assert_agrees_with_oracles(table, processes)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        pairs=st.lists(pair_strategy, max_size=10),
+        acquires=st.lists(
+            st.tuples(
+                st.sampled_from(PIDS), st.sampled_from(TYPE_NAMES)
+            ),
+            max_size=20,
+        ),
+    )
+    def test_release_returns_table_to_oracle_agreement(
+        self, pairs, acquires
+    ):
+        __, matrix = make_relation(pairs)
+        table = LockTable(matrix)
+        processes = {pid: FakeProcess(pid) for pid in PIDS}
+        for pid, name in acquires:
+            table.acquire(processes[pid], name, LockMode.C)
+        for pid in PIDS:
+            table.release_all(pid)
+            assert_agrees_with_oracles(table, processes)
+        assert table.lock_count == 0
+        assert table.blockers_of(PIDS[0]) == frozenset()
+
+
+class TestHasCycleProperty:
+    """The cheap guard agrees with networkx on arbitrary digraphs."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        edges=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),
+                st.integers(min_value=0, max_value=7),
+            ),
+            max_size=24,
+        )
+    )
+    def test_matches_networkx(self, edges):
+        adjacency: dict[int, set[int]] = {}
+        for src, dst in edges:
+            if src != dst:  # waits-for graphs have no self-edges
+                adjacency.setdefault(src, set()).add(dst)
+        graph = nx.DiGraph()
+        for src, dsts in adjacency.items():
+            for dst in dsts:
+                graph.add_edge(src, dst)
+        try:
+            nx.find_cycle(graph)
+            expected = True
+        except nx.NetworkXNoCycle:
+            expected = False
+        assert has_cycle(adjacency) == expected

@@ -74,7 +74,7 @@ class TestLockTable:
         released = table.release_all(older.pid)
         assert len(released) == 2
         assert table.lock_count == 0
-        assert table.locks_of(older.pid) == []
+        assert table.locks_of(older.pid) == ()
 
     def test_commit_blockers_by_position(self, table, two_processes):
         older, younger = two_processes
@@ -97,11 +97,11 @@ class TestLockTable:
     def test_c_locks_of_and_upgrade(self, table, two_processes):
         older, __ = two_processes
         entry = table.acquire(older, "reserve", LockMode.C)
-        assert table.c_locks_of(older.pid) == [entry]
+        assert table.c_locks_of(older.pid) == (entry,)
         entry.upgrade_to_p()
         assert entry.mode is LockMode.P
         assert entry.converted
-        assert table.c_locks_of(older.pid) == []
+        assert table.c_locks_of(older.pid) == ()
         assert table.p_lock_holders() == {older.pid}
 
     def test_entry_for_activity(self, table, two_processes):

@@ -125,7 +125,7 @@ class TestPivRule:
         assert isinstance(decision, Grant)
         assert protocol.completing_token_owner == process.pid
         # Comp→Piv: every C lock was converted.
-        assert protocol.table.c_locks_of(process.pid) == []
+        assert protocol.table.c_locks_of(process.pid) == ()
 
     def test_defer_on_older_c_holder(
         self, protocol, flat_program, order_program
