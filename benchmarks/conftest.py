@@ -4,3 +4,7 @@ import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent))
+
+# Re-export shared fixtures so benchmark files can use them too.
+from tests.conftest import UidFloorPinner, uid_floor  # noqa: E402,F401

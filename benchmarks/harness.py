@@ -14,9 +14,9 @@ from __future__ import annotations
 
 from repro.analysis.tables import render_dict_table, render_table
 from repro.scheduler.manager import ManagerConfig
-from repro.sim.metrics import RunMetrics, aggregate, summarize
-from repro.sim.runner import run_workload
-from repro.sim.workload import WorkloadSpec, build_workload
+from repro.sim.metrics import aggregate
+from repro.sim.runner import run_protocol_over_seeds
+from repro.sim.workload import WorkloadSpec
 
 #: Seeds used for repetition averaging in every experiment.
 SEEDS = [11, 22, 33, 44]
@@ -28,13 +28,16 @@ def averaged_metrics(
     seeds: list[int] | None = None,
     config: ManagerConfig | None = None,
 ) -> dict[str, float]:
-    """Run ``protocol`` over seed-varied workloads; average the metrics."""
-    rows: list[RunMetrics] = []
-    for seed in seeds or SEEDS:
-        workload = build_workload(spec.with_(seed=seed))
-        result = run_workload(workload, protocol, seed=seed,
-                              config=config)
-        rows.append(summarize(protocol, result))
+    """Run ``protocol`` over seed-varied workloads; average the metrics.
+
+    Runs serially by default (byte-identical to the historical loop);
+    set ``REPRO_SEED_WORKERS`` to fan the per-seed runs out over a
+    process pool (each run is an isolated fixed-seed simulation, so the
+    averaged result is the same either way).
+    """
+    rows = run_protocol_over_seeds(
+        spec, protocol, seeds=seeds or SEEDS, config=config
+    )
     return aggregate(rows)
 
 

@@ -18,13 +18,10 @@ blocker index, and the manager's wake-up index.  This file
 
 from __future__ import annotations
 
-import itertools
 import json
 import time
 from pathlib import Path
 
-import repro.activities.activity as _activity_module
-import repro.core.locks as _locks_module
 from repro.core.lock_table import LockTable
 from repro.core.locks import LockEntry, LockMode
 from repro.core.reference import (
@@ -52,21 +49,9 @@ SCALING_SWEEP = [
 #: starvation accounting is a protocol question, not a perf one.
 BENCH_CONFIG = dict(max_resubmissions=100_000)
 
-#: Strictly increasing uid/lock-id floors, one per compared run pair.
-#: Activity uids and lock ids come from module-global counters, and uid
-#: *values* leak into scheduling via int-set iteration order (the
-#: in-flight gate bookkeeping), so two runs are only byte-comparable
-#: when they start from the same floor.  The floors stay monotone so
-#: other tests in the same interpreter keep their uid-ordering
-#: assumptions.
-_FLOOR = itertools.count(10_000_000, 10_000_000)
-
-
-def _pin_counters(floor: int) -> None:
-    """Restart the global uid/lock-id counters at ``floor``."""
-    _activity_module._activity_ids = itertools.count(floor)
-    _locks_module._lock_ids = itertools.count(floor)
-
+# Byte-comparable paired runs use the shared ``uid_floor`` fixture
+# (tests/conftest.py): pin() claims a fresh uid/lock-id floor, repin()
+# restarts the counters there for the second run of a pair.
 
 # ----------------------------------------------------------------------
 # the naive (pre-index) path, kept runnable as a reference
@@ -239,17 +224,16 @@ def _timed_run(runner, workload, seed, config):
 class TestTraceEquivalence:
     """Indexing is a pure perf change: schedules are byte-identical."""
 
-    def test_fixed_seed_schedules_identical(self):
+    def test_fixed_seed_schedules_identical(self, uid_floor):
         config = ManagerConfig(**BENCH_CONFIG)
         for seed in (0, 7, 42):
             spec = _spec(30, 0.4, 0.5, seed)
-            floor = next(_FLOOR)
-            _pin_counters(floor)
+            uid_floor.pin()
             indexed = run_workload(
                 build_workload(spec), "process-locking",
                 seed=seed, config=config,
             )
-            _pin_counters(floor)
+            uid_floor.repin()
             naive = run_naive_workload(
                 build_workload(spec), "process-locking",
                 seed=seed, config=config,
@@ -258,18 +242,17 @@ class TestTraceEquivalence:
             assert indexed.makespan == naive.makespan
             assert indexed.stats.committed == naive.stats.committed
 
-    def test_equivalence_under_cost_based_pressure(self):
+    def test_equivalence_under_cost_based_pressure(self, uid_floor):
         config = ManagerConfig(**BENCH_CONFIG)
         spec = _spec(20, 0.5, 0.3, 3).with_(
             wcc_threshold=8.0, parallel_probability=0.3
         )
-        floor = next(_FLOOR)
-        _pin_counters(floor)
+        uid_floor.pin()
         indexed = run_workload(
             build_workload(spec), "process-locking",
             seed=3, config=config,
         )
-        _pin_counters(floor)
+        uid_floor.repin()
         naive = run_naive_workload(
             build_workload(spec), "process-locking",
             seed=3, config=config,
@@ -278,17 +261,16 @@ class TestTraceEquivalence:
 
 
 class TestScaling:
-    def test_sweep_and_speedup(self):
+    def test_sweep_and_speedup(self, uid_floor):
         config = ManagerConfig(**BENCH_CONFIG)
         rows = []
         for n_processes, density, spacing in SCALING_SWEEP:
             spec = _spec(n_processes, density, spacing, seed=7)
-            floor = next(_FLOOR)
-            _pin_counters(floor)
+            uid_floor.pin()
             indexed, wall_indexed = _timed_run(
                 run_workload, build_workload(spec), 7, config
             )
-            _pin_counters(floor)
+            uid_floor.repin()
             naive, wall_naive = _timed_run(
                 run_naive_workload, build_workload(spec), 7, config
             )

@@ -16,6 +16,7 @@ correctness check fails.
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import sys
 from collections.abc import Sequence
@@ -143,6 +144,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=["0", "10", "40", "inf"],
         help="Wcc* values ('inf' allowed)",
     )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help=(
+            "deterministic fault-injection campaign (plans × workloads "
+            "× protocols) asserting termination, CT, P-RC, trace "
+            "splicing, and WAL recovery per run"
+        ),
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--quick",
+        action="store_true",
+        help="trimmed campaign for CI smoke runs",
+    )
+    chaos.add_argument(
+        "--protocols",
+        nargs="+",
+        default=None,
+        choices=sorted(PROTOCOL_FACTORIES),
+        help="protocols to sweep (default: the CT-guaranteeing set)",
+    )
+    chaos.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print the per-run table even when everything passes",
+    )
+    chaos.add_argument(
+        "--json",
+        action="store_true",
+        help="emit per-run rows as JSON instead of tables",
+    )
+    chaos.add_argument(
+        "--dump-schedules",
+        action="store_true",
+        help="print each plan's compiled fault schedule (canonical form)",
+    )
     return parser
 
 
@@ -267,6 +305,30 @@ def cmd_sweep_threshold(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.analysis.faults import campaign_rows, render_campaign
+    from repro.faults import run_campaign
+
+    report = run_campaign(
+        seed=args.seed,
+        quick=args.quick,
+        protocols=tuple(args.protocols) if args.protocols else None,
+    )
+    if args.json:
+        print(json.dumps(campaign_rows(report), indent=2))
+    else:
+        print(render_campaign(report, verbose=args.verbose))
+    if args.dump_schedules:
+        printed: set[str] = set()
+        print()
+        for run in report.runs:
+            if run.plan in printed:
+                continue
+            printed.add(run.plan)
+            print(f"{run.plan}: {run.schedule_canonical}")
+    return 0 if report.ok else 1
+
+
 def cmd_conformance(args: argparse.Namespace) -> int:
     names = (
         [args.protocol]
@@ -286,6 +348,7 @@ def cmd_conformance(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "exhibits": cmd_exhibits,
+    "chaos": cmd_chaos,
     "conformance": cmd_conformance,
     "run": cmd_run,
     "compare": cmd_compare,

@@ -41,6 +41,37 @@ def wcc_after(
     return wcc + activity.cost + registry.compensation_cost(next_activity)
 
 
+def retry_wcc_charge(
+    registry: ActivityRegistry, activity_name: str
+) -> float:
+    """``Wcc`` increment of one *extra* attempt of a retriable activity.
+
+    Retriable activities have no compensation to pay for (a failed
+    attempt has no effect), so each additional attempt contributes its
+    execution cost ``c(a)`` alone.  The manager charges this per retry
+    when a bounded retry policy is installed, making retry storms
+    visible to the cost-based scheduler of Section 4.
+    """
+    return registry.get(activity_name).cost
+
+
+def retry_budget_wcc(
+    registry: ActivityRegistry, activity_name: str, max_attempts: int
+) -> float:
+    """Worst-case retry cost of ``a`` under an attempt budget.
+
+    With at most ``max_attempts`` total attempts, the worst case pays
+    ``(max_attempts - 1) * c(a)`` on top of the successful execution —
+    the bound that keeps ``Wcc`` finite (and termination guaranteed)
+    under transient-fault injection.
+    """
+    if max_attempts < 1:
+        raise ValueError(
+            f"max_attempts must be >= 1 (got {max_attempts!r})"
+        )
+    return (max_attempts - 1) * retry_wcc_charge(registry, activity_name)
+
+
 def is_pseudo_pivot(
     registry: ActivityRegistry,
     wcc_before: float,

@@ -1,0 +1,252 @@
+"""Declarative fault plans and their deterministic compilation.
+
+A :class:`FaultPlan` describes *what* to break — activity failures
+honoring each type's ``p(a)``, subsystem outages with a duration,
+WAL-backed subsystem crashes, whole-manager crashes at chosen event
+indices, injected latency — without saying anything about mechanism.
+:func:`compile_plan` turns a plan plus a seed into a
+:class:`FaultSchedule`: the event-indexed injections sorted into firing
+order plus the seeded probabilistic layers, with a canonical byte-stable
+serialization used by the determinism assertions of the chaos harness.
+
+Nothing in this module touches a manager; the schedule is executed by
+:class:`repro.faults.injector.FaultInjector`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import SchedulerError
+from repro.sim.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class ActivityFailures:
+    """Deterministic activity-failure layer.
+
+    Replaces the manager's own failure sampling with draws from a
+    per-activity RNG derived from the schedule seed, so the failure
+    pattern is a function of ``(plan, seed)`` alone — independent of
+    event ordering.  Each non-retriable activity ``a`` fails with
+    probability ``min(1, p(a) * rate_scale)``, honoring its declared
+    ``p(a)``; retriable activities experience transient (retry-and-
+    succeed) failures with probability ``transient_prob`` per attempt.
+    """
+
+    #: Multiplier applied to each activity type's ``p(a)``.
+    rate_scale: float = 1.0
+    #: Per-attempt transient-failure probability of retriable activities.
+    transient_prob: float = 0.0
+    #: Restrict injection to these subsystems (empty = all).
+    subsystems: tuple[str, ...] = ()
+
+    def applies_to(self, subsystem: str) -> bool:
+        return not self.subsystems or subsystem in self.subsystems
+
+
+@dataclass(frozen=True)
+class SubsystemOutage:
+    """A subsystem is unavailable for ``duration`` of virtual time.
+
+    While down, non-retriable activities of the subsystem fail (and are
+    resolved through compensation/alternatives as usual) and retriable
+    activities retry until the outage lifts.
+    """
+
+    subsystem: str
+    at_event: int
+    duration: float
+
+
+@dataclass(frozen=True)
+class SubsystemCrash:
+    """Crash a durable subsystem and run its WAL recovery.
+
+    At the chosen event index a doomed transaction writes
+    ``doomed_writes`` sentinel values (WAL-logged), then the subsystem
+    crashes; recovery must roll the loser back, which the harness
+    asserts key by key.
+    """
+
+    subsystem: str
+    at_event: int
+    doomed_writes: int = 2
+
+
+@dataclass(frozen=True)
+class ManagerCrash:
+    """Crash the whole process manager at a global event index.
+
+    The injector journals the manager (:func:`repro.scheduler.recovery.
+    crash`), rebuilds a fresh protocol instance, and resumes via
+    :func:`repro.scheduler.recovery.recover`; the spliced trace is
+    checked end to end.
+    """
+
+    at_event: int
+
+
+@dataclass(frozen=True)
+class InjectedLatency:
+    """Extra virtual-time latency added to activity executions.
+
+    ``extra`` is added to every matching activity's duration; ``jitter``
+    adds a uniform ``[0, jitter)`` component drawn from a per-activity
+    seeded RNG (deterministic, order-independent).
+    """
+
+    extra: float = 0.0
+    jitter: float = 0.0
+    #: Restrict to these subsystems (empty = all).
+    subsystems: tuple[str, ...] = ()
+
+    def applies_to(self, subsystem: str) -> bool:
+        return not self.subsystems or subsystem in self.subsystems
+
+
+@dataclass(frozen=True)
+class RetrySpec:
+    """Declarative retry/backoff policy (see :mod:`repro.faults.retry`)."""
+
+    kind: str = "fixed"  # fixed | exponential | jittered
+    base_delay: float = 1.0
+    factor: float = 2.0
+    max_delay: float = 32.0
+    jitter: float = 0.0
+    #: Total attempt budget per activity execution (first try included).
+    max_attempts: int = 8
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, declarative bundle of faults to inject into one run."""
+
+    name: str
+    failures: ActivityFailures | None = None
+    outages: tuple[SubsystemOutage, ...] = ()
+    subsystem_crashes: tuple[SubsystemCrash, ...] = ()
+    manager_crashes: tuple[ManagerCrash, ...] = ()
+    latency: InjectedLatency | None = None
+    retry: RetrySpec | None = None
+
+    def validate(self) -> None:
+        for outage in self.outages:
+            if outage.duration <= 0:
+                raise SchedulerError(
+                    f"plan {self.name!r}: outage duration must be > 0 "
+                    f"(got {outage.duration!r})"
+                )
+        indexed = self.event_indexed()
+        if any(inj.at_event < 0 for inj in indexed):
+            raise SchedulerError(
+                f"plan {self.name!r}: negative event index"
+            )
+
+    def event_indexed(
+        self,
+    ) -> list[SubsystemOutage | SubsystemCrash | ManagerCrash]:
+        return [*self.outages, *self.subsystem_crashes,
+                *self.manager_crashes]
+
+
+#: Stable tags for the canonical serialization, one per injection type.
+_KIND_TAGS = {
+    SubsystemOutage: "outage",
+    SubsystemCrash: "subsystem-crash",
+    ManagerCrash: "manager-crash",
+}
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One compiled, event-indexed injection, ready to fire."""
+
+    at_event: int
+    #: Tie-break among injections sharing an event index (plan order).
+    order: int
+    kind: str
+    spec: object
+
+
+@dataclass
+class FaultSchedule:
+    """A compiled plan: sorted injections + seeded probabilistic layers."""
+
+    plan: FaultPlan
+    seed: int
+    injections: list[Injection] = field(default_factory=list)
+
+    @property
+    def failures(self) -> ActivityFailures | None:
+        return self.plan.failures
+
+    @property
+    def latency(self) -> InjectedLatency | None:
+        return self.plan.latency
+
+    def stream(self, label: str):
+        """A seeded RNG unique to ``(seed, plan, label)``.
+
+        Deriving per-decision streams (rather than drawing from one
+        sequential RNG) makes every injection decision independent of
+        the order in which the injector happens to ask.
+        """
+        return derive_rng(self.seed, f"faults:{self.plan.name}:{label}")
+
+    def canonical(self) -> str:
+        """Byte-stable serialization for determinism assertions."""
+        return json.dumps(
+            {
+                "plan": self.plan.name,
+                "seed": self.seed,
+                "failures": (
+                    asdict(self.plan.failures)
+                    if self.plan.failures
+                    else None
+                ),
+                "latency": (
+                    asdict(self.plan.latency)
+                    if self.plan.latency
+                    else None
+                ),
+                "retry": (
+                    asdict(self.plan.retry) if self.plan.retry else None
+                ),
+                "injections": [
+                    {
+                        "at_event": inj.at_event,
+                        "order": inj.order,
+                        "kind": inj.kind,
+                        "spec": asdict(inj.spec),
+                    }
+                    for inj in self.injections
+                ],
+            },
+            separators=(",", ":"),
+            sort_keys=True,
+        )
+
+
+def compile_plan(plan: FaultPlan, seed: int) -> FaultSchedule:
+    """Compile ``plan`` into a deterministic injection schedule.
+
+    Event-indexed injections are sorted by ``(at_event, plan order)``;
+    the probabilistic layers keep their specs and draw from RNG streams
+    derived from ``seed`` at injection time.  Compiling the same plan
+    with the same seed always yields a byte-identical schedule
+    (:meth:`FaultSchedule.canonical`).
+    """
+    plan.validate()
+    injections = [
+        Injection(
+            at_event=spec.at_event,
+            order=order,
+            kind=_KIND_TAGS[type(spec)],
+            spec=spec,
+        )
+        for order, spec in enumerate(plan.event_indexed())
+    ]
+    injections.sort(key=lambda inj: (inj.at_event, inj.order))
+    return FaultSchedule(plan=plan, seed=seed, injections=injections)

@@ -75,6 +75,8 @@ class InflightActivity:
     gate: set[int] = field(default_factory=set)
     started: bool = False
     cancelled: bool = False
+    #: Execution attempts so far (1-based; transient retries bump it).
+    attempts: int = 1
 
 
 @dataclass

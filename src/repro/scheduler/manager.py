@@ -27,6 +27,7 @@ from repro.core.deadlock import (
     choose_cycle_victim,
     has_cycle,
 )
+from repro.core.cost_based import retry_wcc_charge
 from repro.core.decisions import (
     AbortVictims,
     Decision,
@@ -67,6 +68,13 @@ class ManagerConfig:
     retry_delay: float = 1.0
     #: Probability that a retriable activity needs another attempt.
     transient_retry_prob: float = 0.0
+    #: Optional retry/backoff policy for retriable activities (see
+    #: :mod:`repro.faults.retry`): any object with ``delay_for(n)`` and
+    #: ``max_attempts``.  ``None`` keeps the flat ``retry_delay`` with an
+    #: unbounded budget (the seed behaviour).  With a policy installed,
+    #: every extra attempt also charges the activity's cost to the
+    #: process's ``Wcc`` so cost-based protection sees retry storms.
+    retry_policy: object | None = None
     #: Run the protocol's structural audit after every event (slow).
     audit: bool = False
     #: Hard cap on simulation events.
@@ -165,6 +173,11 @@ class ProcessManager:
         self.protocol = protocol
         self.subsystems = subsystems
         self.config = config or ManagerConfig()
+        #: Optional fault injector (duck-typed; see
+        #: :mod:`repro.faults.injector`).  When attached it may decide
+        #: activity outcomes and add execution latency; ``None`` keeps
+        #: the manager's own failure sampling untouched.
+        self.injector = None
         self.engine = SimulationEngine()
         self.rng = random.Random(seed)
         self.trace = TraceRecorder()
@@ -412,6 +425,10 @@ class ProcessManager:
         flight.started = True
         self.stats.note_inflight(self.engine.now, +1)
         duration = flight.activity.activity_type.cost
+        if self.injector is not None:
+            duration += self.injector.latency_for(
+                flight.process, flight.activity
+            )
         if flight.kind is RequestKind.REGULAR:
             self.engine.schedule(
                 duration, lambda: self._complete_regular(flight)
@@ -439,33 +456,90 @@ class ProcessManager:
         process = flight.process
         activity = flight.activity
         activity_type = activity.activity_type
-        if activity_type.retriable and (
-            self.config.transient_retry_prob > 0
-            and self.rng.random() < self.config.transient_retry_prob
+        if activity_type.retriable and self._wants_transient_retry(
+            flight
         ):
             # Retriable activities may fail transiently; they are simply
             # retried until they succeed (their lock is already held and
             # the flight stays in place, so gated successors keep
             # waiting).
+            flight.attempts += 1
             self.stats.retries += 1
             self.records[process.pid].retries += 1
             self.engine.schedule(
-                self.config.retry_delay + activity_type.cost,
+                self._retry_delay(flight) + activity_type.cost,
                 lambda: self._complete_regular(flight),
             )
             return
         self._inflight.pop(activity.uid, None)
         self.stats.note_inflight(self.engine.now, -1)
         self._release_dependents(flight)
-        failed = (
-            not activity_type.retriable
-            and self.rng.random() < activity_type.failure_probability
+        failed = not activity_type.retriable and self._samples_failure(
+            process, activity
         )
         if failed:
             self._on_activity_failed(process, activity)
         else:
             self._on_activity_committed(process, activity)
         self._post_event()
+
+    def _wants_transient_retry(self, flight: InflightActivity) -> bool:
+        """Whether a retriable completion turns into another attempt.
+
+        An attached fault injector overrides the manager's own
+        ``transient_retry_prob`` sampling (returning ``None`` to fall
+        through to it); a configured retry policy bounds the attempt
+        budget — once exhausted, the attempt succeeds, preserving
+        guaranteed termination.
+        """
+        verdict = None
+        if self.injector is not None:
+            verdict = self.injector.wants_retry(
+                flight.process, flight.activity, flight.attempts
+            )
+        if verdict is None:
+            verdict = (
+                self.config.transient_retry_prob > 0
+                and self.rng.random() < self.config.transient_retry_prob
+            )
+        policy = self.config.retry_policy
+        if (
+            verdict
+            and policy is not None
+            and flight.attempts >= policy.max_attempts
+        ):
+            return False
+        return verdict
+
+    def _retry_delay(self, flight: InflightActivity) -> float:
+        """Backoff before the next attempt; charges Wcc under a policy."""
+        policy = self.config.retry_policy
+        if policy is None:
+            return self.config.retry_delay
+        flight.process.charge_wcc(
+            retry_wcc_charge(
+                flight.process.registry, flight.activity.name
+            )
+        )
+        return policy.delay_for(flight.attempts - 1)
+
+    def _samples_failure(
+        self, process: Process, activity: Activity
+    ) -> bool:
+        """Whether a completed non-retriable activity fails.
+
+        An attached fault injector may decide deterministically (honoring
+        the type's ``p(a)`` via its own seeded streams); otherwise the
+        manager samples ``p(a)`` from its run RNG as always.
+        """
+        if self.injector is not None:
+            verdict = self.injector.should_fail(process, activity)
+            if verdict is not None:
+                return verdict
+        return (
+            self.rng.random()
+            < activity.activity_type.failure_probability
+        )
 
     def _on_activity_committed(
         self, process: Process, activity: Activity

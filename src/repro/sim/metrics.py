@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
-from repro.scheduler.manager import RunResult
+from repro.scheduler.manager import ManagerStats, RunResult
 
 
 @dataclass(frozen=True)
@@ -31,6 +31,25 @@ class RunMetrics:
     #: Lock-table operations the protocol performed (grants, conversions,
     #: deferments, commit checks) — the denominator for lock-ops/sec.
     lock_ops: int = 0
+    #: Fault-injection counters (zero outside chaos runs): faults the
+    #: injector forced, transient retries it caused, and manager
+    #: crash/recover cycles survived.
+    faults_injected: int = 0
+    fault_retries: int = 0
+    fault_recoveries: int = 0
+
+    def fault_row(self) -> dict[str, float]:
+        """Dictionary form for the chaos-campaign table."""
+        return {
+            "protocol": self.protocol,
+            "committed": self.committed,
+            "makespan": round(self.makespan, 2),
+            "injected": self.faults_injected,
+            "retries": self.fault_retries,
+            "recoveries": self.fault_recoveries,
+            "compensations": self.compensations,
+            "resubmits": self.resubmissions,
+        }
 
     def as_row(self) -> dict[str, float]:
         """Dictionary form for table rendering."""
@@ -72,6 +91,75 @@ def summarize(protocol_name: str, result: RunResult) -> RunMetrics:
         defers=getattr(protocol_stats, "defers", 0),
         cascade_victims=getattr(protocol_stats, "cascade_victims", 0),
         lock_ops=lock_operations(protocol_stats),
+    )
+
+
+def merge_stats(
+    parts: list[ManagerStats], submitted: int | None = None
+) -> ManagerStats:
+    """Sum counters across manager incarnations of one logical run.
+
+    A recovered manager re-counts its adopted processes as submissions
+    (each incarnation starts a fresh :class:`ManagerStats`), so the
+    naive sum over-counts ``submitted``; callers that know the true
+    population (``len(result.records)``) pass it via ``submitted``.
+    """
+    merged = ManagerStats()
+    for part in parts:
+        for spec in fields(ManagerStats):
+            if spec.name.startswith("_"):
+                continue
+            setattr(
+                merged,
+                spec.name,
+                getattr(merged, spec.name) + getattr(part, spec.name),
+            )
+    if submitted is not None:
+        merged.submitted = submitted
+    return merged
+
+
+def summarize_chaos(protocol_name: str, chaos) -> RunMetrics:
+    """Condense a fault-injected run (a ``ChaosRunResult``).
+
+    Counters come from the incarnation-merged stats and the makespan is
+    the incarnation-summed virtual time, so a run that survived manager
+    crashes summarizes the whole logical execution, not just the final
+    incarnation.
+    """
+    result = chaos.result
+    stats = chaos.stats
+    makespan = chaos.makespan
+    protocol_stats = result.protocol_stats
+    unresolvable = getattr(protocol_stats, "unresolvable", 0)
+    unresolvable += stats.unresolvable_violations
+    counters = chaos.counters
+    return RunMetrics(
+        protocol=protocol_name,
+        committed=stats.committed,
+        submitted=stats.submitted,
+        makespan=makespan,
+        throughput=stats.committed / makespan if makespan > 0 else 0.0,
+        mean_latency=result.mean_latency,
+        mean_concurrency=(
+            stats.busy_area / makespan if makespan > 0 else 0.0
+        ),
+        protocol_aborts=stats.protocol_aborts,
+        intrinsic_aborts=stats.intrinsic_aborts,
+        subprocess_aborts=stats.subprocess_aborts,
+        resubmissions=stats.resubmissions,
+        compensations=stats.compensations,
+        compensated_cost=stats.compensated_cost,
+        deadlock_victims=stats.deadlock_victims,
+        unresolvable_violations=unresolvable,
+        defers=getattr(protocol_stats, "defers", 0),
+        cascade_victims=getattr(protocol_stats, "cascade_victims", 0),
+        lock_ops=lock_operations(protocol_stats),
+        faults_injected=counters.injected_failures
+        + counters.outages_started
+        + counters.subsystem_crashes,
+        fault_retries=counters.injected_retries,
+        fault_recoveries=counters.manager_recoveries,
     )
 
 

@@ -50,6 +50,32 @@ class TransactionalSubsystem:
         self._txn_ids = itertools.count(1)
         self.committed_count = 0
         self.aborted_count = 0
+        #: Virtual time until which the subsystem is unavailable (fault
+        #: injection); ``0.0`` means up.  See :meth:`begin_outage`.
+        self.down_until: float = 0.0
+        self.outages = 0
+
+    # ------------------------------------------------------------------
+    # availability (fault injection)
+    # ------------------------------------------------------------------
+    def begin_outage(self, until: float) -> None:
+        """Mark the subsystem unavailable until virtual time ``until``.
+
+        The process manager's fault injector turns activity completions
+        on a down subsystem into failures (non-retriable) or transient
+        retries (retriable); the subsystem itself keeps serving
+        compensations, which the paper assumes always succeed.
+        """
+        self.down_until = max(self.down_until, until)
+        self.outages += 1
+
+    def end_outage(self) -> None:
+        """Lift any outage immediately."""
+        self.down_until = 0.0
+
+    def is_down(self, now: float) -> bool:
+        """Whether the subsystem is inside an outage window at ``now``."""
+        return now < self.down_until
 
     # ------------------------------------------------------------------
     # execution paths
@@ -218,10 +244,12 @@ class SubsystemPool:
     def __init__(self) -> None:
         self._subsystems: dict[str, TransactionalSubsystem] = {}
 
-    def create(self, name: str) -> TransactionalSubsystem:
+    def create(
+        self, name: str, durable: bool = False
+    ) -> TransactionalSubsystem:
         if name in self._subsystems:
             raise SubsystemError(f"subsystem {name!r} already exists")
-        subsystem = TransactionalSubsystem(name)
+        subsystem = TransactionalSubsystem(name, durable=durable)
         self._subsystems[name] = subsystem
         return subsystem
 
@@ -231,9 +259,11 @@ class SubsystemPool:
         except KeyError:
             raise SubsystemError(f"unknown subsystem {name!r}") from None
 
-    def get_or_create(self, name: str) -> TransactionalSubsystem:
+    def get_or_create(
+        self, name: str, durable: bool = False
+    ) -> TransactionalSubsystem:
         if name not in self._subsystems:
-            return self.create(name)
+            return self.create(name, durable=durable)
         return self._subsystems[name]
 
     def __iter__(self):

@@ -2,14 +2,60 @@
 
 from __future__ import annotations
 
+import itertools
+
 import pytest
 
+import repro.activities.activity as _activity_module
+import repro.core.locks as _locks_module
 from repro.activities.commutativity import ConflictMatrix
 from repro.activities.registry import ActivityRegistry
 from repro.core.protocol import ProcessLockManager
 from repro.process.builder import ProgramBuilder
 from repro.process.instance import Process
 from repro.process.program import ProcessProgram
+
+
+#: Strictly increasing uid/lock-id floors, one per pinned run pair,
+#: shared by every :class:`UidFloorPinner` in the session.  Activity
+#: uids and lock ids come from module-global counters, and uid *values*
+#: leak into scheduling via int-set iteration order (the in-flight gate
+#: bookkeeping), so two runs are only byte-comparable when they start
+#: from the same floor.  The floors stay monotone so other tests in the
+#: same interpreter keep their uid-ordering assumptions.
+_UID_FLOORS = itertools.count(10_000_000, 10_000_000)
+
+
+class UidFloorPinner:
+    """Pin the global activity/lock-id counters for paired runs.
+
+    ``pin()`` claims a fresh floor and restarts both counters there;
+    ``repin()`` restarts them at the *same* floor, making the next run
+    byte-comparable (identical uids, hence identical traces) with the
+    previous one.
+    """
+
+    def __init__(self) -> None:
+        self.floor: int | None = None
+
+    def pin(self) -> int:
+        """Claim a fresh floor and restart both counters at it."""
+        self.floor = next(_UID_FLOORS)
+        self.repin()
+        return self.floor
+
+    def repin(self) -> None:
+        """Restart both counters at the current floor (paired run)."""
+        if self.floor is None:
+            raise RuntimeError("call pin() before repin()")
+        _activity_module._activity_ids = itertools.count(self.floor)
+        _locks_module._lock_ids = itertools.count(self.floor)
+
+
+@pytest.fixture
+def uid_floor() -> UidFloorPinner:
+    """Per-test pinner for byte-comparable paired simulation runs."""
+    return UidFloorPinner()
 
 
 @pytest.fixture

@@ -1,0 +1,92 @@
+"""Chaos harness: campaigns, acceptance checks, CLI determinism."""
+
+from __future__ import annotations
+
+from repro import cli
+from repro.faults.harness import (
+    default_plans,
+    default_workloads,
+    run_campaign,
+    run_chaos,
+)
+from repro.faults.plan import FaultPlan, ManagerCrash
+from repro.sim.workload import WorkloadSpec, build_workload
+
+
+class TestCampaign:
+    def test_full_campaign_passes_every_acceptance_check(self):
+        report = run_campaign(seed=7)
+        assert len(report.runs) >= 50
+        assert report.ok, [
+            (r.plan, r.workload, r.protocol, r.failures)
+            for r in report.failed
+        ]
+        counts = report.counts()
+        # The campaign must actually exercise every channel.
+        assert counts["injected"] > 0
+        assert counts["retries"] > 0
+        assert counts["recoveries"] > 0
+
+    def test_quick_campaign_shape(self):
+        report = run_campaign(seed=7, quick=True)
+        plans = {r.plan for r in report.runs}
+        workloads = {r.workload for r in report.runs}
+        assert plans == {p.name for p in default_plans(quick=True)}
+        assert workloads == set(default_workloads(7, quick=True))
+        assert report.ok
+
+    def test_paired_campaigns_are_byte_identical(self, uid_floor):
+        uid_floor.pin()
+        first = run_campaign(seed=3, quick=True)
+        uid_floor.repin()
+        second = run_campaign(seed=3, quick=True)
+        assert [r.schedule_canonical for r in first.runs] == [
+            r.schedule_canonical for r in second.runs
+        ]
+        assert [r.trace_digest for r in first.runs] == [
+            r.trace_digest for r in second.runs
+        ]
+
+    def test_different_seeds_diverge(self, uid_floor):
+        uid_floor.pin()
+        first = run_campaign(seed=3, quick=True)
+        uid_floor.repin()
+        second = run_campaign(seed=4, quick=True)
+        assert [r.trace_digest for r in first.runs] != [
+            r.trace_digest for r in second.runs
+        ]
+
+
+class TestRecoveredRunAccounting:
+    def test_recovered_run_merges_incarnation_counters(self):
+        workload = build_workload(WorkloadSpec(n_processes=5, seed=3))
+        plan = FaultPlan(
+            name="mc", manager_crashes=(ManagerCrash(at_event=20),)
+        )
+        report = run_chaos(
+            workload, "process-locking", plan, seed=11
+        )
+        assert report.ok, report.failures
+        assert report.incarnations == 2
+        assert report.metrics.fault_recoveries == 1
+        # Merged submission counter reflects the real population, not
+        # the double-counted re-adoptions of the second incarnation.
+        assert report.metrics.submitted == 5
+
+
+class TestCli:
+    def test_chaos_verb_exits_zero_on_green_campaign(self, capsys):
+        assert cli.main(["chaos", "--quick", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos campaign (seed 7)" in out
+        assert "runs passed" in out
+
+    def test_chaos_dump_schedules_prints_canonical_plans(self, capsys):
+        code = cli.main(
+            ["chaos", "--quick", "--seed", "7", "--dump-schedules"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for plan in default_plans(quick=True):
+            # canonical() emits compact separators: no space after ':'.
+            assert f'"plan":"{plan.name}"' in out

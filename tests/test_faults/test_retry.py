@@ -1,0 +1,95 @@
+"""Retry/backoff policies and their Wcc accounting hooks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.activities.registry import ActivityRegistry
+from repro.core.cost_based import retry_budget_wcc, retry_wcc_charge
+from repro.errors import SchedulerError
+from repro.faults.plan import RetrySpec
+from repro.faults.retry import (
+    ExponentialBackoff,
+    FixedBackoff,
+    JitteredBackoff,
+    make_policy,
+)
+
+
+class TestPolicies:
+    def test_fixed_backoff_is_flat(self):
+        policy = FixedBackoff(base_delay=2.5, max_attempts=3)
+        assert [policy.delay_for(n) for n in (1, 2, 3)] == [
+            2.5, 2.5, 2.5,
+        ]
+
+    def test_exponential_backoff_doubles_and_caps(self):
+        policy = ExponentialBackoff(
+            base_delay=1.0, factor=2.0, max_delay=4.0, max_attempts=8
+        )
+        assert [policy.delay_for(n) for n in (1, 2, 3, 4, 5)] == [
+            1.0, 2.0, 4.0, 4.0, 4.0,
+        ]
+
+    def test_jittered_backoff_is_seed_deterministic(self):
+        a = JitteredBackoff(base_delay=1.0, jitter=0.5, seed=11)
+        b = JitteredBackoff(base_delay=1.0, jitter=0.5, seed=11)
+        c = JitteredBackoff(base_delay=1.0, jitter=0.5, seed=12)
+        assert a.delay_for(3) == b.delay_for(3)
+        assert a.delay_for(3) != c.delay_for(3)
+        assert a.delay_for(3) >= ExponentialBackoff(
+            base_delay=1.0
+        ).delay_for(3)
+
+    def test_validation(self):
+        with pytest.raises(SchedulerError):
+            FixedBackoff(base_delay=-1.0)
+        with pytest.raises(SchedulerError):
+            FixedBackoff(max_attempts=0)
+
+
+class TestMakePolicy:
+    def test_kinds_map_to_classes(self):
+        assert isinstance(
+            make_policy(RetrySpec(kind="fixed")), FixedBackoff
+        )
+        assert isinstance(
+            make_policy(RetrySpec(kind="exponential")),
+            ExponentialBackoff,
+        )
+        jittered = make_policy(
+            RetrySpec(kind="jittered", jitter=0.25), seed=4
+        )
+        assert isinstance(jittered, JitteredBackoff)
+        assert jittered.seed == 4
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchedulerError):
+            make_policy(RetrySpec(kind="surprise"))
+
+    def test_policies_are_picklable(self):
+        import pickle
+
+        policy = make_policy(
+            RetrySpec(kind="jittered", max_attempts=5), seed=2
+        )
+        assert pickle.loads(pickle.dumps(policy)) == policy
+
+
+class TestWccAccounting:
+    @pytest.fixture
+    def registry(self):
+        reg = ActivityRegistry()
+        reg.define_retriable("ship", "shop", cost=1.5)
+        return reg
+
+    def test_retry_charge_is_the_execution_cost(self, registry):
+        assert retry_wcc_charge(registry, "ship") == 1.5
+
+    def test_budget_wcc_counts_extra_attempts(self, registry):
+        assert retry_budget_wcc(registry, "ship", 1) == 0.0
+        assert retry_budget_wcc(registry, "ship", 4) == 4.5
+
+    def test_budget_requires_at_least_one_attempt(self, registry):
+        with pytest.raises(ValueError):
+            retry_budget_wcc(registry, "ship", 0)
