@@ -22,6 +22,8 @@ from repro.activities.registry import ActivityRegistry
 from repro.core.decisions import Decision, ProtocolStats
 from repro.core.lock_table import LockTable
 from repro.core.locks import LockMode
+from repro.obs import NULL_TRACER
+from repro.obs.events import ActivityClassified
 from repro.process.instance import Process
 from repro.process.state import ProcessState
 
@@ -32,6 +34,12 @@ class BaselineProtocol:
     #: Manager hint: break unresolvable wait cycles by force-committing a
     #: parked commit instead of raising (pure OSL sets this).
     forced_commit_on_unresolvable = False
+
+    #: Observability hook, installed by the manager.  Decision outcomes
+    #: are traced by the manager itself; baselines only emit their
+    #: Figure-1-equivalent classification so Wcc gauges stay comparable
+    #: across protocols.
+    tracer = NULL_TRACER
 
     def __init__(
         self, registry: ActivityRegistry, conflicts: ConflictMatrix
@@ -90,9 +98,22 @@ class BaselineProtocol:
             activity_type.cost
             + self.registry.compensation_cost(activity_type.name)
         )
-        if activity_type.point_of_no_return:
-            return LockMode.P
-        return LockMode.C
+        real_pivot = activity_type.point_of_no_return
+        mode = LockMode.P if real_pivot else LockMode.C
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ActivityClassified(
+                    pid=process.pid,
+                    incarnation=process.incarnation,
+                    activity=activity.name,
+                    mode=mode.value,
+                    wcc=process.wcc,
+                    threshold=process.program.wcc_threshold,
+                    pseudo_pivot=False,
+                    real_pivot=real_pivot,
+                )
+            )
+        return mode
 
     # Subclasses must implement:
     def request_activity_lock(

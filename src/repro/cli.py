@@ -7,6 +7,8 @@ Exposes the library's main entry points without writing Python::
     python -m repro compare --protocols serial s2pl process-locking
     python -m repro scenario hospital --protocol process-locking
     python -m repro sweep-threshold --thresholds 0 10 40 inf
+    python -m repro trace --seed 7 --out trace-out
+    python -m repro explain 12 --trace trace-out
 
 Every command prints plain-text tables (see
 :mod:`repro.analysis.tables`) and exits non-zero if a requested
@@ -18,6 +20,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
 from collections.abc import Sequence
 
@@ -109,6 +112,56 @@ def build_parser() -> argparse.ArgumentParser:
         default=["serial", "s2pl", "osl-pure", "process-locking"],
         choices=sorted(PROTOCOL_FACTORIES),
     )
+    compare.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the metric rows as JSON instead of a table",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help=(
+            "run a workload with decision-level tracing and export "
+            "JSONL + Perfetto JSON + wait-for DOT + series"
+        ),
+    )
+    _add_workload_args(trace, trace_out=False)
+    trace.add_argument(
+        "--protocol",
+        default="process-locking",
+        choices=sorted(PROTOCOL_FACTORIES),
+    )
+    trace.add_argument(
+        "--out",
+        default="trace-out",
+        help="output directory for the trace artifacts",
+    )
+
+    explain = sub.add_parser(
+        "explain",
+        help=(
+            "replay a JSONL trace into a causal account of one "
+            "process (why it deferred, who aborted it, how it ended)"
+        ),
+    )
+    explain.add_argument(
+        "pid",
+        type=int,
+        nargs="?",
+        default=None,
+        help=(
+            "process id to explain; omitted, lists the deferred "
+            "processes most-deferred first"
+        ),
+    )
+    explain.add_argument(
+        "--trace",
+        default="trace-out",
+        help=(
+            "trace to read: an events.jsonl file or the directory "
+            "containing it (default: trace-out)"
+        ),
+    )
 
     scenario = sub.add_parser(
         "scenario", help="run a domain scenario end to end"
@@ -120,6 +173,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(PROTOCOL_FACTORIES),
     )
     scenario.add_argument("--seed", type=int, default=0)
+    scenario.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="DIR",
+        help="trace the run and write the export artifacts to DIR",
+    )
 
     conformance = sub.add_parser(
         "conformance",
@@ -184,7 +243,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+def _add_workload_args(
+    parser: argparse.ArgumentParser, trace_out: bool = True
+) -> None:
+    """Workload parameters shared by every workload-driven subcommand.
+
+    Defined once so `run`, `compare`, `sweep-threshold`, and `trace`
+    cannot drift apart in their defaults.  ``trace_out=False`` skips the
+    ``--trace-out`` flag (the `trace` subcommand always traces and names
+    its directory via ``--out``).
+    """
     parser.add_argument("--processes", type=int, default=8)
     parser.add_argument("--activity-types", type=int, default=12)
     parser.add_argument("--density", type=float, default=0.3)
@@ -196,6 +264,36 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="back activities with real subsystem transaction programs",
     )
+    if trace_out:
+        parser.add_argument(
+            "--trace-out",
+            default=None,
+            metavar="DIR",
+            help=(
+                "enable decision-level tracing and write the export "
+                "artifacts (events.jsonl, trace.perfetto.json, "
+                "waitfor.dot, series.json) to DIR"
+            ),
+        )
+
+
+def _make_tracer(args: argparse.Namespace):
+    """A live tracer when ``--trace-out`` was given, else ``None``."""
+    if getattr(args, "trace_out", None) is None:
+        return None
+    from repro.obs import Tracer
+
+    return Tracer()
+
+
+def _export_trace(tracer, out_dir: str) -> None:
+    if tracer is None:
+        return
+    from repro.obs import export_all
+
+    paths = export_all(tracer, out_dir)
+    names = ", ".join(path.name for path in paths.values())
+    print(f"trace: {len(tracer)} events -> {out_dir}/ ({names})")
 
 
 def _spec_from(args: argparse.Namespace) -> WorkloadSpec:
@@ -221,15 +319,18 @@ def cmd_exhibits(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     workload = build_workload(_spec_from(args))
+    tracer = _make_tracer(args)
     result = run_workload(
         workload, args.protocol, seed=args.seed,
         config=ManagerConfig(audit=True),
+        tracer=tracer,
     )
     metrics = summarize(args.protocol, result)
     if args.json:
         print(rows_to_json([metrics]))
     else:
         print(_metrics_rows([metrics]))
+    _export_trace(tracer, args.trace_out)
     if args.timeline:
         print()
         print(render_timeline(schedule_of(workload, result)))
@@ -253,9 +354,17 @@ def cmd_compare(args: argparse.Namespace) -> int:
     workload = build_workload(_spec_from(args))
     metrics = []
     for name in args.protocols:
-        result = run_workload(workload, name, seed=args.seed)
+        tracer = _make_tracer(args)
+        result = run_workload(
+            workload, name, seed=args.seed, tracer=tracer
+        )
         metrics.append(summarize(name, result))
-    print(_metrics_rows(metrics))
+        if tracer is not None:
+            _export_trace(tracer, f"{args.trace_out}/{name}")
+    if args.json:
+        print(rows_to_json(metrics))
+    else:
+        print(_metrics_rows(metrics))
     return 0
 
 
@@ -263,17 +372,20 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     scenario = SCENARIOS[args.name]()
     factory = PROTOCOL_FACTORIES[args.protocol]
     protocol = factory(scenario.registry, scenario.conflicts)
+    tracer = _make_tracer(args)
     manager = ProcessManager(
         protocol,
         subsystems=scenario.make_subsystems(),
         config=ManagerConfig(audit=True),
         seed=args.seed,
+        tracer=tracer,
     )
     for program in scenario.programs:
         manager.submit(program)
     result = manager.run()
     print(f"scenario: {scenario.name} under {args.protocol}")
     print(_metrics_rows([summarize(args.protocol, result)]))
+    _export_trace(tracer, args.trace_out)
     schedule = result.trace.to_schedule(scenario.conflicts.conflict)
     print()
     print(f"CT   (Theorem 1): {has_correct_termination(schedule)}")
@@ -287,9 +399,12 @@ def cmd_sweep_threshold(args: argparse.Namespace) -> int:
         threshold = math.inf if raw in ("inf", "Inf") else float(raw)
         spec = _spec_from(args).with_(wcc_threshold=threshold)
         workload = build_workload(spec)
+        tracer = _make_tracer(args)
         result = run_workload(
-            workload, "process-locking", seed=args.seed
+            workload, "process-locking", seed=args.seed, tracer=tracer
         )
+        if tracer is not None:
+            _export_trace(tracer, f"{args.trace_out}/wcc-{raw}")
         metrics = summarize("process-locking", result)
         rows.append(
             {
@@ -302,6 +417,69 @@ def cmd_sweep_threshold(args: argparse.Namespace) -> int:
             }
         )
     print(render_dict_table(rows, title="Wcc* sweep"))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import Tracer, deferred_pids, export_all
+
+    workload = build_workload(_spec_from(args))
+    tracer = Tracer()
+    result = run_workload(
+        workload, args.protocol, seed=args.seed, tracer=tracer
+    )
+    metrics = summarize(args.protocol, result)
+    print(_metrics_rows([metrics]))
+    paths = export_all(tracer, args.out)
+    print()
+    print(f"traced {len(tracer)} events:")
+    for name, path in sorted(paths.items()):
+        print(f"  {name:<10} {path}")
+    pids = deferred_pids(tracer.records())
+    if pids:
+        shown = ", ".join(f"P{pid}" for pid in pids[:8])
+        print()
+        print(
+            f"deferred processes (most deferred first): {shown}\n"
+            f"inspect one with: repro explain {pids[0]} "
+            f"--trace {args.out}"
+        )
+    print(
+        f"open {args.out}/trace.perfetto.json at https://ui.perfetto.dev"
+    )
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs import deferred_pids, explain_process, read_jsonl
+
+    source = Path(args.trace)
+    if source.is_dir():
+        source = source / "events.jsonl"
+    if not source.exists():
+        print(
+            f"no trace at {source}; produce one with `repro trace` or "
+            f"any workload command's --trace-out DIR",
+            file=sys.stderr,
+        )
+        return 2
+    records = read_jsonl(source)
+    if args.pid is None:
+        pids = deferred_pids(records)
+        if not pids:
+            print("no deferred processes in this trace")
+            return 0
+        print("deferred processes (most deferred first):")
+        for pid in pids:
+            print(f"  {pid}")
+        return 0
+    try:
+        print(explain_process(records, args.pid))
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     return 0
 
 
@@ -352,6 +530,8 @@ _COMMANDS = {
     "conformance": cmd_conformance,
     "run": cmd_run,
     "compare": cmd_compare,
+    "trace": cmd_trace,
+    "explain": cmd_explain,
     "scenario": cmd_scenario,
     "sweep-threshold": cmd_sweep_threshold,
 }
@@ -361,7 +541,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; reopen
+        # stdout on devnull so interpreter shutdown doesn't warn.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -159,6 +159,39 @@ def figure1_trace(
     return steps
 
 
+def figure1_steps_from_trace(
+    records: list[dict], pid: int
+) -> list[Figure1Step]:
+    """Rebuild Figure-1 rows from a run's ``wcc.classify`` trace records.
+
+    The observability layer (:mod:`repro.obs`) stamps every treatment
+    decision with the post-charge ``Wcc``; replaying those records
+    recovers the same step table :func:`figure1_trace` computes
+    symbolically, which lets tests cross-check the live protocol against
+    the paper's algorithm and lets exhibits render traced runs.
+    """
+    steps: list[Figure1Step] = []
+    previous = 0.0
+    for record in records:
+        if record.get("kind") != "wcc.classify":
+            continue
+        if record["pid"] != pid:
+            continue
+        steps.append(
+            Figure1Step(
+                activity=record["activity"],
+                wcc_before=previous,
+                wcc_after=record["wcc"],
+                threshold=record["threshold"],
+                treatment=LockMode(record["mode"]),
+                pseudo_pivot=record["pseudo_pivot"],
+                real_pivot=record["real_pivot"],
+            )
+        )
+        previous = record["wcc"]
+    return steps
+
+
 def lemma1_holds(
     registry: ActivityRegistry, pivot_name: str, threshold: float
 ) -> bool:

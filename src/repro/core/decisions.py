@@ -23,6 +23,39 @@ from dataclasses import dataclass, field
 from repro.core.locks import LockEntry
 
 
+#: Decision ``reason`` tag -> the paper rule (or mechanism) that fired.
+#: Consumed by the observability layer (:mod:`repro.obs`) to annotate
+#: defer/self-abort events and by ``repro explain``'s causal accounts.
+#: Unknown tags fall back to the tag itself via :func:`rule_for_reason`.
+RULE_BY_REASON: dict[str, str] = {
+    # process locking (core/protocol.py)
+    "younger-completing-or-p-holder": "Comp-Rule",
+    "piv-rule-defer": "Piv-Rule / Comp→Piv-Rule",
+    "other-p-holder": "Piv-Rule (literal P-lock deferment)",
+    "completing-token": "one-completing-process strategy",
+    "completing-defers-on-pseudo": (
+        "Comp-Rule (first-class requester vs pseudo-pivot protection)"
+    ),
+    "compensation-blocked-by-completing": "C⁻¹-Rule",
+    "wait-aborting": "wait for abort-process execution (C⁻¹-Rule)",
+    "commit-on-hold": "Commit-Rule (lock on hold)",
+    # manager (scheduler/manager.py)
+    "awaiting-cascade": "cascading abort in progress",
+    # baselines
+    "s2pl-wait": "S2PL exclusive-lock wait",
+    "s2pl-completing-wait": "S2PL completing-process wait",
+    "s2pl-compensation-wait": "S2PL compensation wait",
+    "s2pl-die": "S2PL wait-die",
+    "wait-die": "S2PL wait-die",
+    "serial-token": "serial execution token",
+}
+
+
+def rule_for_reason(reason: str) -> str:
+    """Human-readable rule name for a decision reason tag."""
+    return RULE_BY_REASON.get(reason, reason)
+
+
 @dataclass(frozen=True)
 class Grant:
     """Request granted; ``locks`` lists the entries acquired (may be

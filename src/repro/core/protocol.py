@@ -69,6 +69,8 @@ from repro.core.lock_table import LockTable
 from repro.core.locks import LockEntry, LockMode
 from repro.core.rules import HolderPartition, partition_holders
 from repro.errors import ProtocolError
+from repro.obs import NULL_TRACER
+from repro.obs.events import ActivityClassified, LockConverted
 from repro.process.instance import Process
 from repro.process.state import ProcessState
 
@@ -91,6 +93,13 @@ class ProcessLockManager:
         disable for the scoped-ablation reading (conflicting P locks
         only).
     """
+
+    #: Observability hook; the manager installs its own tracer here.
+    #: Decision outcomes (grant/defer/cascade) are traced by the manager,
+    #: which knows the request context; the protocol itself only emits
+    #: what the manager cannot see: Figure-1 classifications and in-place
+    #: Comp→Piv lock conversions.
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -191,14 +200,29 @@ class ProcessLockManager:
         activity_type = activity.activity_type
         comp_cost = self.registry.compensation_cost(activity_type.name)
         process.charge_wcc(activity_type.cost + comp_cost)
-        if activity_type.point_of_no_return:
-            return LockMode.P
-        if (
-            self.cost_based
+        real_pivot = activity_type.point_of_no_return
+        pseudo_pivot = (
+            not real_pivot
+            and self.cost_based
             and process.wcc >= process.program.wcc_threshold
-        ):
-            return LockMode.P  # pseudo pivot
-        return LockMode.C
+        )
+        mode = (
+            LockMode.P if real_pivot or pseudo_pivot else LockMode.C
+        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ActivityClassified(
+                    pid=process.pid,
+                    incarnation=process.incarnation,
+                    activity=activity.name,
+                    mode=mode.value,
+                    wcc=process.wcc,
+                    threshold=process.program.wcc_threshold,
+                    pseudo_pivot=pseudo_pivot,
+                    real_pivot=real_pivot,
+                )
+            )
+        return mode
 
     # ------------------------------------------------------------------
     # lock requests
@@ -422,6 +446,14 @@ class ProcessLockManager:
         for entry in own_c_locks:
             entry.upgrade_to_p()
             self.stats.conversions += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    LockConverted(
+                        pid=process.pid,
+                        type_name=entry.type_name,
+                        position=entry.position,
+                    )
+                )
         entry = self.table.acquire(
             process, activity.name, LockMode.P, activity.uid
         )

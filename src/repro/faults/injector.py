@@ -38,6 +38,8 @@ from repro.faults.plan import (
     SubsystemOutage,
 )
 from repro.faults.retry import make_policy
+from repro.obs import NULL_TRACER
+from repro.obs.events import FaultInjected
 from repro.process.instance import Process
 from repro.scheduler.manager import (
     ManagerConfig,
@@ -125,11 +127,16 @@ class FaultInjector:
         config: ManagerConfig | None = None,
         seed: int = 0,
         durable_subsystems: bool = True,
+        tracer=None,
     ) -> None:
         self.workload = workload
         self.protocol_name = protocol_name
         self.schedule = schedule
         self.seed = seed
+        #: Observability tracer shared across manager incarnations; its
+        #: time offset is advanced on every manager crash so stamps stay
+        #: monotone over the whole logical run.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.config = self._configured(config)
         self.pool = workload.make_subsystems(durable=durable_subsystems)
         self.counters = FaultCounters()
@@ -179,6 +186,9 @@ class FaultInjector:
         if self._subsystem_down(activity):
             self.counters.outage_hits += 1
             self.counters.injected_failures += 1
+            self._trace_fault(
+                "failure", process, activity, via="outage"
+            )
             return True
         spec = self.schedule.failures
         if spec is None or not spec.applies_to(
@@ -195,6 +205,7 @@ class FaultInjector:
         )
         if verdict:
             self.counters.injected_failures += 1
+            self._trace_fault("failure", process, activity)
         return verdict
 
     def wants_retry(
@@ -204,6 +215,7 @@ class FaultInjector:
         if self._subsystem_down(activity):
             self.counters.outage_hits += 1
             self.counters.injected_retries += 1
+            self._trace_fault("retry", process, activity, via="outage")
             return True
         spec = self.schedule.failures
         if (
@@ -222,6 +234,7 @@ class FaultInjector:
             verdict = stream.random() < spec.transient_prob
         if verdict:
             self.counters.injected_retries += 1
+            self._trace_fault("retry", process, activity)
         return verdict
 
     def latency_for(
@@ -240,7 +253,24 @@ class FaultInjector:
             ).uniform(0.0, spec.jitter)
         if extra > 0:
             self.counters.latency_injections += 1
+            self._trace_fault(
+                "latency", process, activity, extra=extra
+            )
         return extra
+
+    def _trace_fault(
+        self, channel: str, process: Process, activity: Activity,
+        **detail,
+    ) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(
+                FaultInjected(
+                    channel=channel,
+                    pid=process.pid,
+                    activity=activity.name,
+                    detail=detail,
+                )
+            )
 
     # ------------------------------------------------------------------
     # the run loop
@@ -289,6 +319,7 @@ class FaultInjector:
             subsystems=self.pool,
             config=self.config,
             seed=self.seed,
+            tracer=self.tracer,
         )
         manager.injector = self
         for index, program in enumerate(self.workload.programs):
@@ -318,6 +349,16 @@ class FaultInjector:
         if self.pool is not None and spec.subsystem in self.pool:
             self.pool.get(spec.subsystem).begin_outage(until)
         self.counters.outages_started += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                FaultInjected(
+                    channel="outage",
+                    detail={
+                        "subsystem": spec.subsystem,
+                        "duration": spec.duration,
+                    },
+                )
+            )
 
     def _fire_subsystem_crash(
         self, spec: SubsystemCrash, at_event: int
@@ -355,6 +396,18 @@ class FaultInjector:
             )
         )
         self.counters.subsystem_crashes += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                FaultInjected(
+                    channel="subsystem-crash",
+                    detail={
+                        "subsystem": spec.subsystem,
+                        "at_event": at_event,
+                        "undone": undone,
+                        "rolled_back": rolled_back,
+                    },
+                )
+            )
 
     def _fire_manager_crash(self) -> None:
         assert self._manager is not None
@@ -370,12 +423,26 @@ class FaultInjector:
         self._slices.append((manager.stats, manager.engine.now))
         image = crash(manager)
         self._incarnation += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                FaultInjected(
+                    channel="manager-crash",
+                    detail={
+                        "crashed_at": image.crashed_at,
+                        "incarnation": self._incarnation,
+                    },
+                )
+            )
+            # Each incarnation restarts its virtual clock at zero;
+            # shifting the tracer keeps stamps monotone end to end.
+            self.tracer.offset += image.crashed_at
         recovered = recover(
             image,
             protocol,
             config=self.config,
             subsystems=self.pool,
             seed=self.seed + self._incarnation,
+            tracer=self.tracer,
         )
         recovered.injector = self
         if recovered.trace.events[: len(prior_events)] != prior_events:
@@ -388,4 +455,15 @@ class FaultInjector:
             if until - image.crashed_at > 0
         }
         self.counters.manager_recoveries += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                FaultInjected(
+                    channel="manager-recover",
+                    detail={
+                        "incarnation": self._incarnation,
+                        "recovered": len(image.snapshots),
+                        "splice_ok": self.splice_ok,
+                    },
+                )
+            )
         self._manager = recovered

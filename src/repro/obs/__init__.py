@@ -1,0 +1,49 @@
+"""Decision-level tracing and virtual-time telemetry.
+
+The ``repro.obs`` package makes individual scheduling decisions — the
+ordered-shared grants, deferments, conversions, cascades, and
+timestamp-ordered resubmissions of the process-locking protocol —
+observable, instead of only the end-of-run aggregates of
+:mod:`repro.sim.metrics`:
+
+* :mod:`repro.obs.events` — the typed event vocabulary (grants with
+  positions, defers with the blocking holders and the rule that fired,
+  cascades with the timestamp comparison, lifecycle spans, wait-for
+  edge inserts/deletes, fault injections);
+* :mod:`repro.obs.tracer` — the guard-checked :class:`Tracer` and the
+  disabled :data:`NULL_TRACER` singleton that every emit site consults
+  (disabled runs stay trace-equivalent and benchmark-neutral);
+* :mod:`repro.obs.series` — virtual-time series sampled on manager
+  events (parked gauge, lock-table depth, per-process Wcc, conflict
+  histograms);
+* :mod:`repro.obs.export` — JSONL event logs, Chrome
+  trace-event/Perfetto JSON, and wait-for-graph DOT snapshots;
+* :mod:`repro.obs.explain` — replay a JSONL trace into a
+  human-readable causal account of one process's blocks, aborts, and
+  resubmissions (``repro explain``).
+"""
+
+from repro.obs.explain import deferred_pids, explain_process
+from repro.obs.export import (
+    export_all,
+    perfetto_trace,
+    read_jsonl,
+    wait_for_dot,
+    write_jsonl,
+)
+from repro.obs.series import SeriesBank
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "SeriesBank",
+    "Tracer",
+    "deferred_pids",
+    "explain_process",
+    "export_all",
+    "perfetto_trace",
+    "read_jsonl",
+    "wait_for_dot",
+    "write_jsonl",
+]

@@ -1,0 +1,321 @@
+"""Typed trace events emitted by the instrumented simulation layers.
+
+Every event is a plain dataclass carrying *why* something happened, not
+just that it did: defers name the blocking holders (pid, timestamp, held
+lock modes) and the paper rule that fired; cascades name the victims and
+the timestamp comparison that doomed them; grants carry the sharing
+position the lock was appended at.
+
+Events do **not** carry their own clock — the
+:class:`~repro.obs.tracer.Tracer` stamps each emit with the virtual time
+and a global sequence number, and serializes the pair together with the
+payload (see :meth:`~repro.obs.tracer.Stamped.to_record`).  The flat
+record dictionaries are what the JSONL log, the exporters, and the
+explain replay consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.core.decisions import (  # noqa: F401  (re-exported)
+    RULE_BY_REASON,
+    rule_for_reason,
+)
+
+
+@dataclass(frozen=True)
+class Holder:
+    """One blocking lock holder as seen at decision time."""
+
+    pid: int
+    timestamp: int
+    #: Lock modes the holder currently has on the table ("C", "P", or
+    #: "CP"); empty when the holder holds no locks (e.g. a cascade
+    #: victim whose abort the requester awaits).
+    modes: str = ""
+
+    def describe(self) -> str:
+        mode = f" holding {self.modes}" if self.modes else ""
+        return f"P{self.pid} (ts {self.timestamp}){mode}"
+
+
+# ----------------------------------------------------------------------
+# process lifecycle
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProcessSubmitted:
+    kind = "process.submit"
+    pid: int
+
+
+@dataclass(frozen=True)
+class ProcessInitiated:
+    kind = "process.init"
+    pid: int
+    timestamp: int
+    incarnation: int = 0
+
+
+@dataclass(frozen=True)
+class ProcessCommitted:
+    kind = "process.commit"
+    pid: int
+    incarnation: int
+
+
+@dataclass(frozen=True)
+class AbortBegun:
+    """A process starts its abort-process execution."""
+
+    kind = "process.abort-begin"
+    pid: int
+    incarnation: int
+    #: "cascade", "deadlock", "self", "intrinsic", or "subprocess".
+    cause: str
+
+
+@dataclass(frozen=True)
+class ProcessAborted:
+    kind = "process.abort"
+    pid: int
+    incarnation: int
+    resubmit: bool
+
+
+@dataclass(frozen=True)
+class ProcessResubmitted:
+    """A cascade victim restarts with its *original* timestamp."""
+
+    kind = "process.resubmit"
+    pid: int
+    incarnation: int
+    timestamp: int
+
+
+# ----------------------------------------------------------------------
+# protocol decisions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LockGranted:
+    kind = "lock.grant"
+    pid: int
+    incarnation: int
+    #: "regular", "compensation", or "commit" (a commit grant carries no
+    #: activity or position).
+    request: str
+    activity: str | None
+    uid: int | None
+    mode: str | None
+    #: Global sharing position of the acquired lock entry.
+    position: int | None = None
+
+
+@dataclass(frozen=True)
+class LockDeferred:
+    kind = "lock.defer"
+    pid: int
+    incarnation: int
+    timestamp: int
+    request: str
+    activity: str | None
+    uid: int | None
+    mode: str | None
+    reason: str
+    rule: str
+    blockers: tuple[Holder, ...] = ()
+
+
+@dataclass(frozen=True)
+class CascadeRequested:
+    """Timestamp order sacrifices the named running holders."""
+
+    kind = "lock.cascade"
+    pid: int
+    incarnation: int
+    timestamp: int
+    request: str
+    activity: str | None
+    uid: int | None
+    mode: str | None
+    victims: tuple[Holder, ...] = ()
+
+
+@dataclass(frozen=True)
+class SelfAbortDecision:
+    """The protocol told the *requester* to abort (baselines only)."""
+
+    kind = "lock.self-abort"
+    pid: int
+    incarnation: int
+    timestamp: int
+    request: str
+    activity: str | None
+    reason: str
+    rule: str
+
+
+@dataclass(frozen=True)
+class LockConverted:
+    """One Comp→Piv conversion (C lock upgraded to P in place)."""
+
+    kind = "lock.convert"
+    pid: int
+    type_name: str
+    position: int
+
+
+@dataclass(frozen=True)
+class ActivityClassified:
+    """Figure-1 treatment decision, with the Wcc charge that drove it."""
+
+    kind = "wcc.classify"
+    pid: int
+    incarnation: int
+    activity: str
+    mode: str
+    wcc: float
+    threshold: float
+    pseudo_pivot: bool
+    real_pivot: bool
+
+
+# ----------------------------------------------------------------------
+# activity execution spans
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ActivityStarted:
+    kind = "activity.start"
+    pid: int
+    incarnation: int
+    activity: str
+    uid: int
+    compensation: bool = False
+
+
+@dataclass(frozen=True)
+class ActivityRetried:
+    kind = "activity.retry"
+    pid: int
+    activity: str
+    uid: int
+    attempt: int
+
+
+@dataclass(frozen=True)
+class ActivityCommitted:
+    kind = "activity.commit"
+    pid: int
+    incarnation: int
+    activity: str
+    uid: int
+    compensation: bool = False
+
+
+@dataclass(frozen=True)
+class ActivityFailed:
+    kind = "activity.fail"
+    pid: int
+    incarnation: int
+    activity: str
+    uid: int
+
+
+@dataclass(frozen=True)
+class ActivityCancelled:
+    """An in-flight activity of an abort victim was torn down."""
+
+    kind = "activity.cancel"
+    pid: int
+    incarnation: int
+    activity: str
+    uid: int
+
+
+# ----------------------------------------------------------------------
+# wait-for bookkeeping and deadlock resolution
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WaitEdge:
+    """Insertion or deletion of parked wait-for edges.
+
+    One event covers the whole edge fan (waiter → each blocker) of one
+    parked request; ``seq`` is the manager's park sequence, which pairs
+    the delete with its insert for blocked-time accounting.
+    """
+
+    kind = "wait.edge"
+    op: str  # "insert" | "delete"
+    waiter: int
+    blockers: tuple[int, ...]
+    seq: int
+    request: str
+    activity: str | None
+    reason: str
+
+
+@dataclass(frozen=True)
+class DeadlockVictim:
+    kind = "deadlock.victim"
+    pid: int
+    cycle: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class UnresolvableForced:
+    """Forced progress through an unresolvable wait cycle (baselines)."""
+
+    kind = "deadlock.forced"
+    pid: int
+    request: str
+    cycle: tuple[int, ...] = ()
+
+
+# ----------------------------------------------------------------------
+# fault injection
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultInjected:
+    """One fault-injector action (any channel)."""
+
+    kind = "fault.inject"
+    #: "failure", "retry", "latency", "outage", "subsystem-crash",
+    #: "manager-crash", or "manager-recover".
+    channel: str
+    pid: int | None = None
+    activity: str | None = None
+    detail: dict = field(default_factory=dict)
+
+
+#: kind tag -> event class, for JSONL round-trips and exporters.
+EVENT_TYPES: dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        ProcessSubmitted,
+        ProcessInitiated,
+        ProcessCommitted,
+        AbortBegun,
+        ProcessAborted,
+        ProcessResubmitted,
+        LockGranted,
+        LockDeferred,
+        CascadeRequested,
+        SelfAbortDecision,
+        LockConverted,
+        ActivityClassified,
+        ActivityStarted,
+        ActivityRetried,
+        ActivityCommitted,
+        ActivityFailed,
+        ActivityCancelled,
+        WaitEdge,
+        DeadlockVictim,
+        UnresolvableForced,
+        FaultInjected,
+    )
+}
+
+
+def event_payload(event) -> dict:
+    """Flat JSON-ready payload of one event (without stamp fields)."""
+    return asdict(event)

@@ -1,0 +1,245 @@
+"""Replay a JSONL trace into a causal account of one process's fate.
+
+``repro explain <pid>`` answers the questions end-of-run aggregates
+cannot: *why* did this process defer (which holder, which lock mode,
+which rule), who cascade-aborted it (and which timestamp comparison
+doomed it), how long was it parked, and how did it finally terminate.
+
+The replay consumes the flat record dictionaries of a JSONL event log
+(:func:`repro.obs.export.read_jsonl`); it never needs the live
+simulation objects, so traces can be explained long after the run.
+"""
+
+from __future__ import annotations
+
+
+def deferred_pids(records: list[dict]) -> list[int]:
+    """Pids that suffered at least one deferment, most-deferred first."""
+    counts: dict[int, int] = {}
+    for record in records:
+        if record["kind"] == "lock.defer":
+            counts[record["pid"]] = counts.get(record["pid"], 0) + 1
+    return sorted(counts, key=lambda pid: (-counts[pid], pid))
+
+
+def _describe_holder(holder: dict) -> str:
+    mode = f" holding {holder['modes']}" if holder.get("modes") else ""
+    return f"P{holder['pid']} (ts {holder['timestamp']}){mode}"
+
+
+def _park_durations(
+    records: list[dict], pid: int
+) -> tuple[dict[int, float], dict[int, float]]:
+    """Map park seq -> insert time and -> parked duration for ``pid``.
+
+    A request still parked when the trace ends has no delete event and
+    therefore no duration entry.
+    """
+    inserted: dict[int, float] = {}
+    durations: dict[int, float] = {}
+    for record in records:
+        if record["kind"] != "wait.edge" or record["waiter"] != pid:
+            continue
+        if record["op"] == "insert":
+            inserted[record["seq"]] = record["t"]
+        elif record["seq"] in inserted:
+            durations[record["seq"]] = (
+                record["t"] - inserted[record["seq"]]
+            )
+    return inserted, durations
+
+
+def _request_label(record: dict) -> str:
+    activity = record.get("activity")
+    if record["request"] == "commit" or activity is None:
+        return record["request"]
+    mode = record.get("mode")
+    lock = f" ({mode} lock)" if mode else ""
+    return f"{record['request']} {activity!r}{lock}"
+
+
+def explain_process(records: list[dict], pid: int) -> str:
+    """Human-readable causal account of process ``pid``.
+
+    Raises
+    ------
+    ValueError
+        If the trace contains no event for ``pid``.
+    """
+    inserted, durations = _park_durations(records, pid)
+    # Pair each defer with its park (same waiter, same time, in order)
+    # to attach the parked duration to the defer line.
+    park_seqs = sorted(inserted)
+    park_index = 0
+    lines: list[str] = []
+    defers = 0
+    cascades_suffered = 0
+    resubmissions = 0
+    blocked_total = sum(durations.values())
+    outcome = "still live at end of trace"
+    seen = False
+
+    def add(t: float, text: str) -> None:
+        lines.append(f"  vt {t:>8.2f}  {text}")
+
+    for record in records:
+        t = record["t"]
+        kind = record["kind"]
+        if kind == "lock.cascade" and record.get("pid") != pid:
+            for victim in record.get("victims", ()):
+                if victim["pid"] == pid:
+                    seen = True
+                    cascades_suffered += 1
+                    add(
+                        t,
+                        f"CASCADE-ABORTED by P{record['pid']} "
+                        f"(ts {record['timestamp']}) requesting "
+                        f"{_request_label(record)}: holder ts "
+                        f"{victim['timestamp']} lost the timestamp "
+                        f"comparison",
+                    )
+            continue
+        if record.get("pid") != pid:
+            continue
+        seen = True
+        if kind == "process.submit":
+            add(t, "submitted")
+        elif kind == "process.init":
+            add(
+                t,
+                f"initiated with timestamp {record['timestamp']} "
+                f"(incarnation {record['incarnation']})",
+            )
+        elif kind == "wcc.classify":
+            treatment = (
+                "pivot"
+                if record["real_pivot"]
+                else "pseudo-pivot" if record["pseudo_pivot"] else None
+            )
+            if treatment is not None:
+                add(
+                    t,
+                    f"{record['activity']!r} treated as {treatment} "
+                    f"(Wcc {record['wcc']:g} vs Wcc* "
+                    f"{record['threshold']:g}) -> P lock",
+                )
+        elif kind == "lock.grant":
+            if record["request"] == "commit":
+                add(t, "commit allowed (no lock on hold)")
+            else:
+                add(
+                    t,
+                    f"granted {record['mode']}({record['activity']}) "
+                    f"at position {record['position']}",
+                )
+        elif kind == "lock.defer":
+            defers += 1
+            holders = ", ".join(
+                _describe_holder(h) for h in record["blockers"]
+            )
+            text = (
+                f"DEFERRED {_request_label(record)} — "
+                f"reason '{record['reason']}' [{record['rule']}]; "
+                f"blocked by {holders or 'terminating processes'}"
+            )
+            while park_index < len(park_seqs):
+                seq = park_seqs[park_index]
+                if inserted[seq] < t:
+                    park_index += 1
+                    continue
+                if inserted[seq] == t:
+                    park_index += 1
+                    if seq in durations:
+                        text += (
+                            f"; parked for {durations[seq]:g} vt"
+                        )
+                break
+            add(t, text)
+        elif kind == "lock.cascade":
+            victims = ", ".join(
+                _describe_holder(v) for v in record["victims"]
+            )
+            add(
+                t,
+                f"requested cascade abort of {victims} to serve "
+                f"{_request_label(record)} (requester ts "
+                f"{record['timestamp']} is older)",
+            )
+        elif kind == "lock.self-abort":
+            add(
+                t,
+                f"told to SELF-ABORT on {_request_label(record)} — "
+                f"reason '{record['reason']}' [{record['rule']}]",
+            )
+        elif kind == "lock.convert":
+            add(
+                t,
+                f"C({record['type_name']}) converted to P "
+                f"(Comp→Piv-Rule, position {record['position']})",
+            )
+        elif kind == "activity.fail":
+            add(t, f"activity {record['activity']!r} failed")
+        elif kind == "activity.retry":
+            add(
+                t,
+                f"activity {record['activity']!r} retrying "
+                f"(attempt {record['attempt']})",
+            )
+        elif kind == "activity.cancel":
+            add(
+                t,
+                f"in-flight {record['activity']!r} torn down by abort",
+            )
+        elif kind == "deadlock.victim":
+            cycle = " -> ".join(f"P{p}" for p in record["cycle"])
+            add(t, f"chosen as deadlock victim (cycle {cycle})")
+        elif kind == "deadlock.forced":
+            add(
+                t,
+                f"forced through an unresolvable cycle "
+                f"({record['request']})",
+            )
+        elif kind == "process.abort-begin":
+            add(t, f"abort started (cause: {record['cause']})")
+        elif kind == "process.abort":
+            outcome = "aborted"
+            tail = (
+                "resubmission scheduled"
+                if record["resubmit"]
+                else "terminal"
+            )
+            add(t, f"abort-process execution finished ({tail})")
+        elif kind == "process.resubmit":
+            resubmissions += 1
+            add(
+                t,
+                f"resubmitted as incarnation {record['incarnation']} "
+                f"keeping original timestamp {record['timestamp']}",
+            )
+        elif kind == "process.commit":
+            outcome = "committed"
+            add(t, "COMMITTED")
+        elif kind == "fault.inject":
+            add(
+                t,
+                f"fault injected: {record['channel']}"
+                + (
+                    f" on {record['activity']!r}"
+                    if record.get("activity")
+                    else ""
+                ),
+            )
+    if not seen:
+        raise ValueError(f"trace contains no events for pid {pid}")
+    header = [
+        f"P{pid} — causal account ({len(lines)} events)",
+        "=" * 60,
+    ]
+    footer = [
+        "-" * 60,
+        f"  deferments: {defers}   time parked: {blocked_total:g} vt   "
+        f"cascade aborts suffered: {cascades_suffered}   "
+        f"resubmissions: {resubmissions}",
+        f"  final outcome: {outcome}",
+    ]
+    return "\n".join(header + lines + footer)

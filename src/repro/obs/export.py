@@ -1,0 +1,316 @@
+"""Trace exporters: JSONL event log, Perfetto JSON, wait-for DOT.
+
+All exporters operate on the flat record dictionaries produced by
+:meth:`repro.obs.tracer.Tracer.records` (or read back from a JSONL log),
+so post-processing never needs the live simulation objects.
+
+Perfetto / Chrome trace-event format
+------------------------------------
+:func:`perfetto_trace` emits the JSON object form
+(``{"traceEvents": [...]}``) understood by https://ui.perfetto.dev and
+``chrome://tracing``:
+
+* one track group per process (``pid`` = process id, track name
+  ``P<pid>``), one thread row per incarnation;
+* complete spans (``ph: "X"``) for activity executions, paired
+  start→commit/fail/cancel by activity uid;
+* instant events (``ph: "i"``) for defers, cascades, conversions,
+  aborts, commits, resubmissions, deadlock victims, and fault
+  injections;
+* counter tracks (``ph: "C"``) from the series gauges.
+
+Virtual time has no wall unit; one virtual time unit is exported as one
+millisecond (``ts`` is in microseconds), which keeps sub-unit activity
+costs visible at Perfetto's default zoom.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.obs.series import SeriesBank
+
+#: Exported µs per virtual time unit (1 vt unit == 1 ms on screen).
+TS_SCALE = 1000.0
+
+#: Record kinds rendered as Perfetto instants, with display names.
+_INSTANT_KINDS = {
+    "lock.defer": lambda r: f"defer:{r['reason']}",
+    "lock.cascade": lambda r: f"cascade:{r.get('activity') or 'commit'}",
+    "lock.self-abort": lambda r: f"self-abort:{r['reason']}",
+    "lock.convert": lambda r: f"convert:{r['type_name']}",
+    "process.abort-begin": lambda r: f"abort:{r['cause']}",
+    "process.commit": lambda r: "commit",
+    "process.resubmit": lambda r: f"resubmit#{r['incarnation']}",
+    "deadlock.victim": lambda r: "deadlock-victim",
+    "deadlock.forced": lambda r: f"forced:{r['request']}",
+    "fault.inject": lambda r: f"fault:{r['channel']}",
+}
+
+#: Span-terminating kinds, keyed off the start's activity uid.
+_SPAN_ENDS = {"activity.commit", "activity.fail", "activity.cancel"}
+
+
+#: String stand-ins for non-finite floats.  Strict JSON has no
+#: ``Infinity``/``NaN`` tokens (Perfetto's importer rejects them), yet a
+#: committed pivot legitimately drives ``Wcc`` to ``inf``.
+_NONFINITE = {"Infinity": math.inf, "-Infinity": -math.inf, "NaN": math.nan}
+
+
+def _jsonable(value):
+    """Recursively replace non-finite floats with their string names."""
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "NaN"
+        return "Infinity" if value > 0 else "-Infinity"
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def _restore(value):
+    """Inverse of :func:`_jsonable` (applied on JSONL read-back)."""
+    if isinstance(value, str) and value in _NONFINITE:
+        return _NONFINITE[value]
+    if isinstance(value, dict):
+        return {key: _restore(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_restore(item) for item in value]
+    return value
+
+
+def write_jsonl(records: list[dict], path: str | Path) -> Path:
+    """Write one strict-JSON record per line; returns the path."""
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(
+                json.dumps(
+                    _jsonable(record), sort_keys=True, allow_nan=False
+                )
+                + "\n"
+            )
+    return target
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Read a JSONL event log back into record dictionaries."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(_restore(json.loads(line)))
+    return records
+
+
+def _holder_args(record: dict) -> dict:
+    """Perfetto ``args`` payload for a decision record."""
+    args = {
+        key: value
+        for key, value in record.items()
+        if key not in ("seq", "t", "kind") and value is not None
+    }
+    return args
+
+
+def perfetto_trace(
+    records: list[dict], series: SeriesBank | dict | None = None
+) -> dict:
+    """Convert trace records (+ optional series) to Perfetto JSON."""
+    trace_events: list[dict] = []
+    pids_seen: set[int] = set()
+    open_spans: dict[int, dict] = {}
+    max_t = 0.0
+
+    def note_pid(pid) -> None:
+        if pid is None or pid in pids_seen:
+            return
+        pids_seen.add(pid)
+        trace_events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": f"P{pid}"},
+            }
+        )
+
+    for record in records:
+        t = record["t"]
+        max_t = max(max_t, t)
+        kind = record["kind"]
+        pid = record.get("pid")
+        note_pid(pid)
+        if kind == "activity.start":
+            open_spans[record["uid"]] = record
+        elif kind in _SPAN_ENDS:
+            start = open_spans.pop(record["uid"], None)
+            if start is None:
+                continue
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "pid": start["pid"],
+                    "tid": start.get("incarnation", 0),
+                    "name": start["activity"],
+                    "cat": (
+                        "compensation"
+                        if start.get("compensation")
+                        else "activity"
+                    ),
+                    "ts": start["t"] * TS_SCALE,
+                    "dur": max(t - start["t"], 0.0) * TS_SCALE,
+                    "args": {"uid": record["uid"], "outcome": kind},
+                }
+            )
+        elif kind in _INSTANT_KINDS:
+            trace_events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "pid": pid if pid is not None else 0,
+                    "tid": record.get("incarnation", 0),
+                    "name": _INSTANT_KINDS[kind](record),
+                    "cat": kind,
+                    "ts": t * TS_SCALE,
+                    "args": _holder_args(record),
+                }
+            )
+    # Spans still open when the trace ended (e.g. the run was cut off).
+    for start in open_spans.values():
+        trace_events.append(
+            {
+                "ph": "X",
+                "pid": start["pid"],
+                "tid": start.get("incarnation", 0),
+                "name": start["activity"],
+                "cat": "activity",
+                "ts": start["t"] * TS_SCALE,
+                "dur": max(max_t - start["t"], 0.0) * TS_SCALE,
+                "args": {"uid": start["uid"], "outcome": "open"},
+            }
+        )
+    for name, points in _series_gauges(series).items():
+        for t, value in points:
+            if not math.isfinite(value):
+                continue  # counter tracks must stay numeric
+            trace_events.append(
+                {
+                    "ph": "C",
+                    "pid": 0,
+                    "name": name,
+                    "ts": t * TS_SCALE,
+                    "args": {name.rsplit("/", 1)[-1]: value},
+                }
+            )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.obs",
+            "virtual_time_unit_us": TS_SCALE,
+        },
+    }
+
+
+def _series_gauges(
+    series: SeriesBank | dict | None,
+) -> dict[str, list]:
+    if series is None:
+        return {}
+    if isinstance(series, SeriesBank):
+        series = series.to_dict()
+    return series.get("gauges", {})
+
+
+def wait_for_dot(records: list[dict], at: float | None = None) -> str:
+    """DOT snapshot of the wait-for graph at virtual time ``at``.
+
+    Replays the ``wait.edge`` insert/delete stream; with ``at`` omitted
+    the snapshot is taken at the moment the graph held the most edges —
+    the most interesting picture of a run's contention.
+    """
+    live: dict[int, dict] = {}
+    best: dict[int, dict] = {}
+    best_t = 0.0
+    best_size = -1
+    for record in records:
+        if record["kind"] != "wait.edge":
+            continue
+        if at is not None and record["t"] > at:
+            break
+        if record["op"] == "insert":
+            live[record["seq"]] = record
+        else:
+            live.pop(record["seq"], None)
+        size = sum(len(r["blockers"]) for r in live.values())
+        if size > best_size:
+            best_size = size
+            best = dict(live)
+            best_t = record["t"]
+    snapshot = live if at is not None else best
+    when = at if at is not None else best_t
+    lines = [
+        "digraph waitfor {",
+        "  rankdir=LR;",
+        f'  label="wait-for graph @ vt {when:g}";',
+        "  node [shape=circle];",
+    ]
+    nodes: set[int] = set()
+    for record in snapshot.values():
+        nodes.add(record["waiter"])
+        nodes.update(record["blockers"])
+    for pid in sorted(nodes):
+        lines.append(f'  p{pid} [label="P{pid}"];')
+    for record in sorted(snapshot.values(), key=lambda r: r["seq"]):
+        for blocker in record["blockers"]:
+            lines.append(
+                f'  p{record["waiter"]} -> p{blocker} '
+                f'[label="{record["reason"]}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def export_all(tracer, out_dir: str | Path) -> dict[str, Path]:
+    """Write every export of one traced run into ``out_dir``.
+
+    Produces ``events.jsonl``, ``trace.perfetto.json``,
+    ``waitfor.dot``, and (when the tracer collected series)
+    ``series.json``; returns the written paths keyed by artifact name.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    records = tracer.records()
+    paths = {
+        "events": write_jsonl(records, out / "events.jsonl"),
+    }
+    perfetto = perfetto_trace(records, tracer.series)
+    perfetto_path = out / "trace.perfetto.json"
+    perfetto_path.write_text(
+        json.dumps(_jsonable(perfetto), allow_nan=False) + "\n",
+        encoding="utf-8",
+    )
+    paths["perfetto"] = perfetto_path
+    dot_path = out / "waitfor.dot"
+    dot_path.write_text(wait_for_dot(records), encoding="utf-8")
+    paths["waitfor"] = dot_path
+    if tracer.series is not None:
+        series_path = out / "series.json"
+        series_path.write_text(
+            json.dumps(
+                _jsonable(tracer.series.to_dict()),
+                indent=2,
+                allow_nan=False,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        paths["series"] = series_path
+    return paths

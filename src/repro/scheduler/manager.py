@@ -37,6 +37,29 @@ from repro.core.decisions import (
 )
 from repro.core.locks import LockMode
 from repro.errors import ProtocolError, SchedulerError, StarvationError
+from repro.obs import NULL_TRACER
+from repro.obs.events import (
+    ActivityCancelled,
+    ActivityCommitted,
+    ActivityFailed,
+    ActivityRetried,
+    ActivityStarted,
+    AbortBegun,
+    CascadeRequested,
+    DeadlockVictim,
+    Holder,
+    LockDeferred,
+    LockGranted,
+    ProcessAborted,
+    ProcessCommitted,
+    ProcessInitiated,
+    ProcessResubmitted,
+    ProcessSubmitted,
+    SelfAbortDecision,
+    UnresolvableForced,
+    WaitEdge,
+    rule_for_reason,
+)
 from repro.process.instance import (
     FailurePlan,
     Process,
@@ -169,10 +192,17 @@ class ProcessManager:
         subsystems: SubsystemPool | None = None,
         config: ManagerConfig | None = None,
         seed: int = 0,
+        tracer=None,
     ) -> None:
         self.protocol = protocol
         self.subsystems = subsystems
         self.config = config or ManagerConfig()
+        #: Observability tracer (:mod:`repro.obs`).  Defaults to the
+        #: disabled no-op singleton; every emit site guards on
+        #: ``tracer.enabled`` before constructing an event, so untraced
+        #: runs pay one attribute read per site and stay byte-identical.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        protocol.tracer = self.tracer
         #: Optional fault injector (duck-typed; see
         #: :mod:`repro.faults.injector`).  When attached it may decide
         #: activity outcomes and add execution latency; ``None`` keeps
@@ -199,6 +229,8 @@ class ProcessManager:
         self._dependents: dict[int, set[int]] = {}
         self._comp_runs: dict[int, CompensationRun] = {}
         self._stashed_failures: dict[int, Activity] = {}
+        self.tracer.bind_clock(lambda: self.engine.now)
+        self.tracer.bind_sampler(self._gauge_sample)
 
     # ------------------------------------------------------------------
     # submission & run loop
@@ -208,6 +240,8 @@ class ProcessManager:
         pid = next(self._pids)
         self.records[pid] = ProcessRecord(pid=pid, submitted_at=at)
         self.stats.submitted += 1
+        if self.tracer.enabled:
+            self.tracer.emit(ProcessSubmitted(pid=pid))
         self.engine.schedule(at, lambda: self._initiate(pid, program))
         return pid
 
@@ -216,6 +250,10 @@ class ProcessManager:
         process = Process(pid=pid, program=program, timestamp=timestamp)
         self._processes[pid] = process
         self.protocol.attach(process)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ProcessInitiated(pid=pid, timestamp=timestamp)
+            )
         self._step(process)
         self._post_event()
 
@@ -345,6 +383,8 @@ class ProcessManager:
         self, decision: Decision, request: ParkedRequest
     ) -> None:
         process = request.process
+        if self.tracer.enabled:
+            self._trace_decision(decision, request)
         if isinstance(decision, Grant):
             self._on_granted(request, decision)
         elif isinstance(decision, Defer):
@@ -424,6 +464,18 @@ class ProcessManager:
     def _start_flight(self, flight: InflightActivity) -> None:
         flight.started = True
         self.stats.note_inflight(self.engine.now, +1)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ActivityStarted(
+                    pid=flight.process.pid,
+                    incarnation=flight.process.incarnation,
+                    activity=flight.activity.name,
+                    uid=flight.activity.uid,
+                    compensation=(
+                        flight.kind is RequestKind.COMPENSATION
+                    ),
+                )
+            )
         duration = flight.activity.activity_type.cost
         if self.injector is not None:
             duration += self.injector.latency_for(
@@ -466,6 +518,15 @@ class ProcessManager:
             flight.attempts += 1
             self.stats.retries += 1
             self.records[process.pid].retries += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    ActivityRetried(
+                        pid=process.pid,
+                        activity=activity.name,
+                        uid=activity.uid,
+                        attempt=flight.attempts,
+                    )
+                )
             self.engine.schedule(
                 self._retry_delay(flight) + activity_type.cost,
                 lambda: self._complete_regular(flight),
@@ -477,6 +538,16 @@ class ProcessManager:
         failed = not activity_type.retriable and self._samples_failure(
             process, activity
         )
+        if self.tracer.enabled:
+            event_cls = ActivityFailed if failed else ActivityCommitted
+            self.tracer.emit(
+                event_cls(
+                    pid=process.pid,
+                    incarnation=process.incarnation,
+                    activity=activity.name,
+                    uid=activity.uid,
+                )
+            )
         if failed:
             self._on_activity_failed(process, activity)
         else:
@@ -590,6 +661,14 @@ class ProcessManager:
             )
         if plan.resolution is Resolution.ABORT_SUBPROCESS:
             self.stats.subprocess_aborts += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    AbortBegun(
+                        pid=process.pid,
+                        incarnation=process.incarnation,
+                        cause="subprocess",
+                    )
+                )
             self._start_compensation_run(
                 process,
                 plan,
@@ -598,6 +677,14 @@ class ProcessManager:
             )
         else:
             self.stats.intrinsic_aborts += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    AbortBegun(
+                        pid=process.pid,
+                        incarnation=process.incarnation,
+                        cause="intrinsic",
+                    )
+                )
             self._start_compensation_run(
                 process,
                 plan,
@@ -665,6 +752,16 @@ class ProcessManager:
                 f"P{process.pid}: stray compensation {activity}"
             )
         entry = run.queue.pop(0)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ActivityCommitted(
+                    pid=process.pid,
+                    incarnation=process.incarnation,
+                    activity=activity.name,
+                    uid=activity.uid,
+                    compensation=True,
+                )
+            )
         self._run_subsystem_program(process, activity)
         process.on_compensated(entry, activity)
         self.trace.record_activity(process, activity)
@@ -702,6 +799,14 @@ class ProcessManager:
         process = self._processes.get(pid)
         if process is None or process.state is not ProcessState.RUNNING:
             return  # already terminating (or terminated)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                AbortBegun(
+                    pid=pid,
+                    incarnation=process.incarnation,
+                    cause=cause,
+                )
+            )
         self._cancel_all_work(process)
         plan = process.plan_protocol_abort()
         self.stats.protocol_aborts += 1
@@ -732,6 +837,15 @@ class ProcessManager:
                 continue
             flight.cancelled = True
             del self._inflight[flight.activity.uid]
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    ActivityCancelled(
+                        pid=process.pid,
+                        incarnation=process.incarnation,
+                        activity=flight.activity.name,
+                        uid=flight.activity.uid,
+                    )
+                )
             if flight.started:
                 self.stats.note_inflight(self.engine.now, -1)
             self._release_dependents(flight)
@@ -759,6 +873,14 @@ class ProcessManager:
         self.protocol.detach(process)
         del self._processes[process.pid]
         self.protocol.stats.aborts += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ProcessAborted(
+                    pid=process.pid,
+                    incarnation=process.incarnation,
+                    resubmit=resubmit,
+                )
+            )
         if resubmit:
             record = self.records[process.pid]
             record.resubmissions += 1
@@ -778,6 +900,14 @@ class ProcessManager:
     def _resubmit(self, process: Process) -> None:
         self._processes[process.pid] = process
         self.protocol.attach(process)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ProcessResubmitted(
+                    pid=process.pid,
+                    incarnation=process.incarnation,
+                    timestamp=process.timestamp,
+                )
+            )
         self._step(process)
         self._post_event()
 
@@ -791,6 +921,13 @@ class ProcessManager:
         del self._processes[process.pid]
         self.stats.committed += 1
         self.records[process.pid].committed_at = self.engine.now
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ProcessCommitted(
+                    pid=process.pid,
+                    incarnation=process.incarnation,
+                )
+            )
         self._retry_parked(process.pid)
 
     # ------------------------------------------------------------------
@@ -809,6 +946,8 @@ class ProcessManager:
             self._wait_index.setdefault(pid, set()).add(request.seq)
         if request.kind is RequestKind.COMMIT:
             self._parked_commit_pids.add(request.process.pid)
+        if self.tracer.enabled:
+            self.tracer.emit(self._wait_edge_event("insert", request))
 
     def _unpark(self, request: ParkedRequest) -> None:
         """Remove a parked request and unregister its wait-index entries."""
@@ -821,6 +960,8 @@ class ProcessManager:
                     del self._wait_index[pid]
         if request.kind is RequestKind.COMMIT:
             self._parked_commit_pids.discard(request.process.pid)
+        if self.tracer.enabled:
+            self.tracer.emit(self._wait_edge_event("delete", request))
 
     def _retry_parked(self, dead_pid: int) -> None:
         """Wake the requests that waited on a terminated process.
@@ -946,6 +1087,10 @@ class ProcessManager:
             self._force_progress_in_cycle(cycle)
             return
         self.stats.deadlock_victims += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                DeadlockVictim(pid=victim, cycle=tuple(cycle))
+            )
         self._begin_protocol_abort(victim, cause="deadlock")
 
     def _force_progress_in_cycle(self, cycle: list[int]) -> None:
@@ -966,6 +1111,14 @@ class ProcessManager:
             ):
                 self._unpark(request)
                 self.stats.unresolvable_violations += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        UnresolvableForced(
+                            pid=request.process.pid,
+                            request=request.kind.value,
+                            cycle=tuple(cycle),
+                        )
+                    )
                 self._finalize_commit(request.process)
                 return
         hooks = (
@@ -983,6 +1136,14 @@ class ProcessManager:
                 ):
                     self._unpark(request)
                     self.stats.unresolvable_violations += 1
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            UnresolvableForced(
+                                pid=request.process.pid,
+                                request=request.kind.value,
+                                cycle=tuple(cycle),
+                            )
+                        )
                     self._apply_decision(
                         force(request.process, request.activity), request
                     )
@@ -990,6 +1151,115 @@ class ProcessManager:
         raise ProtocolError(
             f"unresolvable wait cycle {cycle} with no forcible request"
         )
+
+    # ------------------------------------------------------------------
+    # observability (only reached when the tracer is enabled)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _wait_edge_event(op: str, request: ParkedRequest) -> WaitEdge:
+        return WaitEdge(
+            op=op,
+            waiter=request.process.pid,
+            blockers=tuple(sorted(request.wait_for)),
+            seq=request.seq,
+            request=request.kind.value,
+            activity=(
+                request.activity.name if request.activity else None
+            ),
+            reason=request.reason,
+        )
+
+    def _holder_info(self, pids) -> tuple[Holder, ...]:
+        """Blocking-holder snapshots (timestamp + held modes) for pids."""
+        table = getattr(self.protocol, "table", None)
+        holders = []
+        for pid in sorted(pids):
+            process = self._processes.get(pid)
+            timestamp = process.timestamp if process is not None else -1
+            modes = ""
+            if table is not None:
+                modes = "".join(
+                    sorted(
+                        {
+                            entry.mode.value
+                            for entry in table.locks_of(pid)
+                        }
+                    )
+                )
+            holders.append(
+                Holder(pid=pid, timestamp=timestamp, modes=modes)
+            )
+        return tuple(holders)
+
+    def _trace_decision(
+        self, decision: Decision, request: ParkedRequest
+    ) -> None:
+        """Emit the typed event for one protocol decision."""
+        process = request.process
+        activity = request.activity
+        common = {
+            "pid": process.pid,
+            "incarnation": process.incarnation,
+            "request": request.kind.value,
+            "activity": activity.name if activity else None,
+            "uid": activity.uid if activity else None,
+        }
+        mode = request.mode.value if request.mode else None
+        if request.kind is RequestKind.COMPENSATION:
+            mode = "C"
+        if isinstance(decision, Grant):
+            entry = decision.locks[0] if decision.locks else None
+            self.tracer.emit(
+                LockGranted(
+                    mode=entry.mode.value if entry else mode,
+                    position=entry.position if entry else None,
+                    **common,
+                )
+            )
+        elif isinstance(decision, Defer):
+            self.tracer.emit(
+                LockDeferred(
+                    timestamp=process.timestamp,
+                    mode=mode,
+                    reason=decision.reason,
+                    rule=rule_for_reason(decision.reason),
+                    blockers=self._holder_info(decision.wait_for),
+                    **common,
+                )
+            )
+        elif isinstance(decision, AbortVictims):
+            self.tracer.emit(
+                CascadeRequested(
+                    timestamp=process.timestamp,
+                    mode=mode,
+                    victims=self._holder_info(decision.victims),
+                    **common,
+                )
+            )
+        elif isinstance(decision, SelfAbort):
+            self.tracer.emit(
+                SelfAbortDecision(
+                    timestamp=process.timestamp,
+                    reason=decision.reason,
+                    rule=rule_for_reason(decision.reason),
+                    pid=common["pid"],
+                    incarnation=common["incarnation"],
+                    request=common["request"],
+                    activity=common["activity"],
+                )
+            )
+
+    def _gauge_sample(self) -> dict[str, float]:
+        """Current values of the virtual-time gauges (sampled on emit)."""
+        table = getattr(self.protocol, "table", None)
+        sample = {
+            "parked": float(len(self._parked)),
+            "inflight": float(self.stats._inflight),
+            "live": float(len(self._processes)),
+        }
+        if table is not None:
+            sample["locks"] = float(table.lock_count)
+        return sample
 
     # ------------------------------------------------------------------
     # helpers

@@ -274,11 +274,15 @@ def recover(
     config: ManagerConfig | None = None,
     subsystems=None,
     seed: int = 0,
+    tracer=None,
 ) -> ProcessManager:
     """Build a fresh manager that continues where the crash left off.
 
     ``protocol`` must be a *fresh* instance over the same registry and
     conflict matrix (the lock table is volatile and is rebuilt here).
+    ``tracer`` hands the pre-crash run's tracer to the new incarnation;
+    the caller is responsible for advancing ``tracer.offset`` by the
+    crashed incarnation's final virtual time so stamps stay monotone.
     """
     if protocol.table.lock_count:
         raise SchedulerError(
@@ -303,7 +307,11 @@ def recover(
     )
     ensure_uid_floor(max_uid)
     manager = ProcessManager(
-        protocol, subsystems=subsystems, config=config, seed=seed
+        protocol,
+        subsystems=subsystems,
+        config=config,
+        seed=seed,
+        tracer=tracer,
     )
     manager.trace = TraceRecorder(image.trace_events)
     manager.records.update(image.records)

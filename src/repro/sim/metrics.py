@@ -202,4 +202,10 @@ def aggregate(metrics: list[RunMetrics]) -> dict[str, float]:
             [m.unresolvable_violations for m in metrics]
         ),
         "deadlock_victims": mean([m.deadlock_victims for m in metrics]),
+        "lock_ops": mean([m.lock_ops for m in metrics]),
+        "faults_injected": mean([m.faults_injected for m in metrics]),
+        "fault_retries": mean([m.fault_retries for m in metrics]),
+        "fault_recoveries": mean(
+            [m.fault_recoveries for m in metrics]
+        ),
     }

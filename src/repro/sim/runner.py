@@ -67,12 +67,15 @@ def run_workload(
     seed: int = 0,
     config: ManagerConfig | None = None,
     arrivals: list[float] | None = None,
+    tracer=None,
 ) -> RunResult:
     """Execute every program of ``workload`` under one protocol.
 
     ``arrivals`` overrides the workload's built-in arrival times (see
     :mod:`repro.sim.arrivals` for generators); it must provide one time
-    per program.
+    per program.  ``tracer`` (a :class:`repro.obs.Tracer`) records the
+    run's decision events; omitted, tracing is disabled and the run is
+    byte-identical to an uninstrumented one.
     """
     if arrivals is not None and len(arrivals) != len(workload.programs):
         raise SchedulerError(
@@ -85,6 +88,7 @@ def run_workload(
         subsystems=workload.make_subsystems(),
         config=config,
         seed=seed,
+        tracer=tracer,
     )
     for index, program in enumerate(workload.programs):
         at = (

@@ -105,3 +105,90 @@ class TestNewCommands:
         assert main(["run", "--processes", "3", "--timeline"]) == 0
         out = capsys.readouterr().out
         assert "legend:" in out
+
+
+class TestObservabilityCommands:
+    def trace_dir(self, tmp_path, seed="7"):
+        out = tmp_path / "trace"
+        code = main(
+            ["trace", "--processes", "8", "--density", "0.6",
+             "--seed", seed, "--out", str(out)]
+        )
+        assert code == 0
+        return out
+
+    def test_trace_writes_all_artifacts(self, tmp_path, capsys):
+        import json
+
+        out = self.trace_dir(tmp_path)
+        printed = capsys.readouterr().out
+        assert "traced" in printed
+        assert "https://ui.perfetto.dev" in printed
+        for name in (
+            "events.jsonl", "trace.perfetto.json", "waitfor.dot",
+            "series.json",
+        ):
+            assert (out / name).exists()
+        trace = json.loads((out / "trace.perfetto.json").read_text())
+        assert trace["traceEvents"]
+
+    def test_explain_lists_then_explains(self, tmp_path, capsys):
+        out = self.trace_dir(tmp_path)
+        capsys.readouterr()
+        assert main(["explain", "--trace", str(out)]) == 0
+        listing = capsys.readouterr().out
+        assert "deferred processes" in listing
+        pid = listing.split()[-1]
+        assert main(["explain", pid, "--trace", str(out)]) == 0
+        account = capsys.readouterr().out
+        assert f"P{pid} — causal account" in account
+        assert "final outcome:" in account
+
+    def test_explain_missing_trace_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["explain", "--trace", str(tmp_path / "nowhere")]
+        )
+        assert code == 2
+        assert "no trace at" in capsys.readouterr().err
+
+    def test_explain_unknown_pid_exits_2(self, tmp_path, capsys):
+        out = self.trace_dir(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["explain", "999999", "--trace", str(out)]
+        ) == 2
+        assert "no events" in capsys.readouterr().err
+
+    def test_compare_json(self, capsys):
+        import json
+
+        code = main(
+            ["compare", "--processes", "4", "--json",
+             "--protocols", "serial", "process-locking"]
+        )
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {row["protocol"] for row in rows} == {
+            "serial", "process-locking"
+        }
+
+    def test_run_trace_out(self, tmp_path, capsys):
+        out = tmp_path / "run-trace"
+        code = main(
+            ["run", "--processes", "4", "--seed", "3",
+             "--trace-out", str(out)]
+        )
+        assert code == 0
+        assert "trace:" in capsys.readouterr().out
+        assert (out / "events.jsonl").exists()
+
+    def test_compare_trace_out_per_protocol(self, tmp_path):
+        out = tmp_path / "cmp"
+        code = main(
+            ["compare", "--processes", "4",
+             "--protocols", "serial", "s2pl",
+             "--trace-out", str(out)]
+        )
+        assert code == 0
+        for name in ("serial", "s2pl"):
+            assert (out / name / "events.jsonl").exists()

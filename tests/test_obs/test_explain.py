@@ -1,0 +1,151 @@
+"""Causal-account replay tests, plus the Figure-1 trace cross-check."""
+
+import math
+
+import pytest
+
+from repro.core.cost_based import figure1_steps_from_trace, figure1_trace
+from repro.obs import Tracer, deferred_pids, explain_process
+from repro.sim.runner import run_workload
+from repro.sim.workload import WorkloadSpec, build_workload
+
+CONTENDED = WorkloadSpec(
+    n_processes=12,
+    n_activity_types=6,
+    conflict_density=0.6,
+    failure_probability=0.05,
+    arrival_spacing=0.5,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="module")
+def records():
+    tracer = Tracer()
+    run_workload(
+        build_workload(CONTENDED), seed=CONTENDED.seed, tracer=tracer
+    )
+    return tracer.records()
+
+
+class TestDeferredPids:
+    def test_most_deferred_first(self, records):
+        pids = deferred_pids(records)
+        assert pids, "contended workload produced no deferments"
+        counts = {}
+        for record in records:
+            if record["kind"] == "lock.defer":
+                counts[record["pid"]] = counts.get(record["pid"], 0) + 1
+        assert set(pids) == set(counts)
+        assert [counts[p] for p in pids] == sorted(
+            counts.values(), reverse=True
+        )
+
+
+class TestExplain:
+    def test_names_blocker_mode_and_rule(self, records):
+        # Pick a deferment whose blockers still held locks, so the
+        # account must name the holder, its timestamp, and its mode.
+        defer = next(
+            r
+            for r in records
+            if r["kind"] == "lock.defer"
+            and any(b["modes"] for b in r["blockers"])
+        )
+        text = explain_process(records, defer["pid"])
+        blocker = next(b for b in defer["blockers"] if b["modes"])
+        assert f"DEFERRED" in text
+        assert f"reason '{defer['reason']}'" in text
+        assert f"[{defer['rule']}]" in text
+        assert (
+            f"P{blocker['pid']} (ts {blocker['timestamp']}) "
+            f"holding {blocker['modes']}" in text
+        )
+
+    def test_account_is_complete(self, records):
+        pid = deferred_pids(records)[0]
+        text = explain_process(records, pid)
+        assert text.startswith(f"P{pid} — causal account")
+        assert "submitted" in text
+        assert "initiated with timestamp" in text
+        assert "deferments:" in text
+        assert "final outcome:" in text
+        # Every replayed line carries its virtual-time stamp.
+        body = [l for l in text.splitlines() if l.startswith("  vt ")]
+        assert len(body) >= 3
+
+    def test_parked_duration_attached(self, records):
+        # At least one deferment in a contended run waits a nonzero
+        # amount of virtual time and reports it.
+        texts = [
+            explain_process(records, pid)
+            for pid in deferred_pids(records)[:5]
+        ]
+        assert any("; parked for" in text for text in texts)
+
+    def test_cascade_victims_see_their_killer(self, records):
+        cascades = [
+            r for r in records if r["kind"] == "lock.cascade"
+        ]
+        if not cascades:
+            pytest.skip("workload produced no cascading aborts")
+        victim = cascades[0]["victims"][0]["pid"]
+        text = explain_process(records, victim)
+        assert "CASCADE-ABORTED by" in text
+        assert "lost the timestamp comparison" in text
+
+    def test_unknown_pid_raises(self, records):
+        with pytest.raises(ValueError, match="no events"):
+            explain_process(records, 999_999)
+
+
+class TestFigure1FromTrace:
+    """The live protocol's classifications replay into the same step
+    table the paper's Figure-1 algorithm computes symbolically."""
+
+    SPEC = WorkloadSpec(
+        n_processes=6,
+        n_activity_types=5,
+        conflict_density=0.2,
+        failure_probability=0.0,
+        wcc_threshold=10.0,
+        seed=5,
+    )
+
+    def test_matches_symbolic_trace(self):
+        tracer = Tracer()
+        workload = build_workload(self.SPEC)
+        run_workload(workload, seed=self.SPEC.seed, tracer=tracer)
+        records = tracer.records()
+        resubmitted = {
+            r["pid"]
+            for r in records
+            if r["kind"] == "process.resubmit"
+        }
+        checked = 0
+        for pid in sorted(
+            {r["pid"] for r in records if r["kind"] == "wcc.classify"}
+        ):
+            if pid in resubmitted:
+                continue  # a resubmission restarts the Wcc accumulator
+            replayed = figure1_steps_from_trace(records, pid)
+            symbolic = figure1_trace(
+                workload.registry,
+                [step.activity for step in replayed],
+                self.SPEC.wcc_threshold,
+            )
+            assert len(replayed) == len(symbolic)
+            for live, paper in zip(replayed, symbolic):
+                assert live.activity == paper.activity
+                assert live.treatment is paper.treatment
+                assert live.pseudo_pivot == paper.pseudo_pivot
+                assert live.real_pivot == paper.real_pivot
+                assert live.threshold == paper.threshold
+                # The live path charges ``cost + comp`` as one sum, the
+                # symbolic path adds them separately — identical up to
+                # association order of float addition.
+                assert math.isclose(
+                    live.wcc_after, paper.wcc_after, rel_tol=1e-9
+                )
+            checked += 1
+        assert checked > 0

@@ -1,0 +1,162 @@
+"""Exporter tests: JSONL round-trip, Perfetto JSON, wait-for DOT."""
+
+import json
+
+from repro.obs import (
+    Tracer,
+    export_all,
+    perfetto_trace,
+    read_jsonl,
+    wait_for_dot,
+    write_jsonl,
+)
+from repro.obs.export import TS_SCALE
+from repro.sim.runner import run_workload
+from repro.sim.workload import WorkloadSpec, build_workload
+
+CONTENDED = WorkloadSpec(
+    n_processes=10,
+    n_activity_types=6,
+    conflict_density=0.6,
+    failure_probability=0.05,
+    arrival_spacing=0.5,
+    seed=7,
+)
+
+
+def traced_run(spec=CONTENDED):
+    tracer = Tracer()
+    run_workload(build_workload(spec), seed=spec.seed, tracer=tracer)
+    return tracer
+
+
+# ----------------------------------------------------------------------
+# hand-built records (format contracts)
+# ----------------------------------------------------------------------
+def test_perfetto_pairs_spans_by_uid():
+    records = [
+        {"seq": 0, "t": 1.0, "kind": "activity.start", "pid": 1,
+         "incarnation": 0, "activity": "reserve", "uid": 11,
+         "compensation": False},
+        {"seq": 1, "t": 3.5, "kind": "activity.commit", "pid": 1,
+         "incarnation": 0, "activity": "reserve", "uid": 11,
+         "compensation": False},
+    ]
+    trace = perfetto_trace(records)
+    spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert len(spans) == 1
+    (span,) = spans
+    assert span["name"] == "reserve"
+    assert span["ts"] == 1.0 * TS_SCALE
+    assert span["dur"] == 2.5 * TS_SCALE
+    assert span["args"]["outcome"] == "activity.commit"
+    # The process got a metadata track naming it P1.
+    meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+    assert meta[0]["args"]["name"] == "P1"
+
+
+def test_perfetto_closes_dangling_spans_at_trace_end():
+    records = [
+        {"seq": 0, "t": 1.0, "kind": "activity.start", "pid": 1,
+         "incarnation": 0, "activity": "ship", "uid": 5,
+         "compensation": False},
+        {"seq": 1, "t": 9.0, "kind": "process.commit", "pid": 2,
+         "incarnation": 0},
+    ]
+    spans = [
+        e for e in perfetto_trace(records)["traceEvents"]
+        if e["ph"] == "X"
+    ]
+    assert spans[0]["args"]["outcome"] == "open"
+    assert spans[0]["dur"] == 8.0 * TS_SCALE
+
+
+def test_wait_for_dot_snapshots_peak_contention():
+    def edge(seq, t, op, waiter, blockers):
+        return {"seq": seq, "t": t, "kind": "wait.edge", "op": op,
+                "waiter": waiter, "blockers": blockers, "request":
+                "regular", "activity": "reserve", "reason": "x"}
+
+    records = [
+        edge(1, 1.0, "insert", 3, [1]),
+        edge(2, 2.0, "insert", 4, [1, 2]),  # peak: 3 edges
+        edge(1, 3.0, "delete", 3, [1]),
+        edge(2, 4.0, "delete", 4, [1, 2]),
+    ]
+    dot = wait_for_dot(records)
+    assert dot.startswith("digraph waitfor {")
+    assert "@ vt 2" in dot
+    assert "p3 -> p1" in dot and "p4 -> p2" in dot
+    # ``at`` replays up to a cut-off instead of taking the peak.
+    late = wait_for_dot(records, at=3.5)
+    assert "p3 -> p1" not in late and "p4 -> p1" in late
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = Tracer()
+    tracer.bind_clock(lambda: 2.0)
+    from repro.obs.events import ProcessInitiated
+
+    tracer.emit(ProcessInitiated(pid=1, timestamp=3))
+    path = write_jsonl(tracer.records(), tmp_path / "events.jsonl")
+    restored = read_jsonl(path)
+    # JSON normalizes tuples to lists; compare through one dump cycle.
+    assert restored == json.loads(json.dumps(tracer.records()))
+
+
+# ----------------------------------------------------------------------
+# a real traced run end to end
+# ----------------------------------------------------------------------
+class TestExportAll:
+    def test_writes_every_artifact(self, tmp_path):
+        tracer = traced_run()
+        assert len(tracer) > 0
+        paths = export_all(tracer, tmp_path / "out")
+        assert sorted(paths) == [
+            "events", "perfetto", "series", "waitfor"
+        ]
+        for path in paths.values():
+            assert path.exists() and path.stat().st_size > 0
+
+    def test_perfetto_json_is_strict_and_well_formed(self, tmp_path):
+        tracer = traced_run()
+        paths = export_all(tracer, tmp_path / "out")
+        # Strict parse — no NaN/Infinity tokens may leak into the file.
+        trace = json.loads(
+            paths["perfetto"].read_text(), parse_constant=_reject
+        )
+        events = trace["traceEvents"]
+        assert events
+        assert {e["ph"] for e in events} <= {"M", "X", "i", "C"}
+        for event in events:
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+            if event["ph"] != "M":
+                assert event.get("ts", 0) >= 0
+
+    def test_series_json_has_gauges_and_histograms(self, tmp_path):
+        tracer = traced_run()
+        paths = export_all(tracer, tmp_path / "out")
+        series = json.loads(paths["series"].read_text())
+        for gauge in ("parked", "inflight", "live", "locks"):
+            assert gauge in series["gauges"]
+        assert series["histograms"]["defer_reasons"]
+
+    def test_jsonl_matches_tracer_records(self, tmp_path):
+        tracer = traced_run()
+        paths = export_all(tracer, tmp_path / "out")
+        restored = read_jsonl(paths["events"])
+        assert len(restored) == len(tracer)
+        assert restored == json.loads(json.dumps(tracer.records()))
+
+    def test_no_series_tracer_skips_series_artifact(self, tmp_path):
+        tracer = Tracer(collect_series=False)
+        run_workload(
+            build_workload(CONTENDED), seed=CONTENDED.seed, tracer=tracer
+        )
+        paths = export_all(tracer, tmp_path / "out")
+        assert "series" not in paths
+
+
+def _reject(token):
+    raise AssertionError(f"non-strict JSON constant in export: {token}")
