@@ -1,19 +1,25 @@
 """Perf scaling: incremental indexes vs the naive recompute hot path.
 
-The scheduling hot path is served by three incremental structures (see
+The scheduling hot path is served by incremental structures (see
 ``docs/performance.md``): the conflict adjacency index, the lock table's
-blocker index, and the manager's wake-up index.  This file
+blocker index, the manager's wake-up index, and — since the sharding
+PR — the Pearce–Kelly wait-for reachability structure plus the
+per-subsystem lock shards.  This file
 
 * reconstructs the **naive path** — the exact pre-index formulations:
   O(pairs) conflict scans, O(locks²) commit-blocker re-derivation, and
   the O(parked²) parked-list fixpoint poll — as drop-in subclasses,
+* reconstructs the **monolithic path** — the pre-sharding
+  :class:`LockTable` with the rebuild-and-DFS per-park deadlock check
+  and whole-table audits,
 * asserts **trace equivalence**: fixed-seed runs under
-  ``process-locking`` produce byte-identical schedules on both paths,
+  ``process-locking`` produce byte-identical schedules on every path,
 * sweeps process count and conflict density through ``run_workload``
-  and writes ``BENCH_scaling.json`` (wall time, throughput,
-  lock-ops/sec for both paths) so later PRs have a perf trajectory,
-* asserts the indexed path is ≥ 2× faster than the naive path on the
-  largest swept workload.
+  and updates ``BENCH_scaling.json`` (wall time, throughput,
+  lock-ops/sec per path) so later PRs have a perf trajectory,
+* asserts the indexed path is ≥ 2× faster than the naive path, and the
+  sharded+incremental path ≥ 1.5× the monolithic lock-ops/sec, each on
+  its largest swept workload.
 """
 
 from __future__ import annotations
@@ -44,6 +50,20 @@ SCALING_SWEEP = [
     (80, 0.3, 0.5),
     (120, 0.3, 1.0),
 ]
+
+#: Multi-subsystem contention sweep for sharded-vs-monolithic (six
+#: subsystems, audited runs).  The largest point carries the ≥1.5×
+#: lock-ops/sec assertion.
+CONTENTION_SWEEP = [
+    (40, 0.4, 0.5),
+    (80, 0.5, 0.3),
+    (200, 0.5, 0.25),
+]
+
+#: Audit sampling interval for the sharded-vs-monolithic sweep: both
+#: paths audit at the same cadence; the monolithic table can only audit
+#: everything, the sharded table round-robins one shard per audit.
+AUDIT_EVERY = 16
 
 #: High resubmission headroom: heavy contention is the point here, and
 #: starvation accounting is a protocol question, not a perf one.
@@ -166,6 +186,27 @@ def run_naive_workload(workload, protocol_name, seed, config):
     return manager.run()
 
 
+def run_monolithic_workload(workload, protocol_name, seed, config):
+    """``run_workload`` but with the pre-sharding monolithic table.
+
+    The plain :class:`LockTable` has no shard map, so the sampling
+    auditor falls back to whole-table audits; pair this with
+    ``incremental_deadlock=False`` in ``config`` to get the full
+    pre-sharding hot path (rebuild-and-DFS on every park).
+    """
+    protocol = make_protocol(protocol_name, workload)
+    protocol.table = LockTable(workload.conflicts)
+    manager = ProcessManager(
+        protocol,
+        subsystems=workload.make_subsystems(),
+        config=config,
+        seed=seed,
+    )
+    for index, program in enumerate(workload.programs):
+        manager.submit(program, at=workload.arrival_time(index))
+    return manager.run()
+
+
 # ----------------------------------------------------------------------
 # helpers
 # ----------------------------------------------------------------------
@@ -200,11 +241,37 @@ def _canonical_trace(result) -> str:
     )
 
 
+def _update_bench(key: str, payload: dict) -> None:
+    """Merge one sweep's results into ``BENCH_scaling.json``.
+
+    Each benchmark owns one top-level key, so the sweeps can run in any
+    order (or individually) without clobbering each other's rows.
+    """
+    data = {}
+    if BENCH_PATH.exists():
+        data = json.loads(BENCH_PATH.read_text())
+    data[key] = payload
+    BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
 def _spec(n_processes, density, spacing, seed) -> WorkloadSpec:
     return WorkloadSpec(
         n_processes=n_processes,
         n_activity_types=24,
         n_subsystems=3,
+        conflict_density=density,
+        arrival_spacing=spacing,
+        failure_probability=0.02,
+        seed=seed,
+    )
+
+
+def _spec6(n_processes, density, spacing, seed) -> WorkloadSpec:
+    """Six-subsystem contention spec for the sharded sweep."""
+    return WorkloadSpec(
+        n_processes=n_processes,
+        n_activity_types=36,
+        n_subsystems=6,
         conflict_density=density,
         arrival_spacing=spacing,
         failure_probability=0.02,
@@ -293,18 +360,15 @@ class TestScaling:
                     "speedup": round(wall_naive / wall_indexed, 2),
                 }
             )
-        BENCH_PATH.write_text(
-            json.dumps(
-                {
-                    "description": (
-                        "process-locking hot path, indexed vs naive; "
-                        "fixed seed 7, identical schedules asserted"
-                    ),
-                    "sweep": rows,
-                },
-                indent=2,
-            )
-            + "\n"
+        _update_bench(
+            "indexed_vs_naive",
+            {
+                "description": (
+                    "process-locking hot path, indexed vs naive; "
+                    "fixed seed 7, identical schedules asserted"
+                ),
+                "sweep": rows,
+            },
         )
         print()
         for row in rows:
@@ -313,4 +377,106 @@ class TestScaling:
         assert largest["speedup"] >= 2.0, (
             f"indexed path only {largest['speedup']}x faster than the "
             f"naive baseline on the largest workload: {largest}"
+        )
+
+
+class TestShardedIncrementalScaling:
+    """Sharded table + incremental wait-for vs the monolithic path.
+
+    Every point runs four byte-identical schedules:
+
+    * **sharded** — the default stack (sharded table, incremental
+      wait-for) with the sampling auditor round-robining one shard,
+    * **monolithic** — the pre-sharding stack (plain table, DFS on
+      every park, whole-table audits) at the *same* audit cadence,
+    * **incremental / dfs** — the same pair with audits off, isolating
+      the per-park deadlock check.
+
+    The ≥1.5× lock-ops/sec bar applies to sharded-vs-monolithic on the
+    largest point.
+    """
+
+    def test_sharded_vs_monolithic_sweep(self, uid_floor):
+        audited = dict(audit=True, audit_every=AUDIT_EVERY)
+        config_sharded = ManagerConfig(**BENCH_CONFIG, **audited)
+        config_monolithic = ManagerConfig(
+            **BENCH_CONFIG, **audited, incremental_deadlock=False
+        )
+        config_incremental = ManagerConfig(**BENCH_CONFIG)
+        config_dfs = ManagerConfig(
+            **BENCH_CONFIG, incremental_deadlock=False
+        )
+        rows = []
+        for n_processes, density, spacing in CONTENTION_SWEEP:
+            spec = _spec6(n_processes, density, spacing, seed=7)
+            uid_floor.pin()
+            sharded, wall_sharded = _timed_run(
+                run_workload, build_workload(spec), 7, config_sharded
+            )
+            uid_floor.repin()
+            monolithic, wall_monolithic = _timed_run(
+                run_monolithic_workload,
+                build_workload(spec),
+                7,
+                config_monolithic,
+            )
+            uid_floor.repin()
+            incremental, wall_incremental = _timed_run(
+                run_workload, build_workload(spec), 7, config_incremental
+            )
+            uid_floor.repin()
+            dfs, wall_dfs = _timed_run(
+                run_workload, build_workload(spec), 7, config_dfs
+            )
+            reference = _canonical_trace(sharded)
+            assert reference == _canonical_trace(monolithic)
+            assert reference == _canonical_trace(incremental)
+            assert reference == _canonical_trace(dfs)
+            ops = lock_operations(sharded.protocol_stats)
+            rows.append(
+                {
+                    "n_processes": n_processes,
+                    "conflict_density": density,
+                    "arrival_spacing": spacing,
+                    "n_subsystems": spec.n_subsystems,
+                    "audit_every": AUDIT_EVERY,
+                    "committed": sharded.stats.committed,
+                    "lock_ops": ops,
+                    "wall_s_sharded": round(wall_sharded, 3),
+                    "wall_s_monolithic": round(wall_monolithic, 3),
+                    "wall_s_incremental": round(wall_incremental, 3),
+                    "wall_s_dfs": round(wall_dfs, 3),
+                    "lock_ops_per_sec_sharded": round(
+                        ops / wall_sharded
+                    ),
+                    "lock_ops_per_sec_monolithic": round(
+                        ops / wall_monolithic
+                    ),
+                    "sharded_vs_monolithic": round(
+                        wall_monolithic / wall_sharded, 2
+                    ),
+                    "incremental_vs_dfs": round(
+                        wall_dfs / wall_incremental, 2
+                    ),
+                }
+            )
+        _update_bench(
+            "sharded_vs_monolithic",
+            {
+                "description": (
+                    "sharded table + incremental wait-for vs the "
+                    "monolithic pre-sharding path; audited runs share "
+                    "one sampling cadence; fixed seed 7, byte-identical "
+                    "schedules asserted across all four variants"
+                ),
+                "sweep": rows,
+            },
+        )
+        print()
+        for row in rows:
+            print(row)
+        largest = rows[-1]
+        assert largest["sharded_vs_monolithic"] >= 1.5, (
+            f"sharded path only {largest['sharded_vs_monolithic']}x the "
+            f"monolithic lock-ops/sec on the largest workload: {largest}"
         )

@@ -46,6 +46,11 @@ class ConflictMatrix:
         """Mutation counter; changes whenever the relation changes."""
         return self._version
 
+    @property
+    def registry(self) -> ActivityRegistry:
+        """The activity registry this relation is defined over."""
+        return self._registry
+
     def _invalidate(self) -> None:
         self._adjacency = None
         self._version += 1

@@ -9,19 +9,27 @@ the paper's "timestamp-based deadlock prevention".
 
 The cost-based extension introduces pseudo pivots whose P locks can make
 an *older* process wait for a *younger running* one, so cycles become
-possible there.  :class:`WaitForGraph` detects them; the victim is the
-youngest *running* process on the cycle (never a completing one, which by
-construction cannot be required).
+possible there.  Detection runs on every park, so it is hot-path code:
 
-The graph doubles as an auditor: simulations assert acyclicity after every
-step when the cost-based extension is off.
+* :class:`IncrementalWaitFor` maintains reachability under edge
+  insert/delete (Pearce–Kelly topological-order maintenance), answering
+  the common acyclic park in O(1) amortized;
+* :class:`WaitForGraph` over :class:`Digraph` reproduces the original
+  (historically networkx-backed) cycle *search* — byte-for-byte the same
+  cycle, hence the same victim — and only runs once a cycle exists.
+
+Everything here is pure Python; the real networkx implementations
+survive only as oracles in :mod:`repro.core.reference` and the property
+tests.  The victim is the youngest *running* process on the cycle (never
+a completing one, which by construction cannot be required).
+
+The graph doubles as an auditor: simulations assert acyclicity after
+every step when the cost-based extension is off.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping
-
-import networkx as nx
+from collections.abc import Iterable, Iterator, Mapping
 
 from repro.errors import ProtocolError
 
@@ -29,11 +37,11 @@ from repro.errors import ProtocolError
 def has_cycle(adjacency: Mapping[int, Iterable[int]]) -> bool:
     """Whether the directed graph ``adjacency`` contains a cycle.
 
-    Iterative three-color depth-first search over a plain mapping.  The
-    scheduler runs this on every park as a guard in front of the much
-    heavier :meth:`WaitForGraph.find_cycle` (which must materialize a
-    :mod:`networkx` graph); waits are almost always acyclic, so the
-    guard turns the per-park deadlock check into cheap dict walks.
+    Iterative three-color depth-first search over a plain mapping.  This
+    is the naive O(nodes + edges) formulation; the scheduler's hot path
+    uses :class:`IncrementalWaitFor` instead and keeps this walk as the
+    audit-time cross-check (and as the guard in front of the full cycle
+    search when a cycle does exist).
     """
     done: set[int] = set()
     on_path: set[int] = set()
@@ -61,11 +69,220 @@ def has_cycle(adjacency: Mapping[int, Iterable[int]]) -> bool:
     return False
 
 
+class Digraph:
+    """Minimal insertion-ordered directed simple graph.
+
+    Replicates the slice of ``networkx.DiGraph`` semantics this codebase
+    relies on: node and edge iteration follow insertion order, adding an
+    edge inserts missing endpoints (tail before head), removing an edge
+    keeps its endpoints, and removing a node drops its incident edges in
+    both directions.  Iteration order matters — the cycle search below
+    walks nodes and out-edges in insertion order, and which cycle it
+    returns decides which process the manager sacrifices.
+    """
+
+    __slots__ = ("_succ", "_pred")
+
+    def __init__(self) -> None:
+        # node -> {neighbor: None}; plain dicts give insertion order.
+        self._succ: dict[int, dict[int, None]] = {}
+        self._pred: dict[int, dict[int, None]] = {}
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._succ
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._succ)
+
+    @property
+    def nodes(self) -> Iterator[int]:
+        return iter(self._succ)
+
+    @property
+    def edges(self) -> Iterator[tuple[int, int]]:
+        return (
+            (tail, head)
+            for tail, heads in self._succ.items()
+            for head in heads
+        )
+
+    @property
+    def adj(self) -> Mapping[int, Mapping[int, None]]:
+        return self._succ
+
+    def add_node(self, node: int) -> None:
+        if node not in self._succ:
+            self._succ[node] = {}
+            self._pred[node] = {}
+
+    def add_edge(self, tail: int, head: int) -> None:
+        self.add_node(tail)
+        self.add_node(head)
+        self._succ[tail][head] = None
+        self._pred[head][tail] = None
+
+    def remove_edge(self, tail: int, head: int) -> None:
+        del self._succ[tail][head]
+        del self._pred[head][tail]
+
+    def remove_node(self, node: int) -> None:
+        for head in self._succ.pop(node):
+            del self._pred[head][node]
+        for tail in self._pred.pop(node):
+            del self._succ[tail][node]
+
+    def successors(self, node: int) -> Iterator[int]:
+        return iter(self._succ.get(node, ()))
+
+    def out_degree(self, node: int) -> int:
+        return len(self._succ.get(node, ()))
+
+
+def _edge_dfs(graph: Digraph, start_node: int) -> Iterator[tuple[int, int]]:
+    """Depth-first search of *edges* from ``start_node``.
+
+    Faithful port of ``networkx.edge_dfs`` specialized to a directed
+    simple graph with ``orientation=None`` and a single start node: lazy
+    per-node out-edge generators, a visited-edge set, and an explicit
+    node stack, yielding edges in exactly the order networkx would.
+    """
+    visited_edges: set[tuple[int, int]] = set()
+    visited_nodes: set[int] = set()
+    generators: dict[int, Iterator[tuple[int, int]]] = {}
+    stack = [start_node]
+    while stack:
+        current = stack[-1]
+        if current not in visited_nodes:
+            generators[current] = (
+                (current, head)
+                for head in graph._succ.get(current, ())
+            )
+            visited_nodes.add(current)
+        try:
+            edge = next(generators[current])
+        except StopIteration:
+            stack.pop()
+        else:
+            if edge not in visited_edges:
+                visited_edges.add(edge)
+                stack.append(edge[1])
+                yield edge
+
+
+def find_cycle_edges(
+    graph: Digraph,
+) -> list[tuple[int, int]] | None:
+    """One cycle of ``graph`` as an edge list, or ``None``.
+
+    Faithful port of ``networkx.find_cycle`` (directed graph,
+    ``orientation=None``): start nodes are tried in insertion order, the
+    edge-DFS tracks the active path with explicit backtrack pops, and
+    the prefix leading into the cycle is pruned at the end.  Because the
+    traversal order matches networkx exactly, it returns the *same*
+    cycle the historical nx-backed implementation did — the property
+    tests assert that against the real networkx as an oracle.
+    """
+    explored: set[int] = set()
+    cycle: list[tuple[int, int]] = []
+    final_node: int | None = None
+    for start_node in graph:
+        if start_node in explored:
+            # No loop is possible.
+            continue
+        edges: list[tuple[int, int]] = []
+        # All nodes seen in this iteration of the edge DFS.
+        seen = {start_node}
+        # Nodes on the active path.
+        active_nodes = {start_node}
+        previous_head: int | None = None
+        for edge in _edge_dfs(graph, start_node):
+            tail, head = edge
+            if head in explored:
+                # Already fully explored; no loop through here.
+                continue
+            if previous_head is not None and tail != previous_head:
+                # This edge results from backtracking: pop the active
+                # path until its last head equals the current tail.
+                while True:
+                    try:
+                        popped_edge = edges.pop()
+                    except IndexError:
+                        edges = []
+                        active_nodes = {tail}
+                        break
+                    else:
+                        popped_head = popped_edge[1]
+                        active_nodes.remove(popped_head)
+                    if edges:
+                        last_head = edges[-1][1]
+                        if tail == last_head:
+                            break
+            edges.append(edge)
+            if head in active_nodes:
+                # We have a loop.
+                cycle.extend(edges)
+                final_node = head
+                break
+            seen.add(head)
+            active_nodes.add(head)
+            previous_head = head
+        if cycle:
+            break
+        explored.update(seen)
+    if not cycle:
+        return None
+    # Prune the leading edges that are not part of the cycle proper.
+    i = 0
+    for i, edge in enumerate(cycle):
+        if edge[0] == final_node:
+            break
+    return cycle[i:]
+
+
+def topological_order(graph: Digraph) -> list[int]:
+    """A topological order of ``graph``.
+
+    Port of ``networkx.topological_sort`` (which yields node after node
+    out of ``topological_generations``): zero-indegree nodes are
+    processed generation by generation in node-insertion order, so the
+    returned order is exactly what networkx would produce.
+
+    Raises
+    ------
+    ProtocolError
+        If the graph contains a cycle.
+    """
+    indegree: dict[int, int] = {}
+    zero_indegree: list[int] = []
+    for node in graph:
+        degree = len(graph._pred[node])
+        if degree > 0:
+            indegree[node] = degree
+        else:
+            zero_indegree.append(node)
+    order: list[int] = []
+    while zero_indegree:
+        this_generation = zero_indegree
+        zero_indegree = []
+        for node in this_generation:
+            order.append(node)
+            for child in graph._succ[node]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    zero_indegree.append(child)
+                    del indegree[child]
+    if indegree:
+        raise ProtocolError(
+            "topological_order: graph contains a cycle"
+        )
+    return order
+
+
 class WaitForGraph:
     """Directed waits-for graph over process ids."""
 
     def __init__(self) -> None:
-        self._graph: nx.DiGraph = nx.DiGraph()
+        self._graph = Digraph()
 
     def set_waits(self, waiter: int, blockers: frozenset[int]) -> None:
         """Replace the outgoing wait edges of ``waiter``."""
@@ -76,25 +293,25 @@ class WaitForGraph:
 
     def clear_waits(self, waiter: int) -> None:
         """Remove all outgoing wait edges of ``waiter``."""
-        if self._graph.has_node(waiter):
+        if waiter in self._graph:
             for blocker in list(self._graph.successors(waiter)):
                 self._graph.remove_edge(waiter, blocker)
 
     def remove_process(self, pid: int) -> None:
         """Drop a terminated process from the graph entirely."""
-        if self._graph.has_node(pid):
+        if pid in self._graph:
             self._graph.remove_node(pid)
 
     def find_cycle(self) -> list[int] | None:
         """Return one wait cycle as a list of pids, or ``None``.
 
-        Guarded by :func:`has_cycle`; the :mod:`networkx` edge search
-        (which picks the *same* cycle the original unguarded code did)
-        only runs when a cycle actually exists.
+        Guarded by :func:`has_cycle`; the full edge search (which picks
+        the *same* cycle the original networkx code did) only runs when
+        a cycle actually exists.
         """
         if not has_cycle(self._graph.adj):
             return None
-        cycle = nx.find_cycle(self._graph)
+        cycle = find_cycle_edges(self._graph)
         return [edge[0] for edge in cycle]
 
     def assert_acyclic(self) -> None:
@@ -109,12 +326,220 @@ class WaitForGraph:
         """All processes with at least one outgoing wait edge."""
         return {
             node
-            for node in self._graph.nodes
+            for node in self._graph
             if self._graph.out_degree(node) > 0
         }
 
     def edges(self) -> list[tuple[int, int]]:
         return list(self._graph.edges)
+
+
+class IncrementalWaitFor:
+    """Incremental wait-for cycle maintenance (Pearce–Kelly).
+
+    Maintains a topological order of the wait-for graph under edge
+    insertion and deletion, so the per-park "is there a deadlock?"
+    question is answered without re-walking the parked set:
+
+    * inserting an edge that already respects the order is **O(1)**;
+    * an order-violating insert reorders only the *affected region*
+      between the endpoints (Pearce & Kelly's discovery/reassignment);
+    * an insert that closes a cycle keeps the edge and marks the
+      maintainer *dirty* — :meth:`acyclic` then answers ``False`` via a
+      full Kahn pass until deletions break the cycle (cycles are rare
+      and the manager resolves them immediately);
+    * deletions are **O(1)** — removing an edge never invalidates a
+      topological order.
+
+    Edges carry multiplicities: two parked requests may contribute the
+    same waiter→blocker pair, and insert/delete must pair up exactly.
+
+    Fresh nodes are allocated indices *below* every existing one (and an
+    edge's blocker endpoint is materialized before its waiter), so the
+    protocol's dominant edge shape — a freshly parked younger process
+    waiting on an established older holder — is order-consistent on
+    arrival and costs no reorder at all.
+
+    ``ops`` counts nodes visited by reorder/rebuild passes.  It is the
+    observable for the O(1)-amortized claim: a park whose edges respect
+    the current order leaves ``ops`` untouched, where the historical
+    per-park DFS visited every parked process.
+    """
+
+    __slots__ = (
+        "_succ",
+        "_pred",
+        "_multi",
+        "_ord",
+        "_floor",
+        "_dirty",
+        "ops",
+    )
+
+    def __init__(self) -> None:
+        self._succ: dict[int, set[int]] = {}
+        self._pred: dict[int, set[int]] = {}
+        self._multi: dict[tuple[int, int], int] = {}
+        # Topological index: every edge w→b satisfies ord[w] < ord[b]
+        # while the graph is acyclic (waiters sort before blockers).
+        self._ord: dict[int, int] = {}
+        #: Smallest index handed out so far; fresh nodes go below it.
+        self._floor = 0
+        self._dirty = False
+        #: Nodes visited by affected-region reorders and Kahn rebuilds.
+        self.ops = 0
+
+    def _ensure(self, node: int) -> None:
+        if node not in self._ord:
+            self._floor -= 1
+            self._ord[node] = self._floor
+            self._succ[node] = set()
+            self._pred[node] = set()
+
+    def add_edge(self, waiter: int, blocker: int) -> None:
+        """Insert one waiter→blocker contribution."""
+        if waiter == blocker:
+            return
+        key = (waiter, blocker)
+        count = self._multi.get(key, 0)
+        self._multi[key] = count + 1
+        if count:
+            return
+        # Blocker first: when both endpoints are new, the waiter lands
+        # below the blocker and the edge is consistent immediately.
+        self._ensure(blocker)
+        self._ensure(waiter)
+        self._succ[waiter].add(blocker)
+        self._pred[blocker].add(waiter)
+        if self._dirty:
+            # Already cyclic; order maintenance resumes at the next
+            # acyclic() rebuild.
+            return
+        ord_ = self._ord
+        if ord_[waiter] < ord_[blocker]:
+            return
+        # Affected region (Pearce–Kelly): nodes reachable forward from
+        # the blocker and backward from the waiter whose indices lie in
+        # [ord[blocker], ord[waiter]].  Anything outside that window
+        # keeps its index, which is what makes the acyclic insert
+        # amortized O(1) for timestamp-disciplined waits.
+        upper = ord_[waiter]
+        lower = ord_[blocker]
+        delta_f: list[int] = []
+        stack = [blocker]
+        seen = {blocker}
+        while stack:
+            node = stack.pop()
+            self.ops += 1
+            delta_f.append(node)
+            for nxt in self._succ[node]:
+                if nxt == waiter:
+                    # blocker ⇝ waiter existed already: the new edge
+                    # closes a cycle.  Keep it; answer via Kahn.
+                    self._dirty = True
+                    return
+                if nxt not in seen and ord_[nxt] <= upper:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        delta_b: list[int] = []
+        stack = [waiter]
+        seen_b = {waiter}
+        while stack:
+            node = stack.pop()
+            self.ops += 1
+            delta_b.append(node)
+            for prev in self._pred[node]:
+                if prev not in seen_b and ord_[prev] >= lower:
+                    seen_b.add(prev)
+                    stack.append(prev)
+        delta_b.sort(key=ord_.__getitem__)
+        delta_f.sort(key=ord_.__getitem__)
+        affected = delta_b + delta_f
+        pool = sorted(ord_[node] for node in affected)
+        for node, index in zip(affected, pool):
+            ord_[node] = index
+
+    def remove_edge(self, waiter: int, blocker: int) -> None:
+        """Remove one waiter→blocker contribution.
+
+        Raises ``KeyError`` if the pair was never inserted — the manager
+        tracks its contributions exactly, so a miss is a bug.
+        """
+        if waiter == blocker:
+            return
+        key = (waiter, blocker)
+        count = self._multi[key]
+        if count > 1:
+            self._multi[key] = count - 1
+            return
+        del self._multi[key]
+        self._succ[waiter].discard(blocker)
+        self._pred[blocker].discard(waiter)
+        # Deletions never create cycles; while dirty, the next
+        # acyclic() call re-checks whether this one broke the last one.
+
+    def discard_node(self, node: int) -> None:
+        """Drop a node that no longer carries any contribution."""
+        if node not in self._ord:
+            return
+        if self._succ[node] or self._pred[node]:
+            raise ProtocolError(
+                f"discard_node({node}): contributions still present"
+            )
+        del self._succ[node]
+        del self._pred[node]
+        del self._ord[node]
+
+    def acyclic(self) -> bool:
+        """Whether the current wait-for graph is acyclic.
+
+        O(1) while the maintained order is intact; after a
+        cycle-closing insert it costs one Kahn pass per call until the
+        cycle is gone, at which point the pass doubles as the order
+        rebuild.
+        """
+        if not self._dirty:
+            return True
+        order = self._kahn()
+        if order is None:
+            return False
+        for index, node in enumerate(order):
+            self._ord[node] = index
+        # Fresh nodes keep landing below every rebuilt index.
+        self._floor = 0
+        self._dirty = False
+        return True
+
+    def _kahn(self) -> list[int] | None:
+        indegree = {
+            node: len(preds) for node, preds in self._pred.items()
+        }
+        ready = [node for node, deg in indegree.items() if deg == 0]
+        order: list[int] = []
+        while ready:
+            node = ready.pop()
+            self.ops += 1
+            order.append(node)
+            for nxt in self._succ[node]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    ready.append(nxt)
+        if len(order) != len(indegree):
+            return None
+        return order
+
+    def edges(self) -> list[tuple[int, int]]:
+        return list(self._multi)
+
+    def edge_count(self) -> int:
+        return len(self._multi)
+
+    def adjacency(self) -> dict[int, set[int]]:
+        """Plain successor mapping (for audits against the oracle)."""
+        return {
+            node: set(succs)
+            for node, succs in self._succ.items()
+        }
 
 
 def choose_cycle_victim(

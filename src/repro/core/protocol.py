@@ -65,8 +65,8 @@ from repro.core.decisions import (
     Grant,
     ProtocolStats,
 )
-from repro.core.lock_table import LockTable
 from repro.core.locks import LockEntry, LockMode
+from repro.core.sharding import ShardedLockTable
 from repro.core.rules import HolderPartition, partition_holders
 from repro.errors import ProtocolError
 from repro.obs import NULL_TRACER
@@ -116,7 +116,7 @@ class ProcessLockManager:
         #: conflicting P locks) is kept as an ablation; it admits wait
         #: cycles among cost-protected processes.
         self.global_p_deferment = global_p_deferment
-        self.table = LockTable(conflicts)
+        self.table = ShardedLockTable(conflicts)
         self.stats = ProtocolStats()
         self._timestamps = itertools.count(1)
         self._processes: dict[int, Process] = {}
@@ -515,12 +515,17 @@ class ProcessLockManager:
             if proc.state is ProcessState.RUNNING
         }
 
-    def audit(self) -> None:
+    def audit(self, shards: Sequence[str] | None = None) -> None:
         """Assert structural invariants of the lock table.
 
-        Deadlock freedom of the basic protocol is asserted separately:
-        the manager counts cycle victims, and experiment E5 (plus the
-        liveness tests) checks the count stays zero when the cost-based
-        extension is off.
+        ``shards`` restricts the audit to the named lock shards (the
+        sampling auditor's round-robin mode); ``None`` is the full
+        audit.  Deadlock freedom of the basic protocol is asserted
+        separately: the manager counts cycle victims, and experiment E5
+        (plus the liveness tests) checks the count stays zero when the
+        cost-based extension is off.
         """
-        self.table.check_invariants(self._processes)
+        if shards is None:
+            self.table.check_invariants(self._processes)
+        else:
+            self.table.check_invariants(self._processes, shards=shards)

@@ -64,22 +64,26 @@ def naive_commit_blockers(table, process: Process) -> set[int]:
 
 
 def naive_find_wait_cycle(edges: dict[int, set[int]]) -> list | None:
-    """Unguarded cycle search (pre-guard behavior).
+    """Unguarded cycle search through the real :mod:`networkx`.
 
-    Builds the :class:`~repro.core.deadlock.WaitForGraph` and runs the
-    :mod:`networkx` edge search on *every* call — the formulation the
-    scheduler used before :func:`~repro.core.deadlock.has_cycle` was put
-    in front of it.  When a cycle exists both return the same one.
+    Rebuilds the wait-for graph as an actual ``networkx.DiGraph`` (with
+    the same node/edge insertion order :class:`WaitForGraph` would use)
+    and runs ``nx.find_cycle`` on *every* call — the formulation the
+    scheduler used before the in-tree port plus :class:`IncrementalWaitFor`
+    replaced it.  When a cycle exists both return the same one; this is
+    the oracle the ported cycle search is property-tested against.
     """
     import networkx as nx
 
-    from repro.core.deadlock import WaitForGraph
-
-    graph = WaitForGraph()
+    graph = nx.DiGraph()
     for waiter, blockers in edges.items():
-        graph.set_waits(waiter, frozenset(blockers))
+        # frozenset(...) mirrors WaitForGraph.set_waits exactly, so the
+        # edge insertion order — and hence the found cycle — matches.
+        for blocker in frozenset(blockers):
+            if blocker != waiter:
+                graph.add_edge(waiter, blocker)
     try:
-        cycle = nx.find_cycle(graph._graph)
+        cycle = nx.find_cycle(graph)
     except nx.NetworkXNoCycle:
         return None
     return [edge[0] for edge in cycle]

@@ -1,0 +1,230 @@
+"""Sharded lock table: per-subsystem partitions of the ordered lock table.
+
+Activities of different subsystems never conflict (they cannot share
+data — :class:`~repro.activities.commutativity.ConflictMatrix` enforces
+it at declaration time), so the per-type lock lists partition cleanly by
+the owning subsystem: every conflict edge, blocker-index edge, and
+ordered-sharing decision is *local to one shard*.
+
+:class:`ShardedLockTable` materializes that partition on top of
+:class:`~repro.core.lock_table.LockTable`:
+
+* each :class:`LockShard` names one subsystem, owns the activity types
+  registered to it, and keeps live per-shard counters (lock count,
+  acquire/release totals) that feed the per-shard observability gauges;
+* structural audits can run **per shard** — position-sortedness,
+  liveness, conflict locality, and a shard-restricted blocker-index
+  recomputation — so a sampling auditor (``REPRO_AUDIT_EVERY``) can
+  round-robin one shard per audit instead of rescanning every lock;
+* cross-shard facts stay in the thin aggregate layer the base class
+  already maintains — the global per-process lists, P-lock counts
+  (unique completing process), and the commit-blocker index — so
+  :mod:`repro.core.protocol`, the scheduler, and the baselines keep
+  their exact API and produce **byte-identical schedules**: sharding
+  changes how the table is *audited and observed*, never how a request
+  is ordered or granted.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.activities.commutativity import ConflictMatrix
+from repro.core.lock_table import LockTable
+from repro.core.locks import LockEntry, LockMode
+from repro.errors import ProtocolError
+from repro.process.instance import Process
+
+
+class LockShard:
+    """One subsystem's slice of the lock table (types + counters)."""
+
+    __slots__ = ("name", "types", "lock_count", "acquires", "releases")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: Activity type names owned by this shard.
+        self.types: set[str] = set()
+        #: Live locks currently held on this shard's types.
+        self.lock_count = 0
+        self.acquires = 0
+        self.releases = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LockShard({self.name!r}, types={len(self.types)}, "
+            f"locks={self.lock_count})"
+        )
+
+
+class ShardedLockTable(LockTable):
+    """Lock table partitioned by activity-type subsystem.
+
+    A drop-in :class:`LockTable`: every query and mutation behaves
+    identically (the global indexes are the source of truth), plus the
+    shard map, per-shard counters, and shard-scoped audits described in
+    the module docstring.
+    """
+
+    def __init__(self, conflicts: ConflictMatrix) -> None:
+        super().__init__(conflicts)
+        self._shards: dict[str, LockShard] = {}
+        self._shard_by_type: dict[str, LockShard] = {}
+        for activity_type in conflicts.registry:
+            self._assign(activity_type.name, activity_type.subsystem)
+
+    # ------------------------------------------------------------------
+    # shard map
+    # ------------------------------------------------------------------
+    def _assign(self, type_name: str, subsystem: str) -> LockShard:
+        shard = self._shards.get(subsystem)
+        if shard is None:
+            shard = LockShard(subsystem)
+            self._shards[subsystem] = shard
+        shard.types.add(type_name)
+        self._shard_by_type[type_name] = shard
+        return shard
+
+    def shard_of(self, type_name: str) -> LockShard:
+        """The shard owning ``type_name`` (registering late types)."""
+        shard = self._shard_by_type.get(type_name)
+        if shard is None:
+            # Type registered after the table was built.
+            activity_type = self._conflicts.registry.get(type_name)
+            shard = self._assign(type_name, activity_type.subsystem)
+        return shard
+
+    @property
+    def shards(self) -> dict[str, LockShard]:
+        return self._shards
+
+    def shard_names(self) -> tuple[str, ...]:
+        return tuple(self._shards)
+
+    # ------------------------------------------------------------------
+    # mutation (counter maintenance on top of the base bookkeeping)
+    # ------------------------------------------------------------------
+    def acquire(
+        self,
+        process: Process,
+        type_name: str,
+        mode: LockMode,
+        activity_uid: int | None = None,
+    ) -> LockEntry:
+        entry = super().acquire(process, type_name, mode, activity_uid)
+        shard = self.shard_of(type_name)
+        shard.lock_count += 1
+        shard.acquires += 1
+        return entry
+
+    def release_all(self, pid: int) -> list[LockEntry]:
+        released = super().release_all(pid)
+        for entry in released:
+            shard = self.shard_of(entry.type_name)
+            shard.lock_count -= 1
+            shard.releases += 1
+        return released
+
+    # ------------------------------------------------------------------
+    # audits
+    # ------------------------------------------------------------------
+    def check_invariants(
+        self,
+        live_pids: Iterable[int],
+        shards: Iterable[str] | None = None,
+    ) -> None:
+        """Audit the table, fully or one shard at a time.
+
+        With ``shards=None`` this is the full audit: the base class's
+        global checks plus shard-map consistency (every held type is
+        owned by exactly one shard, per-shard lock counters sum to the
+        global count).  With a list of shard names, only those shards
+        are audited — the sampling auditor's round-robin mode.
+        """
+        if shards is None:
+            super().check_invariants(live_pids)
+            self._check_shard_totals()
+            for shard in self._shards.values():
+                self._check_shard(shard, set(live_pids))
+            return
+        self._sync()
+        live = set(live_pids)
+        for name in shards:
+            shard = self._shards.get(name)
+            if shard is None:
+                raise ProtocolError(f"unknown lock shard {name!r}")
+            self._check_shard(shard, live)
+
+    def _check_shard_totals(self) -> None:
+        per_shard = sum(
+            shard.lock_count for shard in self._shards.values()
+        )
+        if per_shard != self.lock_count:
+            raise ProtocolError(
+                f"shard lock counters sum to {per_shard}, table holds "
+                f"{self.lock_count}"
+            )
+        for type_name in self._by_type:
+            if type_name not in self._shard_by_type:
+                raise ProtocolError(
+                    f"held type {type_name!r} is not owned by any shard"
+                )
+
+    def _check_shard(self, shard: LockShard, live: set[int]) -> None:
+        """Shard-local structural audit.
+
+        Checks only the shard's types: position-sortedness, holder
+        liveness, counter agreement, conflict locality (the conflict
+        relation never leaves the shard), and a blocker-index
+        recomputation restricted to the shard's entries — every edge it
+        derives must be present in the global index (conflicts are
+        shard-local, so the shard sees the complete evidence for each of
+        its edges).
+        """
+        count = 0
+        entries = []
+        for type_name in shard.types:
+            type_entries = self._by_type.get(type_name)
+            if not type_entries:
+                continue
+            positions = [entry.position for entry in type_entries]
+            if positions != sorted(positions):
+                raise ProtocolError(
+                    f"shard {shard.name!r}: lock list of {type_name!r} "
+                    f"is not position-sorted"
+                )
+            for entry in type_entries:
+                if entry.pid not in live:
+                    raise ProtocolError(
+                        f"shard {shard.name!r}: lock {entry} belongs to "
+                        f"a terminated process"
+                    )
+            for other in self._conflicts.conflicting_types(type_name):
+                if other not in shard.types:
+                    raise ProtocolError(
+                        f"shard {shard.name!r}: type {type_name!r} "
+                        f"conflicts with foreign type {other!r}"
+                    )
+            count += len(type_entries)
+            entries.extend(type_entries)
+        if count != shard.lock_count:
+            raise ProtocolError(
+                f"shard {shard.name!r}: counter says "
+                f"{shard.lock_count} locks, lists hold {count}"
+            )
+        conflict = self._conflicts.conflict
+        for mine in entries:
+            for other in entries:
+                if (
+                    other.pid != mine.pid
+                    and other.position < mine.position
+                    and conflict(other.type_name, mine.type_name)
+                ):
+                    if other.pid not in self._blocked_by.get(
+                        mine.pid, ()
+                    ):
+                        raise ProtocolError(
+                            f"shard {shard.name!r}: blocker edge "
+                            f"P{other.pid} -> P{mine.pid} missing from "
+                            f"the global index"
+                        )

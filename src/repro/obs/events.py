@@ -252,6 +252,9 @@ class WaitEdge:
     request: str
     activity: str | None
     reason: str
+    #: Lock shard (subsystem) of the requested activity's type; ``None``
+    #: for commit requests, which span all of the process's shards.
+    shard: str | None = None
 
 
 @dataclass(frozen=True)

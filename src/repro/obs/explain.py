@@ -29,24 +29,29 @@ def _describe_holder(holder: dict) -> str:
 
 def _park_durations(
     records: list[dict], pid: int
-) -> tuple[dict[int, float], dict[int, float]]:
-    """Map park seq -> insert time and -> parked duration for ``pid``.
+) -> tuple[dict[int, float], dict[int, float], dict[int, str | None]]:
+    """Map park seq -> insert time, parked duration, and lock shard for
+    ``pid``.
 
     A request still parked when the trace ends has no delete event and
-    therefore no duration entry.
+    therefore no duration entry.  The shard is the subsystem whose lock
+    list the parked request contends on (``None`` for commit requests,
+    which span shards).
     """
     inserted: dict[int, float] = {}
     durations: dict[int, float] = {}
+    shards: dict[int, str | None] = {}
     for record in records:
         if record["kind"] != "wait.edge" or record["waiter"] != pid:
             continue
         if record["op"] == "insert":
             inserted[record["seq"]] = record["t"]
+            shards[record["seq"]] = record.get("shard")
         elif record["seq"] in inserted:
             durations[record["seq"]] = (
                 record["t"] - inserted[record["seq"]]
             )
-    return inserted, durations
+    return inserted, durations, shards
 
 
 def _request_label(record: dict) -> str:
@@ -66,7 +71,7 @@ def explain_process(records: list[dict], pid: int) -> str:
     ValueError
         If the trace contains no event for ``pid``.
     """
-    inserted, durations = _park_durations(records, pid)
+    inserted, durations, park_shards = _park_durations(records, pid)
     # Pair each defer with its park (same waiter, same time, in order)
     # to attach the parked duration to the defer line.
     park_seqs = sorted(inserted)
@@ -149,6 +154,8 @@ def explain_process(records: list[dict], pid: int) -> str:
                     continue
                 if inserted[seq] == t:
                     park_index += 1
+                    if park_shards.get(seq):
+                        text += f" [shard {park_shards[seq]}]"
                     if seq in durations:
                         text += (
                             f"; parked for {durations[seq]:g} vt"

@@ -269,10 +269,19 @@ def wait_for_dot(records: list[dict], at: float | None = None) -> str:
     for pid in sorted(nodes):
         lines.append(f'  p{pid} [label="P{pid}"];')
     for record in sorted(snapshot.values(), key=lambda r: r["seq"]):
+        # Annotate each edge with the lock shard (subsystem) the parked
+        # request contends on; commit requests span shards and carry
+        # none.
+        shard = record.get("shard")
+        label = (
+            f"{record['reason']}\\n@{shard}"
+            if shard
+            else record["reason"]
+        )
         for blocker in record["blockers"]:
             lines.append(
                 f'  p{record["waiter"]} -> p{blocker} '
-                f'[label="{record["reason"]}"];'
+                f'[label="{label}"];'
             )
     lines.append("}")
     return "\n".join(lines) + "\n"

@@ -18,11 +18,13 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
 import random
 from dataclasses import dataclass, field
 
 from repro.activities.activity import Activity
 from repro.core.deadlock import (
+    IncrementalWaitFor,
     WaitForGraph,
     choose_cycle_victim,
     has_cycle,
@@ -100,6 +102,22 @@ class ManagerConfig:
     retry_policy: object | None = None
     #: Run the protocol's structural audit after every event (slow).
     audit: bool = False
+    #: Audit every Nth event instead of every event (``REPRO_AUDIT_EVERY``
+    #: env knob).  With a sharded lock table and N > 1, each audit checks
+    #: one shard round-robin, so the sampled auditor's per-event cost no
+    #: longer scans the whole table.  N = 1 keeps the seed behaviour.
+    audit_every: int = field(
+        default_factory=lambda: max(
+            1, int(os.environ.get("REPRO_AUDIT_EVERY", "1"))
+        )
+    )
+    #: Answer the per-park deadlock check from the incrementally
+    #: maintained wait-for reachability structure (O(1) amortized in the
+    #: common acyclic case) instead of re-walking every parked request.
+    #: Disabling restores the rebuild-and-DFS formulation (used by the
+    #: benchmarks as the monolithic baseline); both produce byte-identical
+    #: schedules, which ``audit`` asserts on every resolve.
+    incremental_deadlock: bool = True
     #: Hard cap on simulation events.
     max_events: int = 1_000_000
     #: Serialize conflicting activity *executions* in lock-sharing order
@@ -225,6 +243,11 @@ class ProcessManager:
         #: Pids with a parked COMMIT request (O(1) membership).
         self._parked_commit_pids: set[int] = set()
         self._inflight: dict[int, InflightActivity] = {}
+        #: Incrementally maintained wait-for reachability over the parked
+        #: requests (mirrors :meth:`_wait_edges` exactly; audited).
+        self._waitfor = IncrementalWaitFor()
+        self._audit_tick = 0
+        self._audit_shard_cursor = 0
         #: uid -> uids of flights gated behind it (execution ordering).
         self._dependents: dict[int, set[int]] = {}
         self._comp_runs: dict[int, CompensationRun] = {}
@@ -809,6 +832,8 @@ class ProcessManager:
             )
         self._cancel_all_work(process)
         plan = process.plan_protocol_abort()
+        if self.config.incremental_deadlock:
+            self._note_abort_started(pid)
         self.stats.protocol_aborts += 1
         self.records[pid].cascade_aborts += 1
         self._start_compensation_run(
@@ -872,6 +897,8 @@ class ProcessManager:
         self.trace.record_abort(process)
         self.protocol.detach(process)
         del self._processes[process.pid]
+        if self.config.incremental_deadlock:
+            self._drop_cascade_edges_to(process.pid)
         self.protocol.stats.aborts += 1
         if self.tracer.enabled:
             self.tracer.emit(
@@ -919,6 +946,8 @@ class ProcessManager:
         self.trace.record_commit(process)
         self.protocol.detach(process)
         del self._processes[process.pid]
+        if self.config.incremental_deadlock:
+            self._drop_cascade_edges_to(process.pid)
         self.stats.committed += 1
         self.records[process.pid].committed_at = self.engine.now
         if self.tracer.enabled:
@@ -946,6 +975,24 @@ class ProcessManager:
             self._wait_index.setdefault(pid, set()).add(request.seq)
         if request.kind is RequestKind.COMMIT:
             self._parked_commit_pids.add(request.process.pid)
+        if self.config.incremental_deadlock:
+            waiter = request.process.pid
+            if request.reason == "awaiting-cascade":
+                # Mirror _wait_edges: a victim only becomes an edge once
+                # its abort is genuinely under way.  Still-running
+                # victims are added by _begin_protocol_abort right after
+                # this park.
+                contributed = {
+                    pid
+                    for pid in request.wait_for
+                    if (proc := self._processes.get(pid)) is not None
+                    and proc.state is ProcessState.ABORTING
+                }
+            else:
+                contributed = set(request.wait_for)
+            request.waitfor_edges = contributed
+            for pid in contributed:
+                self._waitfor.add_edge(waiter, pid)
         if self.tracer.enabled:
             self.tracer.emit(self._wait_edge_event("insert", request))
 
@@ -960,6 +1007,11 @@ class ProcessManager:
                     del self._wait_index[pid]
         if request.kind is RequestKind.COMMIT:
             self._parked_commit_pids.discard(request.process.pid)
+        if request.waitfor_edges:
+            waiter = request.process.pid
+            for pid in request.waitfor_edges:
+                self._waitfor.remove_edge(waiter, pid)
+            request.waitfor_edges = set()
         if self.tracer.enabled:
             self.tracer.emit(self._wait_edge_event("delete", request))
 
@@ -1047,17 +1099,95 @@ class ProcessManager:
             graph.set_waits(waiter, frozenset(blockers))
         return graph.find_cycle()
 
+    def _note_abort_started(self, pid: int) -> None:
+        """Materialize awaiting-cascade edges once ``pid`` is aborting.
+
+        Mirrors :meth:`_wait_edges`' dynamic filter incrementally: a
+        cascade victim becomes a wait-graph edge exactly when its abort
+        begins.  The wait index names the parked requests waiting on
+        ``pid``, so only those are touched.
+        """
+        for seq in self._wait_index.get(pid, ()):
+            request = self._parked[seq]
+            if (
+                request.reason == "awaiting-cascade"
+                and pid in request.wait_for
+                and pid not in request.waitfor_edges
+            ):
+                request.waitfor_edges.add(pid)
+                self._waitfor.add_edge(request.process.pid, pid)
+
+    def _drop_cascade_edges_to(self, dead_pid: int) -> None:
+        """Withdraw awaiting-cascade edges to a terminated process.
+
+        Runs at termination time, *before* the wake-up drain: requests
+        woken by the termination may be retried (and re-parked) one at a
+        time, and reentrant cycle checks in between must not see edges
+        to the dead pid — especially since cascade victims resubmit
+        under the same pid, so a stale edge could later close a bogus
+        cycle against the new incarnation.
+        """
+        bucket = self._wait_index.get(dead_pid)
+        if not bucket:
+            return
+        for seq in bucket:
+            request = self._parked[seq]
+            if (
+                request.reason == "awaiting-cascade"
+                and dead_pid in request.waitfor_edges
+            ):
+                request.waitfor_edges.discard(dead_pid)
+                self._waitfor.remove_edge(request.process.pid, dead_pid)
+
+    def _audit_waitfor(self) -> None:
+        """Assert the incremental graph mirrors the rebuilt relation."""
+        expected: dict[int, set[int]] = {}
+        for waiter, blockers in self._wait_edges().items():
+            cleaned = {pid for pid in blockers if pid != waiter}
+            if cleaned:
+                expected[waiter] = cleaned
+        actual = {
+            node: succs
+            for node, succs in self._waitfor.adjacency().items()
+            if succs
+        }
+        if actual != expected:
+            raise ProtocolError(
+                f"incremental wait-for graph diverged: "
+                f"incremental={actual} rebuilt={expected}"
+            )
+        if self._waitfor.acyclic() == has_cycle(expected):
+            raise ProtocolError(
+                "incremental acyclicity disagrees with the DFS oracle"
+            )
+
     def _resolve_wait_cycles(self) -> None:
         """Break wait-for cycles among genuinely blocked requests.
 
-        The graph is rebuilt from the parked requests themselves (the
-        source of truth).  A cycle means every member is parked — nobody
-        on it can progress.  Under the basic process-locking protocol no
-        cycle can form (timestamp discipline); with pseudo pivots or the
-        baseline protocols, the youngest running process on the cycle is
+        The common acyclic case is answered by the incrementally
+        maintained reachability structure in O(1) amortized — without
+        re-walking the parked set.  Only when a cycle exists is the
+        waits-for relation rebuilt from the parked requests (the source
+        of truth) so the original search picks the exact same cycle.
+        Under the basic process-locking protocol no cycle can form
+        (timestamp discipline); with pseudo pivots or the baseline
+        protocols, the youngest running process on the cycle is
         sacrificed; cycles without a running member are escalated to the
         forced-progress path (pure OSL's unresolvable violations).
         """
+        if self.config.incremental_deadlock:
+            if self.config.audit and (
+                self.config.audit_every == 1
+                or self._audit_tick % self.config.audit_every == 0
+            ):
+                # The cross-check rebuilds the full relation, so a
+                # sampling auditor (audit_every > 1) thins it to the
+                # same cadence as the structural audits — otherwise an
+                # audited run would re-pay the cost the incremental
+                # structure exists to avoid.
+                self._audit_waitfor()
+            if self._waitfor.acyclic():
+                return
         cycle = self._find_wait_cycle(self._wait_edges())
         if cycle is None:
             return
@@ -1157,16 +1287,18 @@ class ProcessManager:
     # ------------------------------------------------------------------
     @staticmethod
     def _wait_edge_event(op: str, request: ParkedRequest) -> WaitEdge:
+        activity = request.activity
         return WaitEdge(
             op=op,
             waiter=request.process.pid,
             blockers=tuple(sorted(request.wait_for)),
             seq=request.seq,
             request=request.kind.value,
-            activity=(
-                request.activity.name if request.activity else None
-            ),
+            activity=activity.name if activity else None,
             reason=request.reason,
+            shard=(
+                activity.activity_type.subsystem if activity else None
+            ),
         )
 
     def _holder_info(self, pids) -> tuple[Holder, ...]:
@@ -1259,6 +1391,12 @@ class ProcessManager:
         }
         if table is not None:
             sample["locks"] = float(table.lock_count)
+            shards = getattr(table, "shards", None)
+            if shards:
+                for shard in shards.values():
+                    sample[f"locks.{shard.name}"] = float(
+                        shard.lock_count
+                    )
         return sample
 
     # ------------------------------------------------------------------
@@ -1279,5 +1417,28 @@ class ProcessManager:
             )
 
     def _post_event(self) -> None:
-        if self.config.audit:
+        if not self.config.audit:
+            return
+        self._audit_tick += 1
+        every = self.config.audit_every
+        if every > 1 and self._audit_tick % every:
+            return
+        shards = None
+        if every > 1:
+            # Sampled audits pay per-shard cost: check one shard per
+            # audit, round-robin, instead of rescanning the whole table.
+            table = getattr(self.protocol, "table", None)
+            names = (
+                table.shard_names()
+                if table is not None and hasattr(table, "shard_names")
+                else ()
+            )
+            if names:
+                shards = (
+                    names[self._audit_shard_cursor % len(names)],
+                )
+                self._audit_shard_cursor += 1
+        if shards is None:
             self.protocol.audit()
+        else:
+            self.protocol.audit(shards=shards)

@@ -78,6 +78,14 @@ class ProcessSnapshot:
     unwinding: bool
     ledger: tuple[LedgerRecord, ...]
     scopes: tuple[ScopeRecord, ...]
+    #: Whether the pivot treatment (C→P conversion) had actually been
+    #: *granted* before the crash.  A real PM force-logs the
+    #: point-of-no-return decision before acting on it, so the journal
+    #: knows; ``wcc`` alone cannot tell, because the Wcc charge lands at
+    #: classification time — before the grant decision — so a process
+    #: whose pivot request was still parked at the crash already carries
+    #: the over-threshold charge without any conversion having happened.
+    pivot_treated: bool = False
 
 
 @dataclass
@@ -121,7 +129,19 @@ def crash(manager: ProcessManager) -> CrashImage:
         stashed = manager._stashed_failures.get(process.pid)
         if stashed is not None:
             pending.append(stashed.name)
-        snapshots.append(_snapshot_process(process, tuple(pending)))
+        # The pivot decision is write-ahead-logged: once any lock of the
+        # process actually went to P mode, the journal records the
+        # treatment so recovery replays the conversion — and only then.
+        table = getattr(manager.protocol, "table", None)
+        pivot_treated = table is not None and any(
+            entry.mode is LockMode.P
+            for entry in table.locks_of(process.pid)
+        )
+        snapshots.append(
+            _snapshot_process(
+                process, tuple(pending), pivot_treated=pivot_treated
+            )
+        )
     return CrashImage(
         snapshots=snapshots,
         trace_events=list(manager.trace.events),
@@ -132,7 +152,9 @@ def crash(manager: ProcessManager) -> CrashImage:
 
 
 def _snapshot_process(
-    process: Process, pending: tuple[str, ...]
+    process: Process,
+    pending: tuple[str, ...],
+    pivot_treated: bool = False,
 ) -> ProcessSnapshot:
     ledger = tuple(
         LedgerRecord(
@@ -167,6 +189,7 @@ def _snapshot_process(
         unwinding=process.unwinding,
         ledger=ledger,
         scopes=scopes,
+        pivot_treated=pivot_treated,
     )
 
 
@@ -230,15 +253,25 @@ def restore_process(snapshot: ProcessSnapshot) -> Process:
     return process
 
 
-def rebuild_locks(protocol, processes: list[Process]) -> None:
+def rebuild_locks(
+    protocol,
+    processes: list[Process],
+    protected_pids: set[int] | None = None,
+) -> None:
     """Re-acquire every surviving lock in the original sharing order.
 
     Under strict 2PL a live process holds one lock per ledger activity
     (regular *and* compensating); activity uids are globally monotone in
     launch order, so replaying acquisitions in uid order reproduces the
-    sharing order.  Completing processes and cost-protected processes
-    had their locks pivot-converted; the conversion is replayed after
-    the base acquisition.
+    sharing order.  ``protected_pids`` names the processes whose pivot
+    treatment (Comp→Piv C→P conversion) had actually been granted
+    before the crash — journalled via ``ProcessSnapshot.pivot_treated``
+    — and only those replay the conversion.  Replaying it for a process
+    whose pivot request was merely *parked* would hide its on-hold C
+    locks from the Piv-Rule's conflicting-holder scan and let the pivot
+    be granted while depending on a live abortable process, which is
+    exactly the unresolvable completing↔aborting wait cycle the basic
+    protocol excludes.
     """
     entries = sorted(
         (
@@ -258,12 +291,14 @@ def rebuild_locks(protocol, processes: list[Process]) -> None:
         protocol.restore_grant(
             process, entry.activity.name, mode, entry.activity.uid
         )
+    if protected_pids is None:
+        protected_pids = {
+            process.pid
+            for process in processes
+            if process.state is ProcessState.COMPLETING
+        }
     for process in processes:
-        protected = process.state is ProcessState.COMPLETING or (
-            getattr(protocol, "cost_based", False)
-            and process.wcc >= process.program.wcc_threshold
-        )
-        if protected:
+        if process.pid in protected_pids:
             for entry in protocol.table.c_locks_of(process.pid):
                 entry.upgrade_to_p()
 
@@ -316,7 +351,13 @@ def recover(
     manager.trace = TraceRecorder(image.trace_events)
     manager.records.update(image.records)
     manager._pids = itertools.count(image.max_pid + 1)
-    rebuild_locks(protocol, processes)
+    protected_pids = {
+        snapshot.pid
+        for snapshot in image.snapshots
+        if snapshot.pivot_treated
+        or snapshot.state == ProcessState.COMPLETING.value
+    }
+    rebuild_locks(protocol, processes, protected_pids)
     for process in processes:
         manager.adopt_recovered(process)
     return manager

@@ -17,8 +17,7 @@ from __future__ import annotations
 
 import itertools
 
-import networkx as nx
-
+from repro.core.deadlock import Digraph, has_cycle
 from repro.errors import (
     DataDeadlockAvoided,
     SubsystemError,
@@ -137,7 +136,7 @@ class TransactionalSubsystem:
     # ------------------------------------------------------------------
     # history analysis (substrate guarantees)
     # ------------------------------------------------------------------
-    def serialization_graph(self) -> "nx.DiGraph":
+    def serialization_graph(self) -> Digraph:
         """Conflict graph over committed transactions of the history.
 
         An edge ``i -> j`` means a committed operation of ``i`` precedes a
@@ -146,8 +145,9 @@ class TransactionalSubsystem:
         committed = {
             txn for txn, op, _ in self.history if op == "c"
         }
-        graph: nx.DiGraph = nx.DiGraph()
-        graph.add_nodes_from(committed)
+        graph = Digraph()
+        for txn in committed:
+            graph.add_node(txn)
         ops = [
             (txn, op, key)
             for txn, op, key in self.history
@@ -163,7 +163,7 @@ class TransactionalSubsystem:
 
     def is_serializable(self) -> bool:
         """Whether the committed projection of the history is CPSR."""
-        return nx.is_directed_acyclic_graph(self.serialization_graph())
+        return not has_cycle(self.serialization_graph().adj)
 
     def avoids_cascading_aborts(self) -> bool:
         """ACA check: every read sees only already-committed writes.

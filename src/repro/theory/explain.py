@@ -15,8 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import networkx as nx
-
+from repro.core.deadlock import find_cycle_edges
 from repro.theory.graphs import serialization_graph
 from repro.theory.reduction import reduce_schedule
 from repro.theory.schedule import (
@@ -71,9 +70,8 @@ def explain_irreducibility(
     """Witness for a reducibility failure, or ``None`` if reducible."""
     survivors = reduce_schedule(schedule)
     graph = serialization_graph(survivors, schedule.conflict)
-    try:
-        cycle_edges_raw = nx.find_cycle(graph)
-    except nx.NetworkXNoCycle:
+    cycle_edges_raw = find_cycle_edges(graph)
+    if cycle_edges_raw is None:
         return None
     cycle = [edge[0] for edge in cycle_edges_raw]
     cycle_edges = []

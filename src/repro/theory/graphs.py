@@ -1,17 +1,21 @@
-"""Serialization-graph utilities for process schedules."""
+"""Serialization-graph utilities for process schedules.
+
+Built on the pure-Python :class:`repro.core.deadlock.Digraph`; the
+networkx equivalents survive only as oracles in
+:mod:`repro.core.reference`.
+"""
 
 from __future__ import annotations
 
 from collections.abc import Iterable
 
-import networkx as nx
-
+from repro.core.deadlock import Digraph, has_cycle, topological_order
 from repro.theory.schedule import ConflictFn, ProcessKey, ScheduleEvent
 
 
 def serialization_graph(
     activities: Iterable[ScheduleEvent], conflict: ConflictFn
-) -> "nx.DiGraph":
+) -> Digraph:
     """Process-level conflict graph over the given activity events.
 
     Nodes are process keys; an edge ``P_i -> P_j`` is added whenever some
@@ -21,7 +25,7 @@ def serialization_graph(
     their regular activity's).
     """
     events = sorted(activities, key=lambda e: e.position)
-    graph: nx.DiGraph = nx.DiGraph()
+    graph = Digraph()
     for event in events:
         graph.add_node(event.process)
     for i, first in enumerate(events):
@@ -37,8 +41,8 @@ def is_conflict_serializable(
     activities: Iterable[ScheduleEvent], conflict: ConflictFn
 ) -> bool:
     """Acyclicity of the process-level serialization graph."""
-    return nx.is_directed_acyclic_graph(
-        serialization_graph(activities, conflict)
+    return not has_cycle(
+        serialization_graph(activities, conflict).adj
     )
 
 
@@ -47,6 +51,6 @@ def serialization_order(
 ) -> list[ProcessKey] | None:
     """A topological process order witnessing serializability, if any."""
     graph = serialization_graph(activities, conflict)
-    if not nx.is_directed_acyclic_graph(graph):
+    if has_cycle(graph.adj):
         return None
-    return list(nx.topological_sort(graph))
+    return topological_order(graph)
