@@ -66,6 +66,126 @@ def plan_rollup_rows(report) -> list[dict[str, object]]:
     ]
 
 
+def _run_json(run) -> dict[str, object]:
+    """Machine-readable form of one chaos run (raw booleans)."""
+    metrics = run.metrics
+    return {
+        "plan": run.plan,
+        "workload": run.workload,
+        "protocol": run.protocol,
+        "ok": run.ok,
+        "checks": dict(run.checks),
+        "failures": list(run.failures),
+        "committed": metrics.committed if metrics else None,
+        "injected": metrics.faults_injected if metrics else None,
+        "retries": metrics.fault_retries if metrics else None,
+        "recoveries": metrics.fault_recoveries if metrics else None,
+        "events": run.events,
+        "incarnations": run.incarnations,
+        "dropped_injections": run.dropped_injections,
+        "retry_budget_exhausted": run.retry_budget_exhausted,
+        "admissions_deferred": run.admissions_deferred,
+        "trace_digest": run.trace_digest,
+    }
+
+
+def campaign_json(report) -> dict[str, object]:
+    """Machine-readable campaign report (``repro chaos --json``).
+
+    Unlike :func:`campaign_rows` (display strings: "pass"/"FAIL"),
+    check verdicts here are raw booleans so scripts can consume them
+    without string matching; the exit-code contract mirrors ``ok``.
+    """
+    return {
+        "seed": report.seed,
+        "ok": report.ok,
+        "counts": report.counts(),
+        "runs": [_run_json(run) for run in report.runs],
+    }
+
+
+def soak_rows(report) -> list[dict[str, object]]:
+    """One table row per soak round."""
+    rows = []
+    for index, run in enumerate(report.runs):
+        row: dict[str, object] = {
+            "round": index,
+            "plan": run.plan,
+            "workload": run.workload,
+        }
+        for name in CHECKS:
+            row[name] = _verdict(run.checks, name)
+        row["events"] = run.events
+        row["committed"] = run.metrics.committed if run.metrics else "-"
+        row["injected"] = (
+            run.metrics.faults_injected if run.metrics else "-"
+        )
+        row["deferred"] = run.admissions_deferred
+        row["recoveries"] = run.incarnations - 1
+        rows.append(row)
+    return rows
+
+
+def render_soak(report) -> str:
+    """The soak-campaign report as text tables."""
+    counts = report.counts()
+    parts = [
+        render_dict_table(
+            soak_rows(report),
+            title=(
+                f"soak campaign (seed {report.plan.seed}): "
+                f"{counts['passed']}/{counts['rounds']} rounds passed, "
+                f"{counts['events']} events "
+                f"(floor {report.plan.min_events})"
+            ),
+        )
+    ]
+    if report.events_total < report.plan.min_events:
+        parts.append(
+            f"FAILED: only {report.events_total} events processed "
+            f"(< min_events {report.plan.min_events})"
+        )
+    for run in report.failed:
+        parts.append(
+            f"FAILED {run.plan} × {run.workload}: "
+            f"{', '.join(run.failures)}"
+        )
+    return "\n\n".join(parts)
+
+
+def soak_json(report) -> dict[str, object]:
+    """Machine-readable soak report (``repro soak --json``)."""
+    resilience = []
+    for stats in report.resilience_stats:
+        if stats is None:
+            resilience.append(None)
+        else:
+            resilience.append(
+                {
+                    "admissions_deferred": stats.admissions_deferred,
+                    "admissions_readmitted": (
+                        stats.admissions_readmitted
+                    ),
+                    "admissions_forced": stats.admissions_forced,
+                    "breaker_opens": stats.breaker_opens,
+                    "breaker_closes": stats.breaker_closes,
+                    "degradations": stats.degradations,
+                    "recoveries": stats.recoveries,
+                    "outage_hits": stats.outage_hits,
+                    "retry_exhaustions": stats.retry_exhaustions,
+                }
+            )
+    return {
+        "seed": report.plan.seed,
+        "ok": report.ok,
+        "events_total": report.events_total,
+        "min_events": report.plan.min_events,
+        "counts": report.counts(),
+        "runs": [_run_json(run) for run in report.runs],
+        "resilience": resilience,
+    }
+
+
 def render_campaign(report, verbose: bool = False) -> str:
     """The full chaos-campaign report as text tables."""
     counts = report.counts()

@@ -240,6 +240,47 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print each plan's compiled fault schedule (canonical form)",
     )
+
+    soak = sub.add_parser(
+        "soak",
+        help=(
+            "long-horizon soak campaign: rotating workloads × fault "
+            "families with circuit breakers and periodic audits "
+            "(exits non-zero unless every round passes and the event "
+            "floor is met)"
+        ),
+    )
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument("--rounds", type=int, default=8)
+    soak.add_argument("--processes", type=int, default=16)
+    soak.add_argument("--threshold", type=float, default=25.0)
+    soak.add_argument(
+        "--protocol",
+        default="process-locking",
+        choices=sorted(PROTOCOL_FACTORIES),
+    )
+    soak.add_argument(
+        "--audit-every",
+        type=int,
+        default=16,
+        help="structural-audit sampling cadence (1 = every event)",
+    )
+    soak.add_argument(
+        "--min-events",
+        type=int,
+        default=1000,
+        help="fail unless at least this many events were processed",
+    )
+    soak.add_argument(
+        "--no-resilience",
+        action="store_true",
+        help="run without the circuit-breaker resilience layer",
+    )
+    soak.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report instead of tables",
+    )
     return parser
 
 
@@ -484,7 +525,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.analysis.faults import campaign_rows, render_campaign
+    from repro.analysis.faults import campaign_json, render_campaign
     from repro.faults import run_campaign
 
     report = run_campaign(
@@ -493,7 +534,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         protocols=tuple(args.protocols) if args.protocols else None,
     )
     if args.json:
-        print(json.dumps(campaign_rows(report), indent=2))
+        print(json.dumps(campaign_json(report), indent=2))
     else:
         print(render_campaign(report, verbose=args.verbose))
     if args.dump_schedules:
@@ -504,6 +545,28 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 continue
             printed.add(run.plan)
             print(f"{run.plan}: {run.schedule_canonical}")
+    return 0 if report.ok else 1
+
+
+def cmd_soak(args: argparse.Namespace) -> int:
+    from repro.analysis.faults import render_soak, soak_json
+    from repro.faults import SoakPlan, run_soak
+
+    plan = SoakPlan(
+        seed=args.seed,
+        rounds=args.rounds,
+        processes=args.processes,
+        wcc_threshold=args.threshold,
+        protocol=args.protocol,
+        audit_every=args.audit_every,
+        resilience=not args.no_resilience,
+        min_events=args.min_events,
+    )
+    report = run_soak(plan)
+    if args.json:
+        print(json.dumps(soak_json(report), indent=2))
+    else:
+        print(render_soak(report))
     return 0 if report.ok else 1
 
 
@@ -527,6 +590,7 @@ def cmd_conformance(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "exhibits": cmd_exhibits,
     "chaos": cmd_chaos,
+    "soak": cmd_soak,
     "conformance": cmd_conformance,
     "run": cmd_run,
     "compare": cmd_compare,

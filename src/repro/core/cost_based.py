@@ -93,6 +93,17 @@ def is_pseudo_pivot(
     )
 
 
+def degraded_threshold(base: float, cap: float) -> float:
+    """Effective ``Wcc*`` while the resilience layer is degraded.
+
+    A *cap* rather than a multiplier: programs running with an infinite
+    threshold (pure optimism) must degrade too, and ``inf * factor`` is
+    still ``inf``.  ``min`` also guarantees degradation never *loosens*
+    a program's own threshold.
+    """
+    return min(base, cap)
+
+
 @dataclass(frozen=True)
 class Figure1Step:
     """One row of the Figure-1 execution trace."""

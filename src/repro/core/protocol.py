@@ -101,6 +101,13 @@ class ProcessLockManager:
     #: Comp→Piv lock conversions.
     tracer = NULL_TRACER
 
+    #: Optional override for the effective ``Wcc*`` used by
+    #: :meth:`classify_regular` — a callable ``process -> float``.  The
+    #: resilience layer installs one to tighten the threshold while
+    #: subsystem breakers are open; ``None`` (the default) keeps each
+    #: program's own static threshold, byte-identically.
+    threshold_provider = None
+
     def __init__(
         self,
         registry: ActivityRegistry,
@@ -201,10 +208,13 @@ class ProcessLockManager:
         comp_cost = self.registry.compensation_cost(activity_type.name)
         process.charge_wcc(activity_type.cost + comp_cost)
         real_pivot = activity_type.point_of_no_return
+        threshold = process.program.wcc_threshold
+        if self.threshold_provider is not None:
+            threshold = self.threshold_provider(process)
         pseudo_pivot = (
             not real_pivot
             and self.cost_based
-            and process.wcc >= process.program.wcc_threshold
+            and process.wcc >= threshold
         )
         mode = (
             LockMode.P if real_pivot or pseudo_pivot else LockMode.C
@@ -217,7 +227,7 @@ class ProcessLockManager:
                     activity=activity.name,
                     mode=mode.value,
                     wcc=process.wcc,
-                    threshold=process.program.wcc_threshold,
+                    threshold=threshold,
                     pseudo_pivot=pseudo_pivot,
                     real_pivot=real_pivot,
                 )

@@ -10,7 +10,12 @@ Layers:
   a manager through a schedule (outages, WAL subsystem crashes, manager
   crash/recover cycles, seeded failure/latency decisions);
 * :mod:`repro.faults.harness` — campaign sweeps asserting termination,
-  CT, P-RC, trace splicing, and WAL cleanliness per run.
+  CT, P-RC, trace splicing, and WAL cleanliness per run;
+* :mod:`repro.faults.storms` — correlated-outage burst trains,
+  including storms aimed at the cost-based ``Wcc*`` boundary;
+* :mod:`repro.faults.soak` — long-horizon soak campaigns (thousands of
+  virtual-time events, sampled audits, full invariant battery per
+  round) behind ``repro soak``.
 """
 
 from repro.faults.harness import (
@@ -32,6 +37,7 @@ from repro.faults.injector import (
 )
 from repro.faults.plan import (
     ActivityFailures,
+    CorrelatedOutage,
     FaultPlan,
     FaultSchedule,
     InjectedLatency,
@@ -49,12 +55,19 @@ from repro.faults.retry import (
     RetryPolicy,
     make_policy,
 )
+from repro.faults.soak import SoakPlan, SoakReport, run_soak
+from repro.faults.storms import (
+    outage_storm,
+    threshold_boundary_storm,
+    threshold_boundary_subsystems,
+)
 
 __all__ = [
     "ActivityFailures",
     "CampaignReport",
     "ChaosRunReport",
     "ChaosRunResult",
+    "CorrelatedOutage",
     "DEFAULT_PROTOCOLS",
     "ExponentialBackoff",
     "FaultCounters",
@@ -68,6 +81,8 @@ __all__ = [
     "ManagerCrash",
     "RetryPolicy",
     "RetrySpec",
+    "SoakPlan",
+    "SoakReport",
     "SubsystemCrash",
     "SubsystemOutage",
     "WalCheck",
@@ -76,7 +91,11 @@ __all__ = [
     "default_plans",
     "default_workloads",
     "make_policy",
+    "outage_storm",
     "run_campaign",
     "run_chaos",
+    "run_soak",
+    "threshold_boundary_storm",
+    "threshold_boundary_subsystems",
     "trace_digest",
 ]

@@ -113,6 +113,12 @@ class ChaosRunReport:
     trace_digest: str = ""
     incarnations: int = 1
     dropped_injections: int = 0
+    #: Simulation events processed across every incarnation.
+    events: int = 0
+    #: Retry budgets that forced a failing retriable to succeed.
+    retry_budget_exhausted: int = 0
+    #: Admissions the resilience layer deferred (0 without a layer).
+    admissions_deferred: int = 0
 
     @property
     def ok(self) -> bool:
@@ -163,6 +169,11 @@ def run_chaos(
     report.trace_digest = trace_digest(chaos.result.trace.events)
     report.incarnations = chaos.incarnations
     report.dropped_injections = chaos.counters.dropped_injections
+    report.events = chaos.events
+    report.retry_budget_exhausted = (
+        chaos.counters.retry_budget_exhausted
+    )
+    report.admissions_deferred = chaos.stats.admissions_deferred
     return report
 
 

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 from repro.activities.activity import Activity
 from repro.faults.plan import (
+    CorrelatedOutage,
     FaultSchedule,
     Injection,
     ManagerCrash,
@@ -63,9 +64,15 @@ class FaultCounters:
     injected_retries: int = 0
     latency_injections: int = 0
     outages_started: int = 0
+    #: Correlated-outage *groups* fired (each member also counts one
+    #: ``outages_started``).
+    correlated_outages: int = 0
     outage_hits: int = 0
     subsystem_crashes: int = 0
     manager_recoveries: int = 0
+    #: Times a retry budget forced a failing retriable to succeed
+    #: (bumped by the manager; see ``retry.budget_exhausted`` events).
+    retry_budget_exhausted: int = 0
     #: Event-indexed injections that never fired (run drained first) or
     #: could not apply (e.g. manager crash under a protocol without
     #: recovery support, subsystem crash without a durable pool).
@@ -114,6 +121,9 @@ class ChaosRunResult:
     splice_ok: bool
     wal_checks: list[WalCheck] = field(default_factory=list)
     incarnations: int = 1
+    #: Simulation events processed across every incarnation (the
+    #: denominator of long-horizon soak accounting).
+    events: int = 0
 
 
 class FaultInjector:
@@ -143,9 +153,12 @@ class FaultInjector:
         self.wal_checks: list[WalCheck] = []
         self.splice_ok = True
         self._incarnation = 0
-        #: Active outage windows: subsystem -> virtual end time (in the
-        #: current incarnation's clock).
-        self._outages: dict[str, float] = {}
+        #: Outage windows per subsystem as ``[start, end]`` pairs in
+        #: the current incarnation's clock.  A list (not one merged end
+        #: time) because staggered correlated outages may open a window
+        #: that *starts in the future*; the subsystem is down only
+        #: while ``start <= now < end``.
+        self._outages: dict[str, list[list[float]]] = {}
         self._manager: ProcessManager | None = None
         #: ``(stats, makespan)`` of crashed (closed) incarnations.
         self._slices: list[tuple[object, float]] = []
@@ -162,11 +175,24 @@ class FaultInjector:
     # decision hooks (called by the manager)
     # ------------------------------------------------------------------
     def _subsystem_down(self, activity: Activity) -> bool:
-        until = self._outages.get(activity.activity_type.subsystem)
-        if until is None:
+        windows = self._outages.get(activity.activity_type.subsystem)
+        if not windows:
             return False
         assert self._manager is not None
-        return self._manager.engine.now < until
+        now = self._manager.engine.now
+        return any(start <= now < end for start, end in windows)
+
+    def _notify_outage_hit(self, activity: Activity) -> None:
+        """Feed the outage hit to an attached resilience layer."""
+        resilience = (
+            self._manager.resilience
+            if self._manager is not None
+            else None
+        )
+        if resilience is not None:
+            resilience.on_outage_hit(
+                activity.activity_type.subsystem
+            )
 
     def _decision_stream(self, label, process: Process, activity):
         return self.schedule.stream(
@@ -186,6 +212,7 @@ class FaultInjector:
         if self._subsystem_down(activity):
             self.counters.outage_hits += 1
             self.counters.injected_failures += 1
+            self._notify_outage_hit(activity)
             self._trace_fault(
                 "failure", process, activity, via="outage"
             )
@@ -215,6 +242,7 @@ class FaultInjector:
         if self._subsystem_down(activity):
             self.counters.outage_hits += 1
             self.counters.injected_retries += 1
+            self._notify_outage_hit(activity)
             self._trace_fault("retry", process, activity, via="outage")
             return True
         spec = self.schedule.failures
@@ -311,6 +339,7 @@ class FaultInjector:
             splice_ok=self.splice_ok,
             wal_checks=list(self.wal_checks),
             incarnations=self._incarnation + 1,
+            events=events_total,
         )
 
     def _fresh_manager(self) -> ProcessManager:
@@ -335,20 +364,25 @@ class FaultInjector:
         spec = injection.spec
         if isinstance(spec, SubsystemOutage):
             self._fire_outage(spec)
+        elif isinstance(spec, CorrelatedOutage):
+            self._fire_correlated(spec)
         elif isinstance(spec, SubsystemCrash):
             self._fire_subsystem_crash(spec, injection.at_event)
         elif isinstance(spec, ManagerCrash):
             self._fire_manager_crash()
 
+    def _open_window(
+        self, subsystem: str, start: float, end: float
+    ) -> None:
+        self._outages.setdefault(subsystem, []).append([start, end])
+        if self.pool is not None and subsystem in self.pool:
+            self.pool.get(subsystem).begin_outage(end)
+        self.counters.outages_started += 1
+
     def _fire_outage(self, spec: SubsystemOutage) -> None:
         assert self._manager is not None
-        until = self._manager.engine.now + spec.duration
-        self._outages[spec.subsystem] = max(
-            self._outages.get(spec.subsystem, 0.0), until
-        )
-        if self.pool is not None and spec.subsystem in self.pool:
-            self.pool.get(spec.subsystem).begin_outage(until)
-        self.counters.outages_started += 1
+        now = self._manager.engine.now
+        self._open_window(spec.subsystem, now, now + spec.duration)
         if self.tracer.enabled:
             self.tracer.emit(
                 FaultInjected(
@@ -356,6 +390,31 @@ class FaultInjector:
                     detail={
                         "subsystem": spec.subsystem,
                         "duration": spec.duration,
+                    },
+                )
+            )
+
+    def _fire_correlated(self, spec: CorrelatedOutage) -> None:
+        """Down every member of a subsystem group from one trigger.
+
+        Member ``i``'s window opens ``i * stagger`` after the trigger,
+        so a staggered group models a failure front; with ``stagger=0``
+        the whole group drops at once.
+        """
+        assert self._manager is not None
+        now = self._manager.engine.now
+        for index, subsystem in enumerate(spec.subsystems):
+            start = now + index * spec.stagger
+            self._open_window(subsystem, start, start + spec.duration)
+        self.counters.correlated_outages += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                FaultInjected(
+                    channel="correlated-outage",
+                    detail={
+                        "subsystems": list(spec.subsystems),
+                        "duration": spec.duration,
+                        "stagger": spec.stagger,
                     },
                 )
             )
@@ -448,11 +507,19 @@ class FaultInjector:
         if recovered.trace.events[: len(prior_events)] != prior_events:
             self.splice_ok = False
         # Outage windows survive the crash with their remaining
-        # duration (the recovered engine restarts at virtual time 0).
+        # duration (the recovered engine restarts at virtual time 0);
+        # windows fully in the past are dropped.
+        crashed_at = image.crashed_at
         self._outages = {
-            name: until - image.crashed_at
-            for name, until in self._outages.items()
-            if until - image.crashed_at > 0
+            name: shifted
+            for name, windows in self._outages.items()
+            if (
+                shifted := [
+                    [max(0.0, start - crashed_at), end - crashed_at]
+                    for start, end in windows
+                    if end - crashed_at > 0
+                ]
+            )
         }
         self.counters.manager_recoveries += 1
         if self.tracer.enabled:

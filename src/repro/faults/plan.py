@@ -61,6 +61,23 @@ class SubsystemOutage:
 
 
 @dataclass(frozen=True)
+class CorrelatedOutage:
+    """One trigger downs a whole subsystem *group*.
+
+    Models correlated multi-site failures (shared switch, rack power,
+    common dependency): at the chosen event index every member of the
+    group goes down for ``duration``.  ``stagger`` delays member ``i``'s
+    window start by ``i * stagger`` of virtual time, modelling a failure
+    *front* sweeping across the group rather than a single instant.
+    """
+
+    subsystems: tuple[str, ...]
+    at_event: int
+    duration: float
+    stagger: float = 0.0
+
+
+@dataclass(frozen=True)
 class SubsystemCrash:
     """Crash a durable subsystem and run its WAL recovery.
 
@@ -126,34 +143,118 @@ class FaultPlan:
     name: str
     failures: ActivityFailures | None = None
     outages: tuple[SubsystemOutage, ...] = ()
+    correlated_outages: tuple[CorrelatedOutage, ...] = ()
     subsystem_crashes: tuple[SubsystemCrash, ...] = ()
     manager_crashes: tuple[ManagerCrash, ...] = ()
     latency: InjectedLatency | None = None
     retry: RetrySpec | None = None
+    #: Optional declared event horizon of the run this plan targets.
+    #: Purely a validation aid: injections indexed past it would never
+    #: fire (they'd be silently dropped at drain time), so ``validate``
+    #: rejects them up front.  ``None`` skips the check.
+    horizon: int | None = None
 
     def validate(self) -> None:
+        def err(message: str) -> SchedulerError:
+            return SchedulerError(f"plan {self.name!r}: {message}")
+
         for outage in self.outages:
             if outage.duration <= 0:
-                raise SchedulerError(
-                    f"plan {self.name!r}: outage duration must be > 0 "
-                    f"(got {outage.duration!r})"
+                raise err(
+                    f"outage duration must be > 0 "
+                    f"(got {outage.duration!r} on "
+                    f"{outage.subsystem!r})"
                 )
-        indexed = self.event_indexed()
-        if any(inj.at_event < 0 for inj in indexed):
-            raise SchedulerError(
-                f"plan {self.name!r}: negative event index"
-            )
+        for group in self.correlated_outages:
+            if not group.subsystems:
+                raise err(
+                    f"correlated outage at event {group.at_event} "
+                    f"names no subsystems"
+                )
+            if len(set(group.subsystems)) != len(group.subsystems):
+                raise err(
+                    f"correlated outage at event {group.at_event} "
+                    f"lists a subsystem twice: {group.subsystems!r}"
+                )
+            if group.duration <= 0:
+                raise err(
+                    f"correlated outage duration must be > 0 "
+                    f"(got {group.duration!r})"
+                )
+            if group.stagger < 0:
+                raise err(
+                    f"correlated outage stagger must be >= 0 "
+                    f"(got {group.stagger!r})"
+                )
+        # Two outage windows opening on the same subsystem at the same
+        # event index are either a duplicate or an author error; merged
+        # windows should be expressed as one longer window.
+        seen: set[tuple[str, int]] = set()
+        per_subsystem = [
+            (outage.subsystem, outage.at_event)
+            for outage in self.outages
+        ] + [
+            (name, group.at_event)
+            for group in self.correlated_outages
+            for name in group.subsystems
+        ]
+        for subsystem, at_event in per_subsystem:
+            key = (subsystem, at_event)
+            if key in seen:
+                raise err(
+                    f"overlapping outage windows on {subsystem!r} at "
+                    f"event {at_event}: merge them into one window or "
+                    f"move one to a different event index"
+                )
+            seen.add(key)
+        if self.latency is not None:
+            if self.latency.extra < 0:
+                raise err(
+                    f"injected latency extra must be >= 0 "
+                    f"(got {self.latency.extra!r})"
+                )
+            if self.latency.jitter < 0:
+                raise err(
+                    f"injected latency jitter must be >= 0 "
+                    f"(got {self.latency.jitter!r})"
+                )
+        for inj in self.event_indexed():
+            if inj.at_event < 0:
+                raise err(
+                    f"negative event index {inj.at_event} on "
+                    f"{type(inj).__name__}"
+                )
+        if self.horizon is not None:
+            if self.horizon < 0:
+                raise err(
+                    f"horizon must be >= 0 (got {self.horizon!r})"
+                )
+            for inj in self.event_indexed():
+                if inj.at_event > self.horizon:
+                    raise err(
+                        f"{type(inj).__name__} at event "
+                        f"{inj.at_event} lies past the plan horizon "
+                        f"({self.horizon}) and would never fire; move "
+                        f"it inside the horizon or raise/drop "
+                        f"`horizon`"
+                    )
 
     def event_indexed(
         self,
-    ) -> list[SubsystemOutage | SubsystemCrash | ManagerCrash]:
-        return [*self.outages, *self.subsystem_crashes,
-                *self.manager_crashes]
+    ) -> list[
+        SubsystemOutage
+        | CorrelatedOutage
+        | SubsystemCrash
+        | ManagerCrash
+    ]:
+        return [*self.outages, *self.correlated_outages,
+                *self.subsystem_crashes, *self.manager_crashes]
 
 
 #: Stable tags for the canonical serialization, one per injection type.
 _KIND_TAGS = {
     SubsystemOutage: "outage",
+    CorrelatedOutage: "correlated-outage",
     SubsystemCrash: "subsystem-crash",
     ManagerCrash: "manager-crash",
 }
@@ -214,6 +315,7 @@ class FaultSchedule:
                 "retry": (
                     asdict(self.plan.retry) if self.plan.retry else None
                 ),
+                "horizon": self.plan.horizon,
                 "injections": [
                     {
                         "at_event": inj.at_event,

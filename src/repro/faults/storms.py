@@ -1,0 +1,116 @@
+"""Correlated-outage storms, including ``Wcc*``-boundary targeting.
+
+A *storm* is a burst train of :class:`CorrelatedOutage` groups — the
+fault shape that actually breaks protocols in the replication
+literature: not one independent subsystem blinking, but a whole group
+going dark repeatedly while retry traffic piles up.
+
+:func:`threshold_boundary_storm` aims the storm at the paper's
+cost-based seam.  It walks each program's preferred path with the
+Figure-1 cost model to find the subsystems whose activities cross the
+``Wcc*`` threshold (the *pseudo-pivot frontier*); downing exactly those
+subsystems maximizes cascading-abort pressure right where the
+cost-based extension decides between optimism (C locks, compensatable)
+and protection (P locks, pseudo pivots).
+"""
+
+from __future__ import annotations
+
+from repro.core.cost_based import is_pseudo_pivot, wcc_after
+from repro.faults.plan import (
+    ActivityFailures,
+    CorrelatedOutage,
+    FaultPlan,
+    RetrySpec,
+)
+from repro.sim.workload import Workload
+
+
+def outage_storm(
+    subsystems: tuple[str, ...],
+    start_event: int = 20,
+    bursts: int = 3,
+    spacing: int = 25,
+    duration: float = 12.0,
+    stagger: float = 1.0,
+) -> tuple[CorrelatedOutage, ...]:
+    """A burst train: ``bursts`` correlated outages, ``spacing`` apart."""
+    return tuple(
+        CorrelatedOutage(
+            subsystems=subsystems,
+            at_event=start_event + burst * spacing,
+            duration=duration,
+            stagger=stagger,
+        )
+        for burst in range(bursts)
+    )
+
+
+def threshold_boundary_subsystems(
+    workload: Workload,
+) -> tuple[str, ...]:
+    """Subsystems whose activities cross the ``Wcc*`` boundary.
+
+    Walks each program's preferred path (first child at every node)
+    accumulating Equation-2 cost; an activity for which
+    :func:`is_pseudo_pivot` holds marks its subsystem as part of the
+    pseudo-pivot frontier.  Programs with an infinite threshold never
+    cross and contribute nothing.  Falls back to every subsystem when
+    no program has a finite crossing (so the storm still fires).
+    """
+    registry = workload.registry
+    frontier: set[str] = set()
+    for program in workload.programs:
+        threshold = program.wcc_threshold
+        if threshold == float("inf"):
+            continue
+        wcc = 0.0
+        node = program.root
+        while node is not None:
+            for name in node.activities:
+                if is_pseudo_pivot(registry, wcc, name, threshold):
+                    frontier.add(registry.get(name).subsystem)
+                wcc = wcc_after(registry, wcc, name)
+            node = node.children[0] if node.children else None
+    if not frontier:
+        frontier = {
+            activity_type.subsystem for activity_type in registry
+        }
+    return tuple(sorted(frontier))
+
+
+def threshold_boundary_storm(
+    workload: Workload,
+    name: str = "wcc-boundary-storm",
+    start_event: int = 20,
+    bursts: int = 3,
+    spacing: int = 25,
+    duration: float = 12.0,
+    stagger: float = 1.0,
+    transient_prob: float = 0.3,
+) -> FaultPlan:
+    """A fault plan aimed at the workload's ``Wcc*`` frontier.
+
+    Correlated outages down the frontier subsystems in bursts while a
+    transient-failure layer (scoped to the same subsystems) keeps
+    retriable activities churning between bursts; the exponential retry
+    budget bounds the churn so termination stays guaranteed.
+    """
+    targets = threshold_boundary_subsystems(workload)
+    return FaultPlan(
+        name=name,
+        failures=ActivityFailures(
+            rate_scale=1.5,
+            transient_prob=transient_prob,
+            subsystems=targets,
+        ),
+        correlated_outages=outage_storm(
+            targets,
+            start_event=start_event,
+            bursts=bursts,
+            spacing=spacing,
+            duration=duration,
+            stagger=stagger,
+        ),
+        retry=RetrySpec(kind="exponential", max_attempts=4),
+    )

@@ -290,6 +290,68 @@ class FaultInjected:
     detail: dict = field(default_factory=dict)
 
 
+# ----------------------------------------------------------------------
+# resilience (circuit breakers, admission gating, adaptive Wcc*)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One circuit-breaker state change, with the signal that drove it."""
+
+    kind = "resilience.breaker"
+    subsystem: str
+    from_state: str  # "closed" | "open" | "half-open"
+    to_state: str
+    #: e.g. "failure-threshold", "outage-threshold", "cooldown-elapsed",
+    #: "probe-successes", "probe-failure".
+    reason: str
+    #: Lifetime trip count of this breaker (after this transition).
+    opens: int = 0
+
+
+@dataclass(frozen=True)
+class AdmissionGate:
+    """An admission decision of the resilience layer."""
+
+    kind = "resilience.admission"
+    pid: int
+    op: str  # "defer" | "readmit" | "force-admit"
+    #: Open-breaker subsystems that blocked the admission (empty on
+    #: readmit).
+    subsystems: tuple[str, ...] = ()
+    #: How many times this pid has been deferred so far.
+    deferrals: int = 0
+
+
+@dataclass(frozen=True)
+class DegradationChanged:
+    """The adaptive ``Wcc*`` cap engaged or lifted."""
+
+    kind = "resilience.degrade"
+    active: bool
+    cap: float
+    reason: str  # "breaker-open" | "all-breakers-closed"
+    open_subsystems: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class RetryBudgetExhausted:
+    """A retry budget forced a failing retriable to count as success.
+
+    With a bounded :class:`~repro.faults.retry.RetryPolicy` installed,
+    an injected-failing retriable activity that reaches
+    ``max_attempts`` is treated as successful to preserve guaranteed
+    termination; this event makes that (previously silent) decision
+    visible.
+    """
+
+    kind = "retry.budget_exhausted"
+    pid: int
+    activity: str
+    uid: int
+    attempts: int
+    subsystem: str | None = None
+
+
 #: kind tag -> event class, for JSONL round-trips and exporters.
 EVENT_TYPES: dict[str, type] = {
     cls.kind: cls
@@ -315,6 +377,10 @@ EVENT_TYPES: dict[str, type] = {
         DeadlockVictim,
         UnresolvableForced,
         FaultInjected,
+        BreakerTransition,
+        AdmissionGate,
+        DegradationChanged,
+        RetryBudgetExhausted,
     )
 }
 

@@ -226,6 +226,35 @@ def explain_process(records: list[dict], pid: int) -> str:
         elif kind == "process.commit":
             outcome = "committed"
             add(t, "COMMITTED")
+        elif kind == "retry.budget_exhausted":
+            add(
+                t,
+                f"retry budget exhausted on {record['activity']!r} "
+                f"after {record['attempts']} attempts — treated as "
+                f"success to preserve termination",
+            )
+        elif kind == "resilience.admission":
+            op = record["op"]
+            if op == "defer":
+                subsystems = ", ".join(record.get("subsystems", ()))
+                add(
+                    t,
+                    f"admission DEFERRED by resilience layer "
+                    f"(open breakers: {subsystems}; "
+                    f"deferral {record['deferrals']})",
+                )
+            elif op == "readmit":
+                add(
+                    t,
+                    f"re-admitted after "
+                    f"{record['deferrals']} deferral(s)",
+                )
+            else:
+                add(
+                    t,
+                    f"force-admitted after exhausting "
+                    f"{record['deferrals']} deferrals",
+                )
         elif kind == "fault.inject":
             add(
                 t,

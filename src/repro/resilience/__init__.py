@@ -1,0 +1,40 @@
+"""Subsystem health layer: circuit breakers + adaptive ``Wcc*``.
+
+Turns the protocol's static cost knobs into runtime fault response:
+
+* :mod:`repro.resilience.health` — per-subsystem
+  :class:`CircuitBreaker` state machines (closed → open → half-open)
+  under a deterministic virtual-time cooldown, aggregated by
+  :class:`SubsystemHealth`;
+* :mod:`repro.resilience.layer` — the :class:`ResilienceLayer` that a
+  manager config attaches (``ManagerConfig(resilience=...)``): admission
+  shedding for processes needing an open-breaker subsystem and an
+  adaptive ``Wcc*`` cap while degraded, every transition traced.
+
+With the default ``ManagerConfig(resilience=None)`` nothing here is
+imported on the hot path and schedules stay byte-identical to the
+pre-resilience behaviour (asserted by
+``benchmarks/test_resilience_overhead.py``).
+"""
+
+from repro.resilience.health import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    SubsystemHealth,
+)
+from repro.resilience.layer import (
+    ResilienceConfig,
+    ResilienceLayer,
+    ResilienceStats,
+)
+
+__all__ = [
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "ResilienceConfig",
+    "ResilienceLayer",
+    "ResilienceStats",
+    "SubsystemHealth",
+]

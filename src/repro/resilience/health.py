@@ -1,0 +1,229 @@
+"""Per-subsystem health tracking with deterministic circuit breakers.
+
+The paper's cost-based extension (Section 4) is a *static* degradation
+dial: each program carries one ``Wcc*`` for its whole life.  This module
+supplies the runtime signal that lets the dial move: a
+:class:`SubsystemHealth` tracker fed by injector/manager outcomes
+(failures, outage hits, retry-budget exhaustion, injected latency) with
+one :class:`CircuitBreaker` per subsystem.
+
+Breakers follow the classic three-state machine —
+
+* **closed** — healthy; consecutive failures are counted, successes
+  reset the streak;
+* **open** — tripped after ``failure_threshold`` consecutive failures;
+  the admission layer sheds new processes needing the subsystem and the
+  effective ``Wcc*`` is tightened while any breaker is open;
+* **half-open** — entered after ``cooldown`` of *virtual* time; the next
+  ``half_open_successes`` successful outcomes close the breaker, a
+  single failure re-opens it.
+
+Everything is driven by counters and the simulation's virtual clock —
+no RNG, no wall time — so breaker trajectories are a pure function of
+the (seeded) outcome stream and chaos runs stay byte-reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulerError
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tunables shared by every breaker of one health tracker."""
+
+    #: Consecutive failures that trip a closed breaker open.
+    failure_threshold: int = 5
+    #: Virtual time an open breaker waits before probing (half-open).
+    cooldown: float = 25.0
+    #: Consecutive half-open successes required to close again.
+    half_open_successes: int = 2
+    #: Injected latency at or above this counts as a failure signal
+    #: (``None`` disables the latency channel).
+    slow_latency: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise SchedulerError(
+                f"breaker failure_threshold must be >= 1 "
+                f"(got {self.failure_threshold!r})"
+            )
+        if self.cooldown <= 0:
+            raise SchedulerError(
+                f"breaker cooldown must be > 0 (got {self.cooldown!r})"
+            )
+        if self.half_open_successes < 1:
+            raise SchedulerError(
+                f"breaker half_open_successes must be >= 1 "
+                f"(got {self.half_open_successes!r})"
+            )
+        if self.slow_latency is not None and self.slow_latency <= 0:
+            raise SchedulerError(
+                f"breaker slow_latency must be > 0 "
+                f"(got {self.slow_latency!r})"
+            )
+
+
+#: One state transition: (from-state value, to-state value, reason).
+Transition = tuple[str, str, str]
+
+
+@dataclass
+class CircuitBreaker:
+    """The three-state machine of one subsystem."""
+
+    subsystem: str
+    config: BreakerConfig
+    state: BreakerState = BreakerState.CLOSED
+    failure_streak: int = 0
+    probe_successes: int = 0
+    opened_at: float = 0.0
+    #: Lifetime count of closed→open (and half-open→open) trips.
+    opens: int = 0
+
+    def poke(self, now: float) -> Transition | None:
+        """Advance time-driven transitions (open → half-open)."""
+        if (
+            self.state is BreakerState.OPEN
+            and now >= self.opened_at + self.config.cooldown
+        ):
+            self.state = BreakerState.HALF_OPEN
+            self.probe_successes = 0
+            return ("open", "half-open", "cooldown-elapsed")
+        return None
+
+    def record_success(self, now: float) -> list[Transition]:
+        transitions = []
+        poked = self.poke(now)
+        if poked is not None:
+            transitions.append(poked)
+        self.failure_streak = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self.probe_successes += 1
+            if self.probe_successes >= self.config.half_open_successes:
+                self.state = BreakerState.CLOSED
+                self.probe_successes = 0
+                transitions.append(
+                    ("half-open", "closed", "probe-successes")
+                )
+        return transitions
+
+    def record_failure(
+        self, now: float, signal: str
+    ) -> list[Transition]:
+        """Count one failure signal ("failure", "outage", ...)."""
+        transitions = []
+        poked = self.poke(now)
+        if poked is not None:
+            transitions.append(poked)
+        if self.state is BreakerState.HALF_OPEN:
+            # A probe failed: straight back to open, cooldown restarts.
+            self.state = BreakerState.OPEN
+            self.opened_at = now
+            self.opens += 1
+            self.failure_streak = 0
+            transitions.append(("half-open", "open", f"probe-{signal}"))
+        elif self.state is BreakerState.CLOSED:
+            self.failure_streak += 1
+            if self.failure_streak >= self.config.failure_threshold:
+                self.state = BreakerState.OPEN
+                self.opened_at = now
+                self.opens += 1
+                self.failure_streak = 0
+                transitions.append(
+                    ("closed", "open", f"{signal}-threshold")
+                )
+        # Failures while already open change nothing: the subsystem is
+        # known-bad and the cooldown keeps counting from the trip.
+        return transitions
+
+    def rebase_clock(self) -> None:
+        """Restart the cooldown at virtual time zero (crash recovery).
+
+        A recovered manager's engine restarts at ``now == 0``; keeping
+        the pre-crash ``opened_at`` would make the cooldown appear
+        already elapsed (or never elapse).  Restarting it is the
+        conservative deterministic choice.
+        """
+        if self.state is BreakerState.OPEN:
+            self.opened_at = 0.0
+
+
+class SubsystemHealth:
+    """Lazy per-subsystem breaker registry (insertion-ordered)."""
+
+    def __init__(self, config: BreakerConfig | None = None) -> None:
+        self.config = config or BreakerConfig()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, subsystem: str) -> CircuitBreaker:
+        breaker = self._breakers.get(subsystem)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                subsystem=subsystem, config=self.config
+            )
+            self._breakers[subsystem] = breaker
+        return breaker
+
+    def on_success(
+        self, subsystem: str, now: float
+    ) -> list[Transition]:
+        return self.breaker(subsystem).record_success(now)
+
+    def on_failure(
+        self, subsystem: str, now: float, signal: str
+    ) -> list[Transition]:
+        return self.breaker(subsystem).record_failure(now, signal)
+
+    def poke_all(
+        self, now: float
+    ) -> list[tuple[str, Transition]]:
+        """Advance every breaker's time-driven transitions."""
+        fired = []
+        for name, breaker in self._breakers.items():
+            transition = breaker.poke(now)
+            if transition is not None:
+                fired.append((name, transition))
+        return fired
+
+    def open_subsystems(self, now: float) -> tuple[str, ...]:
+        """Subsystems whose breaker is OPEN at virtual time ``now``."""
+        return tuple(
+            sorted(
+                name
+                for name, breaker in self._breakers.items()
+                if breaker.state is BreakerState.OPEN
+            )
+        )
+
+    def degraded(self) -> bool:
+        """Whether any breaker is away from CLOSED."""
+        return any(
+            breaker.state is not BreakerState.CLOSED
+            for breaker in self._breakers.values()
+        )
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """Debug/report view of every breaker."""
+        return {
+            name: {
+                "state": breaker.state.value,
+                "failure_streak": breaker.failure_streak,
+                "opens": breaker.opens,
+                "opened_at": breaker.opened_at,
+            }
+            for name, breaker in sorted(self._breakers.items())
+        }
+
+    def rebase_clock(self) -> None:
+        for breaker in self._breakers.values():
+            breaker.rebase_clock()

@@ -57,6 +57,7 @@ from repro.obs.events import (
     ProcessInitiated,
     ProcessResubmitted,
     ProcessSubmitted,
+    RetryBudgetExhausted,
     SelfAbortDecision,
     UnresolvableForced,
     WaitEdge,
@@ -128,6 +129,12 @@ class ManagerConfig:
     #: Prefer deadlock-cycle victims that hold no P locks (honours
     #: pseudo-pivot protection).  Disabling is an ablation.
     prefer_unprotected_victims: bool = True
+    #: Optional resilience layer (duck-typed; see
+    #: :class:`repro.resilience.ResilienceLayer`): subsystem circuit
+    #: breakers feeding admission gating and an adaptive ``Wcc*`` cap.
+    #: ``None`` (the default) adds no hooks anywhere — schedules stay
+    #: byte-identical to the pre-resilience behaviour.
+    resilience: object | None = None
 
 
 @dataclass
@@ -149,6 +156,8 @@ class ManagerStats:
     retries: int = 0
     deadlock_victims: int = 0
     unresolvable_violations: int = 0
+    #: Admissions the resilience layer deferred (0 without a layer).
+    admissions_deferred: int = 0
     busy_area: float = 0.0
     _inflight: int = field(default=0, repr=False)
     _last_change: float = field(default=0.0, repr=False)
@@ -226,6 +235,12 @@ class ProcessManager:
         #: activity outcomes and add execution latency; ``None`` keeps
         #: the manager's own failure sampling untouched.
         self.injector = None
+        #: Optional resilience layer from the config (duck-typed; see
+        #: :mod:`repro.resilience`).  ``bind`` reschedules any deferred
+        #: admissions it carries — crash recovery builds a fresh manager
+        #: around the same layer, and those pending initiations are not
+        #: part of the crash journal.
+        self.resilience = self.config.resilience
         self.engine = SimulationEngine()
         self.rng = random.Random(seed)
         self.trace = TraceRecorder()
@@ -254,6 +269,8 @@ class ProcessManager:
         self._stashed_failures: dict[int, Activity] = {}
         self.tracer.bind_clock(lambda: self.engine.now)
         self.tracer.bind_sampler(self._gauge_sample)
+        if self.resilience is not None:
+            self.resilience.bind(self)
 
     # ------------------------------------------------------------------
     # submission & run loop
@@ -269,6 +286,17 @@ class ProcessManager:
         return pid
 
     def _initiate(self, pid: int, program: ProcessProgram) -> None:
+        if self.resilience is not None:
+            # Admission gate: shed *before* a timestamp is drawn or any
+            # lock is requested — a deferred process holds nothing and
+            # blocks nobody, so guaranteed termination is untouched.
+            delay = self.resilience.admission_delay(pid, program)
+            if delay is not None:
+                self.stats.admissions_deferred += 1
+                self.engine.schedule(
+                    delay, lambda: self._initiate(pid, program)
+                )
+                return
         timestamp = self.protocol.new_timestamp()
         process = Process(pid=pid, program=program, timestamp=timestamp)
         self._processes[pid] = process
@@ -327,6 +355,16 @@ class ProcessManager:
         self.stats.submitted += 1
 
         def resume() -> None:
+            if (
+                self._processes.get(pid) is not process
+                or pid in self._comp_runs
+            ):
+                # Adopted processes resume via same-time callbacks, and
+                # an earlier one can cascade-abort this process before
+                # its own callback fires — that abort path owns the
+                # process (and its compensation run) now, so the
+                # recovery resume must stand down.
+                return
             if process.state is ProcessState.ABORTING:
                 self._start_compensation_run(
                     process,
@@ -501,9 +539,14 @@ class ProcessManager:
             )
         duration = flight.activity.activity_type.cost
         if self.injector is not None:
-            duration += self.injector.latency_for(
+            extra = self.injector.latency_for(
                 flight.process, flight.activity
             )
+            duration += extra
+            if self.resilience is not None and extra > 0:
+                self.resilience.on_latency(
+                    flight.activity.activity_type.subsystem, extra
+                )
         if flight.kind is RequestKind.REGULAR:
             self.engine.schedule(
                 duration, lambda: self._complete_regular(flight)
@@ -561,6 +604,10 @@ class ProcessManager:
         failed = not activity_type.retriable and self._samples_failure(
             process, activity
         )
+        if self.resilience is not None:
+            self.resilience.on_activity_outcome(
+                activity_type.subsystem, failed
+            )
         if self.tracer.enabled:
             event_cls = ActivityFailed if failed else ActivityCommitted
             self.tracer.emit(
@@ -602,6 +649,27 @@ class ProcessManager:
             and policy is not None
             and flight.attempts >= policy.max_attempts
         ):
+            # The budget forces a failing retriable to count as
+            # successful (guaranteed termination); surface the decision
+            # instead of swallowing it silently.
+            activity = flight.activity
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    RetryBudgetExhausted(
+                        pid=flight.process.pid,
+                        activity=activity.name,
+                        uid=activity.uid,
+                        attempts=flight.attempts,
+                        subsystem=activity.activity_type.subsystem,
+                    )
+                )
+            counters = getattr(self.injector, "counters", None)
+            if counters is not None:
+                counters.retry_budget_exhausted += 1
+            if self.resilience is not None:
+                self.resilience.on_retry_exhausted(
+                    activity.activity_type.subsystem
+                )
             return False
         return verdict
 

@@ -192,3 +192,60 @@ class TestObservabilityCommands:
         assert code == 0
         for name in ("serial", "s2pl"):
             assert (out / name / "events.jsonl").exists()
+
+    def test_chaos_json_is_machine_readable(self, capsys):
+        import json
+
+        code = main(
+            ["chaos", "--quick", "--json",
+             "--protocols", "process-locking"]
+        )
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert code == (0 if payload["ok"] else 1)
+        assert payload["counts"]["runs"] == len(payload["runs"])
+        run = payload["runs"][0]
+        # Raw booleans, not display strings.
+        assert isinstance(run["ok"], bool)
+        assert all(
+            isinstance(value, bool)
+            for value in run["checks"].values()
+        )
+
+    def test_soak_text_and_exit_code(self, capsys):
+        code = main(
+            ["soak", "--seed", "7", "--rounds", "2",
+             "--processes", "6", "--min-events", "50"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "soak campaign (seed 7)" in out
+        assert "2/2 rounds passed" in out
+
+    def test_soak_json_and_failing_floor_exits_1(self, capsys):
+        import json
+
+        code = main(
+            ["soak", "--seed", "7", "--rounds", "2",
+             "--processes", "6", "--min-events", "999999999",
+             "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["ok"] is False
+        assert payload["events_total"] < payload["min_events"]
+        assert len(payload["runs"]) == 2
+        assert len(payload["resilience"]) == 2
+        assert payload["resilience"][0] is not None
+
+    def test_soak_no_resilience(self, capsys):
+        import json
+
+        code = main(
+            ["soak", "--seed", "7", "--rounds", "2",
+             "--processes", "6", "--min-events", "50",
+             "--no-resilience", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["resilience"] == [None, None]

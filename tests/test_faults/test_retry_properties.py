@@ -1,0 +1,135 @@
+"""Property-style backoff tests: monotonicity, caps, jitter bounds.
+
+Seeded exhaustive sweeps over a parameter grid (no hypothesis dep):
+every (base, factor, cap) combination is checked over a long retry
+range, which is what a property test would sample anyway.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import random
+
+from repro.faults.retry import (
+    ExponentialBackoff,
+    FixedBackoff,
+    JitteredBackoff,
+    make_policy,
+)
+from repro.faults.plan import RetrySpec
+
+BASES = (0.1, 0.5, 1.0, 3.0)
+FACTORS = (1.0, 1.5, 2.0, 4.0)
+CAPS = (2.0, 8.0, 32.0, 100.0)
+RETRIES = range(1, 40)
+
+
+class TestExponentialBackoff:
+    def test_monotone_nondecreasing_everywhere(self):
+        for base, factor, cap in itertools.product(
+            BASES, FACTORS, CAPS
+        ):
+            policy = ExponentialBackoff(
+                base_delay=base, factor=factor, max_delay=cap
+            )
+            delays = [policy.delay_for(n) for n in RETRIES]
+            assert delays == sorted(delays), (base, factor, cap)
+
+    def test_capped_everywhere(self):
+        for base, factor, cap in itertools.product(
+            BASES, FACTORS, CAPS
+        ):
+            policy = ExponentialBackoff(
+                base_delay=base, factor=factor, max_delay=cap
+            )
+            for n in RETRIES:
+                assert policy.delay_for(n) <= cap
+
+    def test_first_retry_pays_the_base_delay(self):
+        for base, factor, cap in itertools.product(
+            BASES, FACTORS, CAPS
+        ):
+            policy = ExponentialBackoff(
+                base_delay=base, factor=factor, max_delay=cap
+            )
+            assert policy.delay_for(1) == min(base, cap)
+
+    def test_reaches_the_cap(self):
+        policy = ExponentialBackoff(
+            base_delay=1.0, factor=2.0, max_delay=32.0
+        )
+        assert policy.delay_for(10) == 32.0
+
+
+class TestJitteredBackoff:
+    def test_jitter_bounded_above_the_exponential_floor(self):
+        for jitter in (0.1, 0.5, 2.0):
+            policy = JitteredBackoff(
+                base_delay=1.0, jitter=jitter, seed=13
+            )
+            floor = ExponentialBackoff(base_delay=1.0)
+            for n in RETRIES:
+                delta = policy.delay_for(n) - floor.delay_for(n)
+                assert 0.0 <= delta < jitter
+
+    def test_same_seed_same_delays(self):
+        first = JitteredBackoff(seed=42)
+        second = JitteredBackoff(seed=42)
+        assert [first.delay_for(n) for n in RETRIES] == [
+            second.delay_for(n) for n in RETRIES
+        ]
+
+    def test_different_seeds_differ(self):
+        first = JitteredBackoff(seed=1)
+        second = JitteredBackoff(seed=2)
+        assert [first.delay_for(n) for n in RETRIES] != [
+            second.delay_for(n) for n in RETRIES
+        ]
+
+    def test_pickle_round_trip_is_delay_identical(self):
+        policy = JitteredBackoff(
+            base_delay=0.5, factor=3.0, max_delay=20.0,
+            jitter=0.7, seed=99,
+        )
+        clone = pickle.loads(pickle.dumps(policy))
+        assert clone == policy
+        assert [clone.delay_for(n) for n in RETRIES] == [
+            policy.delay_for(n) for n in RETRIES
+        ]
+
+    def test_independent_of_global_rng_state(self):
+        """Jitter derives from the policy seed, never shared RNG state.
+
+        The manager's RNG and ``random`` module state must not leak in:
+        delays are a pure function of ``(policy, retry_number)``.
+        """
+        policy = JitteredBackoff(seed=7)
+        random.seed(0)
+        first = [policy.delay_for(n) for n in RETRIES]
+        random.seed(12345)
+        random.random()
+        second = [policy.delay_for(n) for n in RETRIES]
+        assert first == second
+
+    def test_zero_jitter_degenerates_to_exponential(self):
+        policy = JitteredBackoff(jitter=0.0, seed=5)
+        floor = ExponentialBackoff()
+        assert [policy.delay_for(n) for n in RETRIES] == [
+            floor.delay_for(n) for n in RETRIES
+        ]
+
+
+class TestMakePolicy:
+    def test_round_trips_spec_fields(self):
+        spec = RetrySpec(
+            kind="jittered", base_delay=0.25, factor=3.0,
+            max_delay=12.0, jitter=0.9, max_attempts=6,
+        )
+        policy = make_policy(spec, seed=21)
+        assert isinstance(policy, JitteredBackoff)
+        assert policy.max_attempts == 6
+        assert policy.seed == 21
+        fixed = make_policy(RetrySpec(kind="fixed", base_delay=2.0))
+        assert isinstance(fixed, FixedBackoff)
+        assert fixed.delay_for(5) == 2.0

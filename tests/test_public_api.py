@@ -13,7 +13,10 @@ PACKAGES = [
     "repro.analysis",
     "repro.baselines",
     "repro.core",
+    "repro.faults",
+    "repro.obs",
     "repro.process",
+    "repro.resilience",
     "repro.scheduler",
     "repro.sim",
     "repro.subsystems",

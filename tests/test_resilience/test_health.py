@@ -1,0 +1,184 @@
+"""Circuit-breaker state machine: trips, cooldowns, probes, rebasing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.resilience import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    SubsystemHealth,
+)
+
+CFG = BreakerConfig(
+    failure_threshold=3, cooldown=10.0, half_open_successes=2
+)
+
+
+def make(config=CFG) -> CircuitBreaker:
+    return CircuitBreaker(subsystem="sub0", config=config)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"cooldown": 0.0},
+            {"cooldown": -1.0},
+            {"half_open_successes": 0},
+            {"slow_latency": 0.0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(SchedulerError):
+            BreakerConfig(**kwargs)
+
+
+class TestTrip:
+    def test_stays_closed_below_threshold(self):
+        breaker = make()
+        for _ in range(CFG.failure_threshold - 1):
+            assert breaker.record_failure(1.0, "failure") == []
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_consecutive_failures_trip_open(self):
+        breaker = make()
+        transitions = []
+        for _ in range(CFG.failure_threshold):
+            transitions += breaker.record_failure(2.0, "failure")
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened_at == 2.0
+        assert breaker.opens == 1
+        assert transitions == [("closed", "open", "failure-threshold")]
+
+    def test_success_resets_the_streak(self):
+        breaker = make()
+        breaker.record_failure(1.0, "failure")
+        breaker.record_failure(1.0, "failure")
+        breaker.record_success(1.5)
+        breaker.record_failure(2.0, "failure")
+        breaker.record_failure(2.0, "failure")
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_failures_while_open_are_absorbed(self):
+        breaker = make()
+        for _ in range(CFG.failure_threshold):
+            breaker.record_failure(0.0, "outage")
+        assert breaker.record_failure(1.0, "outage") == []
+        assert breaker.opens == 1
+        # The cooldown still counts from the original trip.
+        assert breaker.opened_at == 0.0
+
+
+class TestCooldownAndProbes:
+    def tripped(self, at: float = 0.0) -> CircuitBreaker:
+        breaker = make()
+        for _ in range(CFG.failure_threshold):
+            breaker.record_failure(at, "failure")
+        return breaker
+
+    def test_poke_before_cooldown_is_a_no_op(self):
+        breaker = self.tripped()
+        assert breaker.poke(CFG.cooldown - 0.1) is None
+        assert breaker.state is BreakerState.OPEN
+
+    def test_cooldown_elapsing_half_opens(self):
+        breaker = self.tripped()
+        assert breaker.poke(CFG.cooldown) == (
+            "open",
+            "half-open",
+            "cooldown-elapsed",
+        )
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_probe_successes_close(self):
+        breaker = self.tripped()
+        first = breaker.record_success(CFG.cooldown + 1.0)
+        assert ("open", "half-open", "cooldown-elapsed") in first
+        second = breaker.record_success(CFG.cooldown + 2.0)
+        assert ("half-open", "closed", "probe-successes") in second
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        breaker = self.tripped()
+        breaker.poke(CFG.cooldown)
+        transitions = breaker.record_failure(
+            CFG.cooldown + 1.0, "failure"
+        )
+        assert transitions == [
+            ("half-open", "open", "probe-failure")
+        ]
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened_at == CFG.cooldown + 1.0
+        assert breaker.opens == 2
+
+    def test_rebase_clock_restarts_open_cooldown(self):
+        breaker = self.tripped(at=50.0)
+        breaker.rebase_clock()
+        assert breaker.opened_at == 0.0
+        # The recovered clock starts near zero; the full cooldown
+        # elapses again before a probe is allowed.
+        assert breaker.poke(CFG.cooldown - 0.1) is None
+        assert breaker.poke(CFG.cooldown) is not None
+
+    def test_rebase_leaves_closed_breakers_alone(self):
+        breaker = make()
+        breaker.record_failure(5.0, "failure")
+        breaker.rebase_clock()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.failure_streak == 1
+
+
+class TestSubsystemHealth:
+    def test_breakers_are_lazy_and_cached(self):
+        health = SubsystemHealth(CFG)
+        assert health.breaker("a") is health.breaker("a")
+        assert not health.degraded()
+
+    def test_open_subsystems_sorted_and_degraded(self):
+        health = SubsystemHealth(CFG)
+        for name in ("b", "a"):
+            for _ in range(CFG.failure_threshold):
+                health.on_failure(name, 0.0, "failure")
+        assert health.open_subsystems(1.0) == ("a", "b")
+        assert health.degraded()
+
+    def test_poke_all_reports_half_opens(self):
+        health = SubsystemHealth(CFG)
+        for _ in range(CFG.failure_threshold):
+            health.on_failure("a", 0.0, "failure")
+        assert health.poke_all(1.0) == []
+        fired = health.poke_all(CFG.cooldown)
+        assert fired == [
+            ("a", ("open", "half-open", "cooldown-elapsed"))
+        ]
+        # HALF_OPEN no longer blocks admissions...
+        assert health.open_subsystems(CFG.cooldown) == ()
+        # ...but still counts as degraded until the probes close it.
+        assert health.degraded()
+
+    def test_trajectory_is_deterministic(self):
+        def drive(health: SubsystemHealth):
+            log = []
+            for step, (event, now) in enumerate(
+                [
+                    ("fail", 0.0),
+                    ("fail", 1.0),
+                    ("fail", 2.0),
+                    ("ok", 13.0),
+                    ("ok", 14.0),
+                    ("fail", 15.0),
+                ]
+            ):
+                if event == "fail":
+                    log += health.on_failure("s", now, "failure")
+                else:
+                    log += health.on_success("s", now)
+            return log, health.snapshot()
+
+        first = drive(SubsystemHealth(CFG))
+        second = drive(SubsystemHealth(CFG))
+        assert first == second

@@ -8,7 +8,9 @@ the states most likely to break splicing and the theory guarantees:
 * a crash while a commit request is **parked** behind ordered sharing
   (the process is COMPLETING and must still commit after recovery),
 * **back-to-back crashes** — the second manager incarnation crashes
-  again before reaching quiescence.
+  again before reaching quiescence,
+* a **resume race**: a process recovered RUNNING is cascade-aborted by
+  an earlier same-time resume callback before its own resume fires.
 
 Every case asserts the spliced end-to-end schedule is complete, CT, and
 P-RC.
@@ -19,6 +21,7 @@ from __future__ import annotations
 from repro.process.state import ProcessState
 from repro.scheduler.manager import ManagerConfig, ProcessManager
 from repro.scheduler.recovery import crash, recover
+from repro.sim.arrivals import poisson_arrivals
 from repro.sim.runner import make_protocol
 from repro.sim.workload import WorkloadSpec, build_workload
 from repro.theory.criteria import (
@@ -185,3 +188,82 @@ class TestBackToBackCrashes:
         third_manager = recover_fresh(workload, second, seed=5)
         result = third_manager.run()
         assert_spliced_and_correct(workload, second, result)
+
+
+class TestRecoveryResumeRace:
+    """Adoption-time cascades must not overlap the recovery resume.
+
+    Adopted processes resume via same-time callbacks; an earlier
+    callback's lock request can cascade-abort a process that was
+    recovered RUNNING before its own callback fires.  The stale
+    recovery resume must stand down — before the guard in
+    ``adopt_recovered`` it started a second compensation run and the
+    manager raised ``SchedulerError: overlapping compensation runs``.
+    Seed 16 + 9 pre-crash events reach the race deterministically.
+    """
+
+    SPEC = WorkloadSpec(
+        n_processes=5,
+        n_activity_types=10,
+        conflict_density=0.5,
+        failure_probability=0.1,
+        parallel_probability=0.3,
+        alternative_count=2,
+        wcc_threshold=15.0,
+        grounded=True,
+        seed=16,
+    )
+
+    def test_cascade_during_adoption_does_not_overlap(self):
+        workload = build_workload(self.SPEC)
+        pool = workload.make_subsystems()
+        manager = ProcessManager(
+            make_protocol("process-locking", workload),
+            subsystems=pool,
+            config=ManagerConfig(audit=True),
+            seed=16,
+        )
+        arrivals = poisson_arrivals(0.3, len(workload.programs), seed=16)
+        for index, program in enumerate(workload.programs):
+            manager.submit(program, at=arrivals[index])
+        manager.engine.run_steps(9)
+        running_at_crash = {
+            pid
+            for pid, process in manager._processes.items()
+            if process.state is ProcessState.RUNNING
+        }
+        image = crash(manager)
+        recovered = recover(
+            image,
+            make_protocol("process-locking", workload),
+            config=ManagerConfig(audit=True),
+            subsystems=pool,
+            seed=16,
+        )
+        starts: list[tuple[float, int, str]] = []
+        inner = recovered._start_compensation_run
+
+        def spy(process, plan, label, on_done):
+            starts.append((recovered.engine.now, process.pid, label))
+            inner(process, plan, label, on_done)
+
+        recovered._start_compensation_run = spy
+        result = recovered.run()
+        assert_spliced_and_correct(workload, image, result)
+        # The race itself must occur: a process recovered RUNNING is
+        # cascade-aborted in the adoption batch (recovered vt 0.0) ...
+        raced = {
+            pid
+            for now, pid, label in starts
+            if now == 0.0
+            and pid in running_at_crash
+            and label == "protocol-abort:cascade"
+        }
+        assert raced, "no adoption-time cascade hit a RUNNING process"
+        # ... and its recovery resume stood down instead of starting an
+        # overlapping "protocol-abort:recovery" compensation run.
+        assert not [
+            entry
+            for entry in starts
+            if entry[1] in raced and entry[2] == "protocol-abort:recovery"
+        ]
