@@ -19,11 +19,18 @@ per-subsystem lock shards.  This file
   lock-ops/sec per path) so later PRs have a perf trajectory,
 * asserts the indexed path is ≥ 2× faster than the naive path, and the
   sharded+incremental path ≥ 1.5× the monolithic lock-ops/sec, each on
-  its largest swept workload.
+  its largest swept workload,
+* sweeps the **parallel execution mode** (``repro.parallel``) against
+  the sequential manager over workers × batch-k grids, asserts every
+  variant's schedule is byte-identical to the sequential run, and
+  asserts ≥ 1.5× wall-clock speedup at ``workers=n_subsystems`` on the
+  largest point.
 """
 
 from __future__ import annotations
 
+import gc
+import hashlib
 import json
 import time
 from pathlib import Path
@@ -68,6 +75,22 @@ AUDIT_EVERY = 16
 #: High resubmission headroom: heavy contention is the point here, and
 #: starvation accounting is a protocol question, not a perf one.
 BENCH_CONFIG = dict(max_resubmissions=100_000)
+
+#: Parallel-vs-sequential sweep: (n_processes, n_activity_types,
+#: n_subsystems, conflict_density, arrival_spacing), smallest to
+#: largest.  The largest point — 300 processes over 12 subsystems at
+#: tight spacing — maximizes concurrent in-flight activities, which is
+#: where the sequential manager's O(inflight) gate scan and k-way
+#: holder merges dominate; the ≥1.5× assertion applies there at
+#: ``workers=n_subsystems``.
+PARALLEL_SWEEP = [
+    (60, 36, 6, 0.4, 0.3),
+    (200, 72, 6, 0.5, 0.25),
+    (300, 144, 12, 0.5, 0.1),
+]
+
+#: Batch lock-acquisition depths swept per worker count.
+PARALLEL_BATCH_KS = (1, 2, 4)
 
 # Byte-comparable paired runs use the shared ``uid_floor`` fixture
 # (tests/conftest.py): pin() claims a fresh uid/lock-id floor, repin()
@@ -285,6 +308,57 @@ def _timed_run(runner, workload, seed, config):
     return result, time.perf_counter() - start
 
 
+def _spec_parallel(point, seed=7) -> WorkloadSpec:
+    """Spec of one parallel-vs-sequential sweep point."""
+    n_processes, n_types, n_subsystems, density, spacing = point
+    return WorkloadSpec(
+        n_processes=n_processes,
+        n_activity_types=n_types,
+        n_subsystems=n_subsystems,
+        conflict_density=density,
+        arrival_spacing=spacing,
+        failure_probability=0.02,
+        seed=seed,
+    )
+
+
+def _worker_counts(n_subsystems: int) -> list[int]:
+    """The swept worker counts: {1, 2, 4, n_subsystems}, deduplicated."""
+    counts: list[int] = []
+    for workers in (1, 2, 4, n_subsystems):
+        if workers not in counts:
+            counts.append(workers)
+    return counts
+
+
+def _timed_run_quiet(workload, seed, config):
+    """One timed run with the cyclic GC parked.
+
+    Collector pauses land at allocation-count thresholds, not at fixed
+    schedule points, so they add run-to-run jitter that swamps the
+    parallel-vs-sequential margins; both sides are timed with the
+    collector off and a clean heap.
+    """
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        result = run_workload(
+            workload, "process-locking", seed=seed, config=config
+        )
+        return result, time.perf_counter() - start
+    finally:
+        gc.enable()
+
+
+def _schedule_digest(result) -> str:
+    """Digest of the canonical trace (the full string is tens of MB on
+    the largest parallel sweep point; only equality is ever needed)."""
+    return hashlib.sha256(
+        _canonical_trace(result).encode()
+    ).hexdigest()
+
+
 # ----------------------------------------------------------------------
 # tests
 # ----------------------------------------------------------------------
@@ -479,4 +553,138 @@ class TestShardedIncrementalScaling:
         assert largest["sharded_vs_monolithic"] >= 1.5, (
             f"sharded path only {largest['sharded_vs_monolithic']}x the "
             f"monolithic lock-ops/sec on the largest workload: {largest}"
+        )
+
+
+class TestParallelVsSequential:
+    """Thread-per-shard execution vs the sequential manager.
+
+    Every (workers, batch-k) variant must emit a schedule byte-identical
+    to the sequential run at the same seed — parallel mode is a pure
+    perf change.  The speedup on this box is algorithmic, not
+    thread-level: one CPU under the GIL means wall-clock gains come from
+    the per-shard in-flight buckets (the sequential gate scans *all*
+    in-flight activities per flight) and the probe-first C-grant path,
+    both of which sharpen as subsystems multiply.  Sequential baselines
+    pass ``workers=0`` explicitly so a ``REPRO_WORKERS`` env default
+    (the CI tier-1 matrix sets one) cannot silently parallelize them.
+    """
+
+    def test_parallel_smoke(self, uid_floor):
+        """Smallest sweep point, workers=4: byte-identity only.
+
+        This is the CI ``parallel-bench-smoke`` selection — fast enough
+        for every push, no timing assertions.
+        """
+        workload = build_workload(_spec_parallel(PARALLEL_SWEEP[0]))
+        uid_floor.pin()
+        sequential = run_workload(
+            workload,
+            "process-locking",
+            seed=7,
+            config=ManagerConfig(workers=0, batch_k=1, **BENCH_CONFIG),
+        )
+        uid_floor.repin()
+        parallel = run_workload(
+            workload,
+            "process-locking",
+            seed=7,
+            config=ManagerConfig(workers=4, batch_k=2, **BENCH_CONFIG),
+        )
+        assert _schedule_digest(sequential) == _schedule_digest(parallel)
+        assert sequential.stats.committed == parallel.stats.committed
+        assert sequential.makespan == parallel.makespan
+
+    def test_parallel_vs_sequential_sweep(self, uid_floor):
+        rows = []
+        for point in PARALLEL_SWEEP:
+            n_processes, n_types, n_subsystems, density, spacing = point
+            workload = build_workload(_spec_parallel(point))
+            seq_config = ManagerConfig(
+                workers=0, batch_k=1, **BENCH_CONFIG
+            )
+            uid_floor.pin()
+            sequential, wall_a = _timed_run_quiet(
+                workload, 7, seq_config
+            )
+            uid_floor.repin()
+            _, wall_b = _timed_run_quiet(workload, 7, seq_config)
+            wall_sequential = min(wall_a, wall_b)
+            reference = _schedule_digest(sequential)
+            variants = []
+            for workers in _worker_counts(n_subsystems):
+                for batch_k in PARALLEL_BATCH_KS:
+                    uid_floor.repin()
+                    parallel, wall = _timed_run_quiet(
+                        workload,
+                        7,
+                        ManagerConfig(
+                            workers=workers,
+                            batch_k=batch_k,
+                            **BENCH_CONFIG,
+                        ),
+                    )
+                    assert reference == _schedule_digest(parallel), (
+                        f"schedule diverged at workers={workers} "
+                        f"batch_k={batch_k} on {point}"
+                    )
+                    variants.append(
+                        {
+                            "workers": workers,
+                            "batch_k": batch_k,
+                            "wall_s": round(wall, 3),
+                            "speedup": round(wall_sequential / wall, 2),
+                        }
+                    )
+            best_full = min(
+                variant["wall_s"]
+                for variant in variants
+                if variant["workers"] == n_subsystems
+            )
+            rows.append(
+                {
+                    "n_processes": n_processes,
+                    "n_activity_types": n_types,
+                    "n_subsystems": n_subsystems,
+                    "conflict_density": density,
+                    "arrival_spacing": spacing,
+                    "committed": sequential.stats.committed,
+                    "lock_ops": lock_operations(
+                        sequential.protocol_stats
+                    ),
+                    "wall_s_sequential": round(wall_sequential, 3),
+                    "variants": variants,
+                    "speedup_at_full_workers": round(
+                        wall_sequential / best_full, 2
+                    ),
+                }
+            )
+        _update_bench(
+            "parallel_vs_sequential",
+            {
+                "description": (
+                    "thread-per-shard parallel mode vs the sequential "
+                    "manager over workers x batch-k grids; fixed seed "
+                    "7, GC parked during timing, sequential wall is "
+                    "min-of-2; byte-identical schedules asserted for "
+                    "every variant"
+                ),
+                "sweep": rows,
+            },
+        )
+        print()
+        for row in rows:
+            print(
+                {
+                    key: value
+                    for key, value in row.items()
+                    if key != "variants"
+                }
+            )
+        largest = rows[-1]
+        assert largest["speedup_at_full_workers"] >= 1.5, (
+            "parallel mode only "
+            f"{largest['speedup_at_full_workers']}x the sequential "
+            f"manager at workers=n_subsystems on the largest point: "
+            f"{largest}"
         )

@@ -29,7 +29,7 @@ from repro.analysis.export import rows_to_json
 from repro.analysis.tables import render_dict_table
 from repro.analysis.timeline import render_timeline
 from repro.core.conformance import run_conformance
-from repro.scheduler.manager import ManagerConfig, ProcessManager
+from repro.scheduler.manager import ManagerConfig, make_manager
 from repro.sim.metrics import summarize
 from repro.sim.runner import (
     PROTOCOL_FACTORIES,
@@ -173,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(PROTOCOL_FACTORIES),
     )
     scenario.add_argument("--seed", type=int, default=0)
+    _add_parallel_args(scenario)
     scenario.add_argument(
         "--trace-out",
         default=None,
@@ -281,6 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the machine-readable report instead of tables",
     )
+    _add_parallel_args(soak)
     return parser
 
 
@@ -300,6 +302,7 @@ def _add_workload_args(
     parser.add_argument("--failure-prob", type=float, default=0.05)
     parser.add_argument("--threshold", type=float, default=math.inf)
     parser.add_argument("--seed", type=int, default=0)
+    _add_parallel_args(parser)
     parser.add_argument(
         "--grounded",
         action="store_true",
@@ -316,6 +319,38 @@ def _add_workload_args(
                 "waitfor.dot, series.json) to DIR"
             ),
         )
+
+
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    """Parallel-execution knobs (shared; schedules stay byte-identical)."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "shard worker threads (0 = sequential manager; N >= 1 "
+            "selects the thread-per-shard manager, byte-identical "
+            "schedules)"
+        ),
+    )
+    parser.add_argument(
+        "--batch-k",
+        type=int,
+        default=1,
+        help=(
+            "batch lock-acquisition depth: upcoming activities "
+            "pre-declared per shard visit (parallel manager only)"
+        ),
+    )
+
+
+def _parallel_config(args: argparse.Namespace, **kwargs) -> ManagerConfig:
+    """A ManagerConfig carrying the CLI's parallel knobs."""
+    return ManagerConfig(
+        workers=getattr(args, "workers", 0),
+        batch_k=getattr(args, "batch_k", 1),
+        **kwargs,
+    )
 
 
 def _make_tracer(args: argparse.Namespace):
@@ -363,7 +398,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
     result = run_workload(
         workload, args.protocol, seed=args.seed,
-        config=ManagerConfig(audit=True),
+        config=_parallel_config(args, audit=True),
         tracer=tracer,
     )
     metrics = summarize(args.protocol, result)
@@ -397,7 +432,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
     for name in args.protocols:
         tracer = _make_tracer(args)
         result = run_workload(
-            workload, name, seed=args.seed, tracer=tracer
+            workload, name, seed=args.seed,
+            config=_parallel_config(args), tracer=tracer,
         )
         metrics.append(summarize(name, result))
         if tracer is not None:
@@ -414,10 +450,10 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     factory = PROTOCOL_FACTORIES[args.protocol]
     protocol = factory(scenario.registry, scenario.conflicts)
     tracer = _make_tracer(args)
-    manager = ProcessManager(
+    manager = make_manager(
         protocol,
         subsystems=scenario.make_subsystems(),
-        config=ManagerConfig(audit=True),
+        config=_parallel_config(args, audit=True),
         seed=args.seed,
         tracer=tracer,
     )
@@ -442,7 +478,8 @@ def cmd_sweep_threshold(args: argparse.Namespace) -> int:
         workload = build_workload(spec)
         tracer = _make_tracer(args)
         result = run_workload(
-            workload, "process-locking", seed=args.seed, tracer=tracer
+            workload, "process-locking", seed=args.seed,
+            config=_parallel_config(args), tracer=tracer,
         )
         if tracer is not None:
             _export_trace(tracer, f"{args.trace_out}/wcc-{raw}")
@@ -467,7 +504,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
     workload = build_workload(_spec_from(args))
     tracer = Tracer()
     result = run_workload(
-        workload, args.protocol, seed=args.seed, tracer=tracer
+        workload, args.protocol, seed=args.seed,
+        config=_parallel_config(args), tracer=tracer,
     )
     metrics = summarize(args.protocol, result)
     print(_metrics_rows([metrics]))
@@ -561,6 +599,8 @@ def cmd_soak(args: argparse.Namespace) -> int:
         audit_every=args.audit_every,
         resilience=not args.no_resilience,
         min_events=args.min_events,
+        workers=args.workers,
+        batch_k=args.batch_k,
     )
     report = run_soak(plan)
     if args.json:

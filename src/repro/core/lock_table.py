@@ -88,8 +88,9 @@ class LockTable:
         # Blocker index: every live conflicting lock predates this one
         # (positions are globally monotone), so each foreign holder
         # becomes a blocker of ``pid`` right now — and never later.
+        by_type = self._by_type
         for candidate in self._conflicts.conflicting_types(type_name):
-            for other in self._by_type.get(candidate, ()):
+            for other in by_type.get(candidate, ()):
                 if other.pid != pid:
                     self._add_block_edge(other.pid, pid)
         return entry
@@ -212,6 +213,92 @@ class LockTable:
         if exclude_pid is None:
             return list(merged)
         return [entry for entry in merged if entry.pid != exclude_pid]
+
+    def iter_conflicting(
+        self, type_name: str, exclude_pid: int | None = None
+    ) -> Iterator[LockEntry]:
+        """Unordered iterator over live conflicting locks.
+
+        The batch probe (:meth:`ProcessLockManager.probe_c_grants`) only
+        needs *existence* of a disqualifying holder, not sharing order,
+        so this skips :meth:`conflicting_locks`'s k-way merge and yields
+        the per-type lists as-is — an early ``break`` in the caller then
+        costs O(first counterexample), not O(all holders).
+        """
+        for candidate in self._conflicts.conflicting_types(type_name):
+            for entry in self._by_type.get(candidate, ()):
+                if exclude_pid is None or entry.pid != exclude_pid:
+                    yield entry
+
+    def probe_blocked(
+        self, type_name: str, exclude_pid: int, ts: int, aborting
+    ) -> bool:
+        """Whether any foreign conflicting holder is younger or aborting.
+
+        The read-only half of the Comp-Rule for a RUNNING requester with
+        timestamp ``ts`` (see
+        :meth:`ProcessLockManager.probe_c_grants`), pushed down into the
+        table so the scan runs as plain nested loops over the live
+        per-type lists — no merge, no intermediate list, early exit on
+        the first counterexample.  ``aborting`` is the
+        ``ProcessState.ABORTING`` sentinel (passed in to keep the table
+        policy-free: it compares identity, it doesn't interpret states).
+        """
+        by_type = self._by_type
+        for candidate in self._conflicts.conflicting_types(type_name):
+            for entry in by_type.get(candidate, ()):
+                holder = entry.process
+                if holder.pid == exclude_pid:
+                    continue
+                if holder.timestamp >= ts or holder.state is aborting:
+                    return True
+        return False
+
+    def conflicting_locks_flat(
+        self, type_name: str, exclude_pid: int
+    ) -> list[LockEntry]:
+        """:meth:`conflicting_locks`, built by collect-then-sort.
+
+        Byte-identical output (positions are globally unique, so
+        sorting by position reproduces the k-way merge order); the flat
+        collect + timsort over already-sorted runs beats ``heapq.merge``
+        whose key callable fires once per yielded element.
+        """
+        by_type = self._by_type
+        entries = [
+            entry
+            for candidate in self._conflicts.conflicting_types(type_name)
+            for entry in by_type.get(candidate, ())
+            if entry.process.pid != exclude_pid
+        ]
+        entries.sort(key=lambda entry: entry.position)
+        return entries
+
+    def conflicting_younger_flat(
+        self, type_name: str, exclude_pid: int, ts: int, aborting
+    ) -> list[LockEntry]:
+        """Conflicting entries whose holder is younger or aborting.
+
+        The Comp-Rule denial for a RUNNING requester reads only the
+        younger/aborting partition buckets (older holders can always be
+        shared behind), so after a failed :meth:`probe_blocked` the
+        caller partitions this filtered subset instead of the full
+        holder list.  Position-sorting the subset preserves the exact
+        bucket insertion order the full scan would have produced —
+        filtering never reorders survivors.
+        """
+        by_type = self._by_type
+        entries: list[LockEntry] = []
+        append = entries.append
+        for candidate in self._conflicts.conflicting_types(type_name):
+            for entry in by_type.get(candidate, ()):
+                holder = entry.process
+                if holder.pid == exclude_pid:
+                    continue
+                if holder.timestamp >= ts or holder.state is aborting:
+                    append(entry)
+        entries.sort(key=lambda entry: entry.position)
+        return entries
 
     def entry_for_activity(
         self, pid: int, activity_uid: int

@@ -108,6 +108,14 @@ class ProcessLockManager:
     #: program's own static threshold, byte-identically.
     threshold_provider = None
 
+    #: Enabled by the parallel manager: Comp-Rule requests from RUNNING
+    #: processes take the probe's early-exit holder scan and grant
+    #: directly when it passes, skipping the ordered-merge + partition
+    #: build.  Decision-for-decision identical to the slow path (the
+    #: probe condition is exactly the partition fall-through), so the
+    #: emitted schedule does not depend on this flag.
+    probe_fast_path = False
+
     def __init__(
         self,
         registry: ActivityRegistry,
@@ -265,9 +273,7 @@ class ProcessLockManager:
             )
         conflicting = [
             entry
-            for entry in self.table.conflicting_locks(
-                activity.name, exclude_pid=process.pid
-            )
+            for entry in self._conflict_scan(activity.name, process.pid)
             if entry.position > original.position
         ]
         partition = partition_holders(process, conflicting)
@@ -296,6 +302,80 @@ class ProcessLockManager:
         self.stats.c_grants += 1
         return Grant(locks=(entry,))
 
+    # ------------------------------------------------------------------
+    # batch fast path (the parallel manager's shard-transaction probe)
+    # ------------------------------------------------------------------
+    def probe_c_grants(
+        self, process: Process, type_names: Sequence[str]
+    ) -> dict[str, bool]:
+        """Read-only Comp-Rule verdicts for a batch of C requests.
+
+        For a RUNNING requester, :meth:`_comp_rule` grants a C lock
+        exactly when every foreign conflicting holder is strictly older
+        *and* not aborting — younger holders defer or cascade, aborting
+        holders are waited for.  This probe evaluates that condition per
+        type name without building the holder partition or mutating any
+        state, so shard workers may run it concurrently with each other
+        (the coordinator blocks while they do, and applies the grants
+        itself, in declaration order).
+
+        Verdicts are only meaningful while no protocol state mutates
+        between probe and grant — the batch fast path's contract; a
+        process's *own* C acquisitions do not invalidate them (the scan
+        excludes the requester's pid).
+        """
+        running = process.state is ProcessState.RUNNING
+        return {
+            type_name: running and self._probe_one(process, type_name)
+            for type_name in type_names
+        }
+
+    def _conflict_scan(
+        self, type_name: str, exclude_pid: int
+    ) -> list[LockEntry]:
+        """Foreign conflicting holders, for partition building.
+
+        Always in lock-position order: the partition buckets are pid
+        *sets*, and a set of ints iterates by insertion history, so
+        handing the rules a differently-ordered scan would reorder
+        cascade victims downstream.  The fast path still wins by
+        replacing the lock table's heapq k-way merge (a ``__lt__`` call
+        per element pair) with one flat collect + timsort over the
+        already-sorted per-type runs.
+        """
+        if self.probe_fast_path:
+            return self.table.conflicting_locks_flat(
+                type_name, exclude_pid
+            )
+        return self.table.conflicting_locks(
+            type_name, exclude_pid=exclude_pid
+        )
+
+    def _probe_one(self, process: Process, type_name: str) -> bool:
+        """One read-only Comp-Rule verdict (see :meth:`probe_c_grants`)."""
+        return not self.table.probe_blocked(
+            type_name,
+            process.pid,
+            process.timestamp,
+            ProcessState.ABORTING,
+        )
+
+    def grant_c_direct(
+        self, process: Process, activity: Activity
+    ) -> Grant:
+        """Acquire a probed C lock without re-scanning the holders.
+
+        Valid only immediately after :meth:`probe_c_grants` said yes for
+        ``activity``'s type with no intervening protocol mutation;
+        replicates :meth:`_comp_rule`'s grant tail byte for byte.
+        """
+        self._require_active(process)
+        entry = self.table.acquire(
+            process, activity.name, LockMode.C, activity.uid
+        )
+        self.stats.c_grants += 1
+        return Grant(locks=(entry,))
+
     def try_commit(self, process: Process) -> Decision:
         """Commit-Rule: strict release, deferred while locks are on hold."""
         blockers = {
@@ -313,9 +393,33 @@ class ProcessLockManager:
     # the rules
     # ------------------------------------------------------------------
     def _comp_rule(self, process: Process, activity: Activity) -> Decision:
-        conflicting = self.table.conflicting_locks(
-            activity.name, exclude_pid=process.pid
-        )
+        if (
+            self.probe_fast_path
+            and process.state is ProcessState.RUNNING
+        ):
+            if self._probe_one(process, activity.name):
+                # Probe-verified grant: every foreign conflicting holder
+                # is strictly older and not aborting, which is precisely
+                # the fall-through condition of the partition checks
+                # below for a RUNNING requester — same acquire, same
+                # stats, same Grant.
+                entry = self.table.acquire(
+                    process, activity.name, LockMode.C, activity.uid
+                )
+                self.stats.c_grants += 1
+                return Grant(locks=(entry,))
+            # Probe-verified denial: the RUNNING branch below reads only
+            # the younger/aborting buckets, so partition the filtered
+            # subset — same buckets, same insertion order, no work spent
+            # classifying the (usually dominant) older holders.
+            conflicting = self.table.conflicting_younger_flat(
+                activity.name,
+                process.pid,
+                process.timestamp,
+                ProcessState.ABORTING,
+            )
+        else:
+            conflicting = self._conflict_scan(activity.name, process.pid)
         partition = partition_holders(process, conflicting)
         if process.state is ProcessState.COMPLETING:
             return self._first_class_request(
@@ -369,9 +473,7 @@ class ProcessLockManager:
         target_types.append(activity.name)
         conflicting: dict[int, LockEntry] = {}
         for type_name in target_types:
-            for entry in self.table.conflicting_locks(
-                type_name, exclude_pid=process.pid
-            ):
+            for entry in self._conflict_scan(type_name, process.pid):
                 conflicting[entry.lock_id] = entry
         partition = partition_holders(process, list(conflicting.values()))
         if process.state is ProcessState.COMPLETING:

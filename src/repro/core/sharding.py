@@ -39,7 +39,9 @@ from repro.process.instance import Process
 class LockShard:
     """One subsystem's slice of the lock table (types + counters)."""
 
-    __slots__ = ("name", "types", "lock_count", "acquires", "releases")
+    __slots__ = (
+        "name", "types", "lock_count", "acquires", "releases", "worker"
+    )
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -49,6 +51,8 @@ class LockShard:
         self.lock_count = 0
         self.acquires = 0
         self.releases = 0
+        #: Owning worker index under parallel execution (None = unowned).
+        self.worker: int | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -100,6 +104,25 @@ class ShardedLockTable(LockTable):
 
     def shard_names(self) -> tuple[str, ...]:
         return tuple(self._shards)
+
+    def assign_workers(self, n_workers: int) -> dict[str, int]:
+        """Distribute shards over ``n_workers`` workers round-robin.
+
+        Shard order (registry declaration order) is deterministic, so
+        the assignment is a pure function of the workload — the same
+        shard lands on the same worker at every run, which keeps worker
+        annotations in the trace reproducible.
+        """
+        assignment: dict[str, int] = {}
+        for index, name in enumerate(self.shard_names()):
+            worker = index % max(1, n_workers)
+            self._shards[name].worker = worker
+            assignment[name] = worker
+        return assignment
+
+    def worker_of(self, type_name: str) -> int | None:
+        """The worker owning ``type_name``'s shard (None when unowned)."""
+        return self.shard_of(type_name).worker
 
     # ------------------------------------------------------------------
     # mutation (counter maintenance on top of the base bookkeeping)

@@ -46,6 +46,7 @@ from repro.scheduler.manager import (
     ManagerConfig,
     ProcessManager,
     RunResult,
+    make_manager,
 )
 from repro.scheduler.recovery import crash, recover
 from repro.sim.metrics import merge_stats
@@ -343,7 +344,7 @@ class FaultInjector:
         )
 
     def _fresh_manager(self) -> ProcessManager:
-        manager = ProcessManager(
+        manager = make_manager(
             make_protocol(self.protocol_name, self.workload),
             subsystems=self.pool,
             config=self.config,
@@ -481,6 +482,9 @@ class FaultInjector:
         prior_events = list(manager.trace.events)
         self._slices.append((manager.stats, manager.engine.now))
         image = crash(manager)
+        # The crashed incarnation never reaches run()'s finally, so its
+        # shard workers (if any) are released here.
+        manager.close()
         self._incarnation += 1
         if self.tracer.enabled:
             self.tracer.emit(

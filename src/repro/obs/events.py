@@ -191,6 +191,9 @@ class ActivityStarted:
     activity: str
     uid: int
     compensation: bool = False
+    #: Shard worker owning the activity's type under parallel execution;
+    #: ``None`` on the sequential manager.
+    worker: int | None = None
 
 
 @dataclass(frozen=True)
@@ -255,6 +258,8 @@ class WaitEdge:
     #: Lock shard (subsystem) of the requested activity's type; ``None``
     #: for commit requests, which span all of the process's shards.
     shard: str | None = None
+    #: Shard worker owning that shard under parallel execution.
+    worker: int | None = None
 
 
 @dataclass(frozen=True)
@@ -323,6 +328,19 @@ class AdmissionGate:
 
 
 @dataclass(frozen=True)
+class BackpressureEngaged:
+    """A shard-queue backpressure decision of the resilience layer."""
+
+    kind = "resilience.backpressure"
+    pid: int
+    op: str  # "defer" | "force-admit"
+    #: Saturated shards (subsystems) that paused the admission.
+    subsystems: tuple[str, ...] = ()
+    #: How many times this pid has been backpressured so far.
+    deferrals: int = 0
+
+
+@dataclass(frozen=True)
 class DegradationChanged:
     """The adaptive ``Wcc*`` cap engaged or lifted."""
 
@@ -379,6 +397,7 @@ EVENT_TYPES: dict[str, type] = {
         FaultInjected,
         BreakerTransition,
         AdmissionGate,
+        BackpressureEngaged,
         DegradationChanged,
         RetryBudgetExhausted,
     )

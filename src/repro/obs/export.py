@@ -52,6 +52,11 @@ _INSTANT_KINDS = {
 #: Span-terminating kinds, keyed off the start's activity uid.
 _SPAN_ENDS = {"activity.commit", "activity.fail", "activity.cancel"}
 
+#: Synthetic Perfetto pid hosting the per-shard-worker thread tracks
+#: (parallel runs only).  Far above any real process id, so the track
+#: group can never collide with a process track.
+_WORKER_TRACK_PID = 1_000_000_000
+
 
 #: String stand-ins for non-finite floats.  Strict JSON has no
 #: ``Infinity``/``NaN`` tokens (Perfetto's importer rejects them), yet a
@@ -124,6 +129,7 @@ def perfetto_trace(
     """Convert trace records (+ optional series) to Perfetto JSON."""
     trace_events: list[dict] = []
     pids_seen: set[int] = set()
+    workers_seen: set[int] = set()
     open_spans: dict[int, dict] = {}
     max_t = 0.0
 
@@ -141,6 +147,59 @@ def perfetto_trace(
             }
         )
 
+    def note_worker(worker: int) -> None:
+        if worker in workers_seen:
+            return
+        if not workers_seen:
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "pid": _WORKER_TRACK_PID,
+                    "tid": 0,
+                    "name": "process_name",
+                    "args": {"name": "shard workers"},
+                }
+            )
+        workers_seen.add(worker)
+        trace_events.append(
+            {
+                "ph": "M",
+                "pid": _WORKER_TRACK_PID,
+                "tid": worker,
+                "name": "thread_name",
+                "args": {"name": f"worker-{worker}"},
+            }
+        )
+
+    def close_span(start: dict, end_t: float, outcome: str) -> None:
+        span = {
+            "ph": "X",
+            "pid": start["pid"],
+            "tid": start.get("incarnation", 0),
+            "name": start["activity"],
+            "cat": (
+                "compensation"
+                if start.get("compensation")
+                else "activity"
+            ),
+            "ts": start["t"] * TS_SCALE,
+            "dur": max(end_t - start["t"], 0.0) * TS_SCALE,
+            "args": {"uid": start["uid"], "outcome": outcome},
+        }
+        trace_events.append(span)
+        worker = start.get("worker")
+        if worker is not None:
+            # Mirror the span onto the owning shard worker's thread
+            # track so parallel runs show real per-worker concurrency.
+            note_worker(worker)
+            mirrored = dict(span)
+            mirrored["pid"] = _WORKER_TRACK_PID
+            mirrored["tid"] = worker
+            mirrored["args"] = dict(
+                span["args"], pid=start["pid"], worker=worker
+            )
+            trace_events.append(mirrored)
+
     for record in records:
         t = record["t"]
         max_t = max(max_t, t)
@@ -153,22 +212,7 @@ def perfetto_trace(
             start = open_spans.pop(record["uid"], None)
             if start is None:
                 continue
-            trace_events.append(
-                {
-                    "ph": "X",
-                    "pid": start["pid"],
-                    "tid": start.get("incarnation", 0),
-                    "name": start["activity"],
-                    "cat": (
-                        "compensation"
-                        if start.get("compensation")
-                        else "activity"
-                    ),
-                    "ts": start["t"] * TS_SCALE,
-                    "dur": max(t - start["t"], 0.0) * TS_SCALE,
-                    "args": {"uid": record["uid"], "outcome": kind},
-                }
-            )
+            close_span(start, t, kind)
         elif kind in _INSTANT_KINDS:
             trace_events.append(
                 {
@@ -184,18 +228,7 @@ def perfetto_trace(
             )
     # Spans still open when the trace ended (e.g. the run was cut off).
     for start in open_spans.values():
-        trace_events.append(
-            {
-                "ph": "X",
-                "pid": start["pid"],
-                "tid": start.get("incarnation", 0),
-                "name": start["activity"],
-                "cat": "activity",
-                "ts": start["t"] * TS_SCALE,
-                "dur": max(max_t - start["t"], 0.0) * TS_SCALE,
-                "args": {"uid": start["uid"], "outcome": "open"},
-            }
-        )
+        close_span(start, max_t, "open")
     for name, points in _series_gauges(series).items():
         for t, value in points:
             if not math.isfinite(value):

@@ -1,0 +1,133 @@
+"""Thread-per-shard work executor with a sequential fallback.
+
+:class:`ShardExecutor` owns one daemon thread per worker; each worker
+drains its own queue, so all jobs routed to the same worker execute in
+submission order — the property the shard-affinity dispatch relies on
+(every job touching a shard goes to the shard's owning worker, hence no
+two jobs race on one shard's state).
+
+``workers == 0`` degrades to inline execution through the *same*
+``_execute`` path, which is the "sequential fallback sharing the same
+code path" the parallel manager uses before threads are warranted and
+after :meth:`close`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections.abc import Callable, Sequence
+
+
+class _Batch:
+    """Fork-join rendezvous for one :meth:`ShardExecutor.map_groups`.
+
+    Workers deliver ``(ok, value)`` outcomes into fixed slots; the
+    coordinator blocks in :meth:`wait` until every slot is filled, so
+    results come back in job order regardless of completion order.
+    """
+
+    def __init__(self, size: int) -> None:
+        self._size = size
+        self._done = 0
+        self._results: list = [None] * size
+        self._cond = threading.Condition()
+
+    def deliver(self, slot: int, outcome: tuple) -> None:
+        with self._cond:
+            self._results[slot] = outcome
+            self._done += 1
+            if self._done == self._size:
+                self._cond.notify_all()
+
+    def wait(self) -> list:
+        with self._cond:
+            while self._done < self._size:
+                self._cond.wait()
+            return self._results
+
+
+class ShardExecutor:
+    """A fixed pool of shard-affine worker threads."""
+
+    def __init__(self, workers: int) -> None:
+        #: Number of worker threads (0 = inline sequential fallback).
+        self.workers = max(0, workers)
+        self._queues: list[queue.SimpleQueue] = []
+        self._threads: list[threading.Thread] = []
+        self._closed = False
+        for index in range(self.workers):
+            jobs: queue.SimpleQueue = queue.SimpleQueue()
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(jobs,),
+                name=f"shard-worker-{index}",
+                daemon=True,
+            )
+            self._queues.append(jobs)
+            self._threads.append(thread)
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # the one execution path (workers and the inline fallback share it)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _execute(fn: Callable) -> tuple:
+        try:
+            return True, fn()
+        except BaseException as exc:  # noqa: BLE001 - re-raised by caller
+            return False, exc
+
+    @staticmethod
+    def _unwrap(outcome: tuple):
+        ok, value = outcome
+        if not ok:
+            raise value
+        return value
+
+    def _worker_loop(self, jobs: queue.SimpleQueue) -> None:
+        while True:
+            item = jobs.get()
+            if item is None:
+                return
+            fn, slot, batch = item
+            batch.deliver(slot, self._execute(fn))
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def map_groups(
+        self, jobs: Sequence[tuple[int, Callable]]
+    ) -> list:
+        """Run ``(worker_id, fn)`` jobs and block until all complete.
+
+        Results return in job order; a job that raised re-raises its
+        exception on the coordinator.  With no worker threads (or after
+        :meth:`close`) the jobs run inline, in order — the sequential
+        fallback.
+        """
+        if self.workers == 0 or self._closed:
+            return [self._unwrap(self._execute(fn)) for _, fn in jobs]
+        batch = _Batch(len(jobs))
+        for slot, (worker, fn) in enumerate(jobs):
+            self._queues[worker % self.workers].put((fn, slot, batch))
+        return [self._unwrap(outcome) for outcome in batch.wait()]
+
+    def run_on(self, worker: int, fn: Callable):
+        """Run one job on a specific worker and return its result."""
+        return self.map_groups([(worker, fn)])[0]
+
+    def close(self) -> None:
+        """Stop the worker threads (idempotent).
+
+        Subsequent :meth:`map_groups` calls fall back inline, so a
+        closed executor stays usable — crash-recovery incarnations and
+        late audits must not hang on a dead pool.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for jobs in self._queues:
+            jobs.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5.0)

@@ -1,0 +1,372 @@
+"""The thread-per-shard process manager.
+
+:class:`ParallelProcessManager` specializes the sequential
+:class:`~repro.scheduler.manager.ProcessManager` along three axes, all
+preserving byte-identical schedules at the same seed:
+
+* **shard-local hot paths** — the execution gate, per-pid flight
+  cancellation, and backpressure depth reads are answered from
+  secondary indexes of the in-flight map instead of full scans.
+  Conflicts never cross subsystems (the
+  :class:`~repro.activities.commutativity.ConflictMatrix` rejects them
+  at declaration), so a same-shard scan sees exactly the conflicting
+  candidates the global scan would, and the gate's *set* semantics make
+  the restriction order-independent.
+* **batch lock acquisition** — a process pre-declares its next
+  ``batch_k`` ready activity types, the protocol probes the Comp-Rule
+  verdict for each (read-only), and the coordinator then replays the
+  grantable prefix through the exact sequential per-activity order:
+  launch → classify → grant → start.  The probe is valid across the
+  whole prefix because the only protocol mutation inside it is the
+  requester's *own* C acquisitions, which the probe excludes by pid.
+  Any misprediction (an adaptive ``Wcc*`` provider tightening the
+  threshold, or a non-grantable verdict) falls back to the full
+  per-lock request path for that activity — byte-identical by
+  construction.
+* **worker fan-out** — when a probe spans several shard groups that are
+  all large enough (``REPRO_PARALLEL_FANOUT`` locks), the per-group
+  probes run concurrently on the shards' owning workers; the
+  coordinator blocks for all results and applies the grants itself in
+  program order.  That fork-join is the deterministic cross-shard
+  commit-ordering stage: workers only ever *read*, all mutation stays
+  on the coordinator, in the sequential order.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.locks import LockMode
+from repro.parallel.executor import ShardExecutor
+from repro.process.instance import Process
+from repro.process.state import ProcessState
+from repro.scheduler.events import (
+    InflightActivity,
+    ParkedRequest,
+    RequestKind,
+)
+from repro.scheduler.manager import ProcessManager
+
+
+class _IndexedInflight(dict):
+    """uid → flight map with per-shard and per-pid secondary indexes.
+
+    A drop-in for the manager's plain ``_inflight`` dict: the primary
+    mapping (and its iteration order) is untouched; ``by_shard`` and
+    ``by_pid`` mirror it keyed by subsystem name and owning pid, each
+    bucket insertion-ordered — so a per-bucket scan yields the same
+    flights, in the same relative order, as the global scan filtered to
+    that bucket.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.by_shard: dict[str, dict[int, InflightActivity]] = {}
+        self.by_pid: dict[int, dict[int, InflightActivity]] = {}
+
+    def __setitem__(self, uid: int, flight: InflightActivity) -> None:
+        if uid in self:
+            del self[uid]
+        super().__setitem__(uid, flight)
+        shard = flight.activity.activity_type.subsystem
+        self.by_shard.setdefault(shard, {})[uid] = flight
+        self.by_pid.setdefault(flight.process.pid, {})[uid] = flight
+
+    def __delitem__(self, uid: int) -> None:
+        flight = self[uid]
+        super().__delitem__(uid)
+        shard = flight.activity.activity_type.subsystem
+        bucket = self.by_shard.get(shard)
+        if bucket is not None:
+            bucket.pop(uid, None)
+            if not bucket:
+                del self.by_shard[shard]
+        pids = self.by_pid.get(flight.process.pid)
+        if pids is not None:
+            pids.pop(uid, None)
+            if not pids:
+                del self.by_pid[flight.process.pid]
+
+    def pop(self, uid: int, default=None):
+        if uid in self:
+            flight = self[uid]
+            del self[uid]
+            return flight
+        return default
+
+
+class ParallelProcessManager(ProcessManager):
+    """Thread-per-shard manager with batch lock acquisition.
+
+    Requires a protocol exposing the batch probe interface
+    (``probe_c_grants`` / ``grant_c_direct``) over a
+    :class:`~repro.core.sharding.ShardedLockTable`;
+    :func:`~repro.scheduler.manager.make_manager` checks and falls back
+    to the sequential manager otherwise.
+    """
+
+    def __init__(
+        self,
+        protocol,
+        subsystems=None,
+        config=None,
+        seed: int = 0,
+        tracer=None,
+    ) -> None:
+        super().__init__(
+            protocol,
+            subsystems=subsystems,
+            config=config,
+            seed=seed,
+            tracer=tracer,
+        )
+        table = protocol.table
+        names = table.shard_names()
+        self._batch_k = max(1, self.config.batch_k)
+        #: Let single C requests (first tries and parked retries) take
+        #: the probe's early-exit scan inside the Comp-Rule — decision
+        #: and stats identical, partition build skipped on grants.
+        protocol.probe_fast_path = True
+        n_workers = max(1, min(self.config.workers, max(1, len(names))))
+        #: shard name -> owning worker index (deterministic round-robin).
+        self._assignment = table.assign_workers(n_workers)
+        self._executor = ShardExecutor(n_workers)
+        #: Replace the plain in-flight dict with the indexed one (empty
+        #: at construction time, so swapping representations is safe).
+        self._inflight = _IndexedInflight()
+        #: pid -> {seq -> request}: the parked store restricted per
+        #: process, maintained by the ``_park``/``_unpark`` overrides.
+        #: Each bucket is seq-ordered (parks draw monotone seqs), so
+        #: scanning one bucket reproduces the global parked order
+        #: restricted to that pid.
+        self._parked_by_pid: dict[int, dict[int, ParkedRequest]] = {}
+        #: Minimum per-group shard size before a probe is shipped to the
+        #: workers.  Unset, fan-out is disabled: on a GIL build the
+        #: probes are pure-Python CPU work, so cross-thread dispatch can
+        #: only add latency — the workers still own their shards' audits
+        #: (:meth:`_run_audit`).  Free-threaded builds (or tests pinning
+        #: the dispatch path) opt in via ``REPRO_PARALLEL_FANOUT=N``.
+        raw_fanout = os.environ.get("REPRO_PARALLEL_FANOUT", "")
+        self._fanout_threshold = (
+            max(1, int(raw_fanout)) if raw_fanout else None
+        )
+
+    def close(self) -> None:
+        self._executor.close()
+
+    # ------------------------------------------------------------------
+    # forward progress (batch fast path)
+    # ------------------------------------------------------------------
+    def _step(self, process: Process) -> None:
+        if process.state.is_terminal:
+            return
+        while True:
+            ready = process.ready_activities()
+            if not ready:
+                break
+            if self._batch_step(process, ready):
+                continue
+            activity = process.launch(ready[0])
+            mode = self.protocol.classify_regular(process, activity)
+            self._request_regular(process, activity, mode)
+        if process.finished and not self._has_parked_commit(process):
+            self._request_commit(process)
+
+    def _batch_step(self, process: Process, ready) -> bool:
+        """Acquire the grantable C-prefix of the next ``batch_k`` ready
+        activities in one probe round-trip.
+
+        Returns whether anything was consumed; ``False`` sends the
+        caller down the plain per-activity path for ``ready[0]``
+        (identical to the sequential manager).  After a ``True`` the
+        caller re-reads the ready set, exactly like the sequential loop
+        does after every request.
+        """
+        prefix = self._predicted_c_prefix(process, ready[: self._batch_k])
+        if not prefix:
+            return False
+        verdicts = self._probe(process, prefix)
+        consumed = False
+        for name in prefix:
+            if not verdicts.get(name):
+                break
+            activity = process.launch(name)
+            mode = self.protocol.classify_regular(process, activity)
+            if mode is not LockMode.C:
+                # Static-threshold misprediction: an installed adaptive
+                # Wcc* provider tightened the cap between prediction and
+                # classification.  The activity is already launched and
+                # charged — continue through the full request path, as
+                # the sequential manager would.
+                self._request_regular(process, activity, mode)
+                return True
+            self._apply_decision(
+                self.protocol.grant_c_direct(process, activity),
+                ParkedRequest(
+                    kind=RequestKind.REGULAR,
+                    process=process,
+                    activity=activity,
+                    mode=mode,
+                    parked_at=self.engine.now,
+                ),
+            )
+            consumed = True
+        return consumed
+
+    def _predicted_c_prefix(self, process: Process, names) -> list[str]:
+        """The longest prefix of ``names`` predicted to classify as C.
+
+        Simulates :meth:`ProcessLockManager.classify_regular`'s Wcc
+        accounting without mutating the process, against the *static*
+        program threshold — never the adaptive provider, whose
+        evaluation pokes circuit breakers and emits transitions.  The
+        provider only ever lowers the threshold, so predicted-P is
+        certainly P (excluded here) and predicted-C at worst
+        mispredicts, which :meth:`_batch_step` resolves through the
+        full request path.
+        """
+        if process.state is not ProcessState.RUNNING:
+            return []
+        registry = self.protocol.registry
+        cost_based = self.protocol.cost_based
+        threshold = process.program.wcc_threshold
+        wcc = process.wcc
+        prefix: list[str] = []
+        for name in names:
+            activity_type = registry.get(name)
+            wcc += activity_type.cost + registry.compensation_cost(name)
+            if activity_type.point_of_no_return:
+                break
+            if cost_based and wcc >= threshold:
+                break
+            prefix.append(name)
+        return prefix
+
+    def _probe(self, process: Process, names) -> dict[str, bool]:
+        """Comp-Rule verdicts for ``names``, fanned out per shard group.
+
+        Worker dispatch engages only when the probe genuinely spans
+        several large shard groups; otherwise the coordinator probes
+        inline.  Either way the verdicts are identical — the probes are
+        read-only and the coordinator holds still while waiting.
+        """
+        if self._fanout_threshold is None or self._executor.workers <= 1:
+            return self.protocol.probe_c_grants(process, names)
+        registry = self.protocol.registry
+        groups: dict[str, list[str]] = {}
+        for name in names:
+            subsystem = registry.get(name).subsystem
+            bucket = groups.setdefault(subsystem, [])
+            if name not in bucket:
+                bucket.append(name)
+        shards = self.protocol.table.shards
+        if len(groups) > 1 and all(
+            (shard := shards.get(subsystem)) is not None
+            and shard.lock_count >= self._fanout_threshold
+            for subsystem in groups
+        ):
+            jobs = [
+                (
+                    self._assignment.get(subsystem, 0),
+                    lambda batch=tuple(group): (
+                        self.protocol.probe_c_grants(process, batch)
+                    ),
+                )
+                for subsystem, group in groups.items()
+            ]
+            verdicts: dict[str, bool] = {}
+            for result in self._executor.map_groups(jobs):
+                verdicts.update(result)
+            return verdicts
+        return self.protocol.probe_c_grants(process, names)
+
+    # ------------------------------------------------------------------
+    # per-pid reads of the parked store
+    # ------------------------------------------------------------------
+    def _park(self, request: ParkedRequest) -> None:
+        super()._park(request)
+        self._parked_by_pid.setdefault(request.process.pid, {})[
+            request.seq
+        ] = request
+
+    def _unpark(self, request: ParkedRequest) -> None:
+        super()._unpark(request)
+        pid = request.process.pid
+        bucket = self._parked_by_pid.get(pid)
+        if bucket is not None:
+            bucket.pop(request.seq, None)
+            if not bucket:
+                del self._parked_by_pid[pid]
+
+    def _cancel_parked_of(self, process, kinds) -> None:
+        bucket = self._parked_by_pid.get(process.pid)
+        if not bucket:
+            return
+        doomed = [
+            request
+            for request in bucket.values()
+            if request.kind in kinds
+        ]
+        for request in doomed:
+            self._unpark(request)
+            if request.kind is RequestKind.REGULAR:
+                process.abandon(request.activity)
+
+    # ------------------------------------------------------------------
+    # shard-local reads of the in-flight map
+    # ------------------------------------------------------------------
+    def _gate_flight(self, flight: InflightActivity) -> None:
+        if flight.entry is None:
+            return
+        if not self.config.gate_conflicting_executions:
+            return
+        bucket = self._inflight.by_shard.get(
+            flight.activity.activity_type.subsystem
+        )
+        if not bucket:
+            return
+        conflicting = self.protocol.conflicts.conflicting_types(
+            flight.activity.name
+        )
+        for other in bucket.values():
+            if other is flight or other.cancelled or other.entry is None:
+                continue
+            if other.entry.position >= flight.entry.position:
+                continue
+            if other.activity.name in conflicting:
+                flight.gate.add(other.activity.uid)
+                self._dependents.setdefault(
+                    other.activity.uid, set()
+                ).add(flight.activity.uid)
+
+    def _flights_of(self, pid: int) -> list[InflightActivity]:
+        return list(self._inflight.by_pid.get(pid, {}).values())
+
+    def _shard_queue_depth(self, subsystem: str) -> int:
+        bucket = self._inflight.by_shard.get(subsystem)
+        depth = len(bucket) if bucket else 0
+        for request in self._parked.values():
+            activity = request.activity
+            if (
+                activity is not None
+                and activity.activity_type.subsystem == subsystem
+            ):
+                depth += 1
+        return depth
+
+    # ------------------------------------------------------------------
+    # worker-aware observability & audits
+    # ------------------------------------------------------------------
+    def _worker_for_type(self, type_name: str) -> int | None:
+        worker = self.protocol.table.worker_of(type_name)
+        return 0 if worker is None else worker
+
+    def _run_audit(self, shards: tuple[str, ...] | None) -> None:
+        if shards is not None and len(shards) == 1:
+            worker = self._assignment.get(shards[0])
+            if worker is not None and self._executor.workers > 1:
+                self._executor.run_on(
+                    worker, lambda: self.protocol.audit(shards=shards)
+                )
+                return
+        super()._run_audit(shards)

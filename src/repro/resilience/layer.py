@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from repro.core.cost_based import degraded_threshold
 from repro.obs.events import (
     AdmissionGate,
+    BackpressureEngaged,
     BreakerTransition,
     DegradationChanged,
 )
@@ -58,6 +59,20 @@ class ResilienceConfig:
     admission_retry_delay: float = 5.0
     #: Defer budget per process before it is admitted regardless.
     max_admission_defers: int = 16
+    #: Shard-queue backpressure cap: a new process is paused at the door
+    #: while any shard it needs has this much live work queued
+    #: (in-flight + parked).  ``None`` (the default) disables the gate
+    #: entirely — runs stay byte-identical to the pre-backpressure
+    #: behaviour.
+    shard_queue_cap: int | None = None
+    #: Cap multiplier for shards whose subsystem breaker is open: a
+    #: degraded shard saturates earlier, shifting load away from it
+    #: while it recovers.
+    degraded_queue_factor: float = 0.5
+    #: Virtual-time delay before a backpressured admission is retried.
+    backpressure_retry_delay: float = 5.0
+    #: Defer budget per process before backpressure force-admits it.
+    max_backpressure_defers: int = 16
 
 
 @dataclass
@@ -67,6 +82,8 @@ class ResilienceStats:
     admissions_deferred: int = 0
     admissions_readmitted: int = 0
     admissions_forced: int = 0
+    backpressure_deferred: int = 0
+    backpressure_forced: int = 0
     breaker_opens: int = 0
     breaker_closes: int = 0
     degradations: int = 0
@@ -87,6 +104,8 @@ class ResilienceLayer:
         self._degraded = False
         #: pid -> times its admission has been deferred so far.
         self._defers: dict[int, int] = {}
+        #: pid -> times backpressure has paused its admission so far.
+        self._bp_defers: dict[int, int] = {}
         #: Deferred admissions pending re-initiation (pid -> program).
         #: Needed across manager crashes: a pending ``_initiate``
         #: callback dies with the crashed engine, so ``bind`` reschedules
@@ -214,6 +233,52 @@ class ResilienceLayer:
         self._emit_admission(pid, "defer", tuple(blocked), count)
         return self.config.admission_retry_delay
 
+    def backpressure_delay(
+        self, pid: int, program, depth_of
+    ) -> float | None:
+        """``None`` to admit ``pid`` now, else the backpressure delay.
+
+        Called by the manager *after* the breaker-driven admission gate
+        passed; ``depth_of(subsystem)`` answers the live queue depth of
+        one shard (in-flight + parked work).  A program needing a
+        saturated shard is paused — with the cap halved (by
+        ``degraded_queue_factor``) for shards whose subsystem breaker is
+        open, so degraded shards shed load earlier.  Like the admission
+        gate, a bounded defer budget force-admits stragglers, so
+        backpressure can never live-lock admissions.
+        """
+        cap = self.config.shard_queue_cap
+        if cap is None:
+            return None
+        now = self._now
+        for subsystem, transition in self.health.poke_all(now):
+            self._emit_transition(subsystem, transition)
+        open_now = self.health.open_subsystems(now)
+        saturated = []
+        for name in self._subsystems_of(program):
+            limit = cap
+            if name in open_now:
+                limit = max(
+                    1, int(cap * self.config.degraded_queue_factor)
+                )
+            if depth_of(name) >= limit:
+                saturated.append(name)
+        if not saturated:
+            self._bp_defers.pop(pid, None)
+            return None
+        count = self._bp_defers.get(pid, 0) + 1
+        if count > self.config.max_backpressure_defers:
+            self._bp_defers.pop(pid, None)
+            self.stats.backpressure_forced += 1
+            self._emit_backpressure(
+                pid, "force-admit", tuple(saturated), count
+            )
+            return None
+        self._bp_defers[pid] = count
+        self.stats.backpressure_deferred += 1
+        self._emit_backpressure(pid, "defer", tuple(saturated), count)
+        return self.config.backpressure_retry_delay
+
     def _subsystems_of(self, program) -> tuple[str, ...]:
         key = id(program)
         needed = self._needs_cache.get(key)
@@ -314,6 +379,24 @@ class ResilienceLayer:
         if tracer is not None and tracer.enabled:
             tracer.emit(
                 AdmissionGate(
+                    pid=pid,
+                    op=op,
+                    subsystems=subsystems,
+                    deferrals=deferrals,
+                )
+            )
+
+    def _emit_backpressure(
+        self,
+        pid: int,
+        op: str,
+        subsystems: tuple[str, ...],
+        deferrals: int,
+    ) -> None:
+        tracer = self._manager.tracer if self._manager else None
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                BackpressureEngaged(
                     pid=pid,
                     op=op,
                     subsystems=subsystems,

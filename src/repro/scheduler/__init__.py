@@ -13,6 +13,7 @@ from repro.scheduler.manager import (
     ManagerStats,
     ProcessManager,
     RunResult,
+    make_manager,
 )
 from repro.scheduler.recovery import (
     CrashImage,
@@ -40,4 +41,5 @@ __all__ = [
     "RunResult",
     "SimulationEngine",
     "TraceRecorder",
+    "make_manager",
 ]

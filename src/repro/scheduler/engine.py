@@ -12,25 +12,32 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import SchedulerError
 
 
-@dataclass(order=True)
+@dataclass(slots=True)
 class _Scheduled:
     time: float
     seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    callback: Callable[[], None]
+    cancelled: bool = False
 
 
 class SimulationEngine:
-    """A virtual-time event loop."""
+    """A virtual-time event loop.
+
+    The heap holds ``(time, seq, item)`` tuples rather than the items
+    themselves: ``seq`` is unique, so comparisons resolve at C level on
+    the tuple prefix and never reach the (incomparable) payload — same
+    firing order as ordering the items directly, without a Python-level
+    ``__lt__`` per heap sift.
+    """
 
     def __init__(self) -> None:
         self.now = 0.0
-        self._queue: list[_Scheduled] = []
+        self._queue: list[tuple[float, int, _Scheduled]] = []
         self._seq = itertools.count()
         self.events_processed = 0
 
@@ -43,7 +50,7 @@ class SimulationEngine:
         item = _Scheduled(
             time=self.now + delay, seq=next(self._seq), callback=callback
         )
-        heapq.heappush(self._queue, item)
+        heapq.heappush(self._queue, (item.time, item.seq, item))
         return item
 
     @staticmethod
@@ -61,12 +68,12 @@ class SimulationEngine:
         """
         fired = 0
         while self._queue:
-            item = heapq.heappop(self._queue)
+            time, _seq, item = heapq.heappop(self._queue)
             if item.cancelled:
                 continue
-            if item.time < self.now:  # pragma: no cover - defensive
+            if time < self.now:  # pragma: no cover - defensive
                 raise SchedulerError("event queue went back in time")
-            self.now = item.time
+            self.now = time
             item.callback()
             self.events_processed += 1
             fired += 1
@@ -84,10 +91,10 @@ class SimulationEngine:
         """
         fired = 0
         while self._queue and fired < limit:
-            item = heapq.heappop(self._queue)
+            time, _seq, item = heapq.heappop(self._queue)
             if item.cancelled:
                 continue
-            self.now = item.time
+            self.now = time
             item.callback()
             self.events_processed += 1
             fired += 1
@@ -96,4 +103,6 @@ class SimulationEngine:
     @property
     def pending(self) -> int:
         """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for item in self._queue if not item.cancelled)
+        return sum(
+            1 for _, _, item in self._queue if not item.cancelled
+        )

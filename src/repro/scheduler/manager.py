@@ -20,6 +20,7 @@ import heapq
 import itertools
 import os
 import random
+import threading
 from dataclasses import dataclass, field
 
 from repro.activities.activity import Activity
@@ -129,6 +130,25 @@ class ManagerConfig:
     #: Prefer deadlock-cycle victims that hold no P locks (honours
     #: pseudo-pivot protection).  Disabling is an ablation.
     prefer_unprotected_victims: bool = True
+    #: Parallel execution mode (:mod:`repro.parallel`): number of shard
+    #: workers.  0 (the default) is the literal sequential manager;
+    #: N ≥ 1 makes :func:`make_manager` return the thread-per-shard
+    #: manager (worker count capped at the shard count), whose emitted
+    #: schedule is byte-identical to the sequential run at the same
+    #: seed.  ``REPRO_WORKERS`` env knob.
+    workers: int = field(
+        default_factory=lambda: max(
+            0, int(os.environ.get("REPRO_WORKERS", "0"))
+        )
+    )
+    #: Batch lock acquisition depth: how many upcoming activities a
+    #: process pre-declares per shard visit (parallel manager only;
+    #: 1 = the plain per-lock fast path).  ``REPRO_BATCH_K`` env knob.
+    batch_k: int = field(
+        default_factory=lambda: max(
+            1, int(os.environ.get("REPRO_BATCH_K", "1"))
+        )
+    )
     #: Optional resilience layer (duck-typed; see
     #: :class:`repro.resilience.ResilienceLayer`): subsystem circuit
     #: breakers feeding admission gating and an adaptive ``Wcc*`` cap.
@@ -158,14 +178,29 @@ class ManagerStats:
     unresolvable_violations: int = 0
     #: Admissions the resilience layer deferred (0 without a layer).
     admissions_deferred: int = 0
+    #: Admissions the shard-queue backpressure gate deferred (0 unless
+    #: a ``shard_queue_cap`` is configured on the resilience layer).
+    admissions_backpressured: int = 0
     busy_area: float = 0.0
     _inflight: int = field(default=0, repr=False)
     _last_change: float = field(default=0.0, repr=False)
 
+    def __post_init__(self) -> None:
+        # Deliberately *not* a dataclass field: invisible to
+        # ``fields()`` — and therefore to eq/repr and ``merge_stats`` —
+        # so stats objects stay comparable across runs.
+        self._mutex = threading.Lock()
+
+    def add(self, name: str, delta: float = 1) -> None:
+        """Counter bump that is safe under concurrent shard workers."""
+        with self._mutex:
+            setattr(self, name, getattr(self, name) + delta)
+
     def note_inflight(self, now: float, delta: int) -> None:
-        self.busy_area += self._inflight * (now - self._last_change)
-        self._inflight += delta
-        self._last_change = now
+        with self._mutex:
+            self.busy_area += self._inflight * (now - self._last_change)
+            self._inflight += delta
+            self._last_change = now
 
 
 @dataclass
@@ -263,6 +298,9 @@ class ProcessManager:
         self._waitfor = IncrementalWaitFor()
         self._audit_tick = 0
         self._audit_shard_cursor = 0
+        #: Guards the round-robin audit cursor (the sampled auditor may
+        #: be driven from shard workers in the parallel manager).
+        self._audit_mutex = threading.Lock()
         #: uid -> uids of flights gated behind it (execution ordering).
         self._dependents: dict[int, set[int]] = {}
         self._comp_runs: dict[int, CompensationRun] = {}
@@ -297,6 +335,16 @@ class ProcessManager:
                     delay, lambda: self._initiate(pid, program)
                 )
                 return
+            # Shard-queue backpressure: a program needing a saturated
+            # shard is paused at the door.  Off (``None``) unless the
+            # layer configures ``shard_queue_cap``.
+            delay = self._backpressure_delay(pid, program)
+            if delay is not None:
+                self.stats.add("admissions_backpressured")
+                self.engine.schedule(
+                    delay, lambda: self._initiate(pid, program)
+                )
+                return
         timestamp = self.protocol.new_timestamp()
         process = Process(pid=pid, program=program, timestamp=timestamp)
         self._processes[pid] = process
@@ -317,7 +365,10 @@ class ProcessManager:
             If processes remain unterminated after the event queue drains
             (``require_quiescence``) — a liveness failure.
         """
-        self.engine.run(max_events=self.config.max_events)
+        try:
+            self.engine.run(max_events=self.config.max_events)
+        finally:
+            self.close()
         self.stats.note_inflight(self.engine.now, 0)
         if require_quiescence and self._processes:
             leftovers = {
@@ -392,6 +443,47 @@ class ProcessManager:
             self._post_event()
 
         self.engine.schedule(0.0, resume)
+
+    def close(self) -> None:
+        """Release execution resources (shard workers, when any).
+
+        A no-op for the sequential manager; the parallel manager shuts
+        its :class:`~repro.parallel.ShardExecutor` down here.  Called
+        automatically when :meth:`run` drains, and by the fault injector
+        when it abandons a crashed incarnation.
+        """
+
+    # ------------------------------------------------------------------
+    # backpressure (engaged only via the resilience layer's queue caps)
+    # ------------------------------------------------------------------
+    def _backpressure_delay(self, pid: int, program) -> float | None:
+        """``None`` to admit now, else the backpressure defer delay.
+
+        Delegates to the resilience layer's ``backpressure_delay`` hook
+        when the attached layer has one; the default layer ships with
+        the cap off (``shard_queue_cap=None``), so existing runs are
+        untouched byte for byte.
+        """
+        hook = getattr(self.resilience, "backpressure_delay", None)
+        if hook is None:
+            return None
+        return hook(pid, program, self._shard_queue_depth)
+
+    def _shard_queue_depth(self, subsystem: str) -> int:
+        """Live work queued on one shard: in-flight activities plus
+        parked non-commit requests on the subsystem's types."""
+        depth = 0
+        for flight in self._inflight.values():
+            if flight.activity.activity_type.subsystem == subsystem:
+                depth += 1
+        for request in self._parked.values():
+            activity = request.activity
+            if (
+                activity is not None
+                and activity.activity_type.subsystem == subsystem
+            ):
+                depth += 1
+        return depth
 
     # ------------------------------------------------------------------
     # forward progress
@@ -534,6 +626,9 @@ class ProcessManager:
                     uid=flight.activity.uid,
                     compensation=(
                         flight.kind is RequestKind.COMPENSATION
+                    ),
+                    worker=self._worker_for_type(
+                        flight.activity.activity_type.name
                     ),
                 )
             )
@@ -925,9 +1020,7 @@ class ProcessManager:
             # The stashed activity already completed (failed) and was
             # still counted as outstanding pending sibling drain.
             process.abandon(stashed)
-        for flight in list(self._inflight.values()):
-            if flight.process.pid != process.pid:
-                continue
+        for flight in self._flights_of(process.pid):
             flight.cancelled = True
             del self._inflight[flight.activity.uid]
             if self.tracer.enabled:
@@ -943,6 +1036,20 @@ class ProcessManager:
                 self.stats.note_inflight(self.engine.now, -1)
             self._release_dependents(flight)
             process.abandon(flight.activity)
+
+    def _flights_of(self, pid: int) -> list[InflightActivity]:
+        """In-flight activities of one process, in launch order.
+
+        The parallel manager overrides this with an O(answer) read from
+        its per-pid in-flight index; both produce the same list in the
+        same order (per-pid insertion order equals global insertion
+        order restricted to the pid).
+        """
+        return [
+            flight
+            for flight in list(self._inflight.values())
+            if flight.process.pid == pid
+        ]
 
     def _cancel_parked_of(
         self, process: Process, kinds: tuple[RequestKind, ...]
@@ -1353,8 +1460,16 @@ class ProcessManager:
     # ------------------------------------------------------------------
     # observability (only reached when the tracer is enabled)
     # ------------------------------------------------------------------
-    @staticmethod
-    def _wait_edge_event(op: str, request: ParkedRequest) -> WaitEdge:
+    def _worker_for_type(self, type_name: str) -> int | None:
+        """Shard worker owning ``type_name`` (``None`` when sequential).
+
+        The parallel manager overrides this with its shard→worker
+        assignment; event payloads carry the answer so exported traces
+        can show per-worker tracks.
+        """
+        return None
+
+    def _wait_edge_event(self, op: str, request: ParkedRequest) -> WaitEdge:
         activity = request.activity
         return WaitEdge(
             op=op,
@@ -1366,6 +1481,11 @@ class ProcessManager:
             reason=request.reason,
             shard=(
                 activity.activity_type.subsystem if activity else None
+            ),
+            worker=(
+                self._worker_for_type(activity.activity_type.name)
+                if activity
+                else None
             ),
         )
 
@@ -1502,11 +1622,66 @@ class ProcessManager:
                 else ()
             )
             if names:
-                shards = (
-                    names[self._audit_shard_cursor % len(names)],
-                )
-                self._audit_shard_cursor += 1
+                shards = (self._next_audit_shard(names),)
+        self._run_audit(shards)
+
+    def _next_audit_shard(self, names: tuple[str, ...]) -> str:
+        """Advance the round-robin audit cursor (thread-safe)."""
+        with self._audit_mutex:
+            name = names[self._audit_shard_cursor % len(names)]
+            self._audit_shard_cursor += 1
+        return name
+
+    def _run_audit(self, shards: tuple[str, ...] | None) -> None:
+        """Execute one (possibly shard-restricted) structural audit.
+
+        The parallel manager overrides this to dispatch single-shard
+        audits to the worker owning the shard.
+        """
         if shards is None:
             self.protocol.audit()
         else:
             self.protocol.audit(shards=shards)
+
+
+def make_manager(
+    protocol,
+    subsystems: SubsystemPool | None = None,
+    config: ManagerConfig | None = None,
+    seed: int = 0,
+    tracer=None,
+) -> ProcessManager:
+    """Build the manager the config asks for.
+
+    ``config.workers == 0`` (the default) returns the sequential
+    :class:`ProcessManager`.  ``workers ≥ 1`` returns the
+    thread-per-shard :class:`~repro.parallel.ParallelProcessManager`
+    when the protocol supports it — a sharded lock table plus the batch
+    probe interface (:meth:`ProcessLockManager.probe_c_grants`); the
+    baselines fall back to the sequential path silently, so every
+    construction site can route through this factory unconditionally.
+    """
+    config = config or ManagerConfig()
+    table = getattr(protocol, "table", None)
+    if (
+        config.workers > 0
+        and hasattr(protocol, "probe_c_grants")
+        and table is not None
+        and hasattr(table, "assign_workers")
+    ):
+        from repro.parallel.manager import ParallelProcessManager
+
+        return ParallelProcessManager(
+            protocol,
+            subsystems=subsystems,
+            config=config,
+            seed=seed,
+            tracer=tracer,
+        )
+    return ProcessManager(
+        protocol,
+        subsystems=subsystems,
+        config=config,
+        seed=seed,
+        tracer=tracer,
+    )

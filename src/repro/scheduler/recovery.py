@@ -36,7 +36,11 @@ from repro.process.instance import LedgerEntry, Process, _Scope
 from repro.process.program import ProcessProgram, ProgramNode
 from repro.process.state import ProcessState
 from repro.scheduler.events import ProcessRecord, RequestKind
-from repro.scheduler.manager import ManagerConfig, ProcessManager
+from repro.scheduler.manager import (
+    ManagerConfig,
+    ProcessManager,
+    make_manager,
+)
 from repro.scheduler.trace import TraceRecorder
 from repro.theory.schedule import ScheduleEvent
 
@@ -341,7 +345,7 @@ def recover(
         default=0,
     )
     ensure_uid_floor(max_uid)
-    manager = ProcessManager(
+    manager = make_manager(
         protocol,
         subsystems=subsystems,
         config=config,

@@ -21,8 +21,8 @@ from repro.core.protocol import ProcessLockManager
 from repro.errors import SchedulerError
 from repro.scheduler.manager import (
     ManagerConfig,
-    ProcessManager,
     RunResult,
+    make_manager,
 )
 from repro.sim.metrics import RunMetrics, summarize
 from repro.sim.rng import spread_seeds
@@ -83,7 +83,7 @@ def run_workload(
             f"{len(workload.programs)} programs"
         )
     protocol = make_protocol(protocol_name, workload)
-    manager = ProcessManager(
+    manager = make_manager(
         protocol,
         subsystems=workload.make_subsystems(),
         config=config,

@@ -1,0 +1,1 @@
+"""Tests for the thread-per-shard parallel execution mode."""

@@ -1,0 +1,55 @@
+"""Shared helpers for the parallel-mode tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim.workload import WorkloadSpec
+
+
+@pytest.fixture
+def small_spec():
+    """A contended multi-subsystem workload small enough for grids."""
+
+    def build(seed: int = 7, **overrides) -> WorkloadSpec:
+        params = dict(
+            n_processes=18,
+            n_activity_types=16,
+            n_subsystems=4,
+            conflict_density=0.5,
+            arrival_spacing=0.4,
+            failure_probability=0.05,
+            seed=seed,
+        )
+        params.update(overrides)
+        return WorkloadSpec(**params)
+
+    return build
+
+
+def canonical_trace(result) -> str:
+    """Byte-stable schedule serialization (uids renumbered by first
+    appearance, since the uid counter is interpreter-global)."""
+    renumber: dict[int, int] = {}
+
+    def canon(uid):
+        if uid is None or uid == 0:
+            return uid
+        return renumber.setdefault(uid, len(renumber) + 1)
+
+    return json.dumps(
+        [
+            (
+                event.position,
+                str(event.process),
+                event.kind.value,
+                event.name,
+                canon(event.uid),
+                canon(event.compensates),
+            )
+            for event in result.trace.events
+        ],
+        separators=(",", ":"),
+    )

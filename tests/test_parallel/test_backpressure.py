@@ -1,0 +1,101 @@
+"""Health-driven backpressure under the parallel manager.
+
+The shard-queue cap lives on the resilience layer
+(:class:`ResilienceConfig.shard_queue_cap`); the parallel manager
+answers the depth queries from its per-shard in-flight buckets instead
+of a full scan.  Contract: an engaged cap defers admissions (never
+kills them — the defer budget force-admits stragglers), and a ``None``
+cap leaves the schedule byte-identical.
+"""
+
+from __future__ import annotations
+
+from repro.resilience import ResilienceConfig, ResilienceLayer
+from repro.scheduler.manager import ManagerConfig
+from repro.sim.runner import run_workload
+from repro.sim.workload import build_workload
+
+from .conftest import canonical_trace
+
+
+def _run(workload, seed, workers, layer):
+    return run_workload(
+        workload,
+        "process-locking",
+        seed=seed,
+        config=ManagerConfig(
+            workers=workers, batch_k=2, resilience=layer
+        ),
+    )
+
+
+def test_tight_cap_engages_and_still_terminates(small_spec):
+    """A cap of 1 throttles nearly every admission on a contended
+    workload, yet the run drains and processes terminate."""
+    spec = small_spec(seed=4, arrival_spacing=0.1)
+    layer = ResilienceLayer(
+        ResilienceConfig(shard_queue_cap=1, backpressure_retry_delay=2.0)
+    )
+    result = _run(build_workload(spec), 4, workers=2, layer=layer)
+    assert result.stats.admissions_backpressured > 0
+    assert layer.stats.backpressure_deferred > 0
+    assert result.stats.committed > 0
+    assert len(result.records) == spec.n_processes
+
+
+def test_defer_budget_force_admits(small_spec):
+    """An unreachable cap (0) cannot live-lock admissions: the defer
+    budget force-admits every process eventually."""
+    spec = small_spec(seed=4, n_processes=6)
+    layer = ResilienceLayer(
+        ResilienceConfig(
+            shard_queue_cap=0,
+            backpressure_retry_delay=1.0,
+            max_backpressure_defers=3,
+        )
+    )
+    result = _run(build_workload(spec), 4, workers=2, layer=layer)
+    assert layer.stats.backpressure_forced > 0
+    assert len(result.records) == spec.n_processes
+
+
+def test_disabled_cap_is_byte_identical(small_spec, uid_floor):
+    """shard_queue_cap=None must not perturb the schedule, even with
+    the rest of the layer attached."""
+    spec = small_spec(seed=6)
+    uid_floor.pin()
+    bare = _run(build_workload(spec), 6, workers=2, layer=None)
+    uid_floor.repin()
+    capped_off = _run(
+        build_workload(spec),
+        6,
+        workers=2,
+        layer=ResilienceLayer(ResilienceConfig(shard_queue_cap=None)),
+    )
+    assert canonical_trace(capped_off) == canonical_trace(bare)
+    assert capped_off.stats.admissions_backpressured == 0
+
+
+def test_backpressured_parallel_matches_backpressured_sequential(
+    small_spec, uid_floor
+):
+    """Backpressure and parallel execution compose deterministically:
+    the same cap produces the same schedule at workers=0 and workers=2."""
+    spec = small_spec(seed=8, arrival_spacing=0.15)
+
+    def layer():
+        return ResilienceLayer(
+            ResilienceConfig(
+                shard_queue_cap=2, backpressure_retry_delay=2.0
+            )
+        )
+
+    uid_floor.pin()
+    sequential = _run(build_workload(spec), 8, workers=0, layer=layer())
+    uid_floor.repin()
+    parallel = _run(build_workload(spec), 8, workers=2, layer=layer())
+    assert canonical_trace(parallel) == canonical_trace(sequential)
+    assert (
+        parallel.stats.admissions_backpressured
+        == sequential.stats.admissions_backpressured
+    )

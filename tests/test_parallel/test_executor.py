@@ -1,0 +1,105 @@
+"""Unit tests for :class:`repro.parallel.ShardExecutor`."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.parallel import ShardExecutor
+
+
+@pytest.fixture
+def pool():
+    executor = ShardExecutor(3)
+    yield executor
+    executor.close()
+
+
+def test_results_come_back_in_job_order(pool):
+    """Completion order may scramble; result order must not."""
+    release = threading.Event()
+
+    def slow():
+        release.wait(timeout=5.0)
+        return "slow"
+
+    def fast():
+        release.set()
+        return "fast"
+
+    # The slow job goes first and blocks until the fast one (on another
+    # worker) has already finished.
+    assert pool.map_groups([(0, slow), (1, fast)]) == ["slow", "fast"]
+
+
+def test_same_worker_executes_in_submission_order(pool):
+    seen: list[int] = []
+    jobs = [
+        (1, lambda index=index: seen.append(index)) for index in range(50)
+    ]
+    pool.map_groups(jobs)
+    assert seen == list(range(50))
+
+
+def test_jobs_route_to_distinct_worker_threads(pool):
+    names = pool.map_groups(
+        [
+            (worker, lambda: threading.current_thread().name)
+            for worker in range(3)
+        ]
+    )
+    assert names == [
+        "shard-worker-0", "shard-worker-1", "shard-worker-2"
+    ]
+
+
+def test_worker_ids_wrap_modulo_pool_size(pool):
+    names = pool.map_groups(
+        [(7, lambda: threading.current_thread().name)]
+    )
+    assert names == [f"shard-worker-{7 % 3}"]
+
+
+def test_exception_reraises_on_coordinator(pool):
+    def boom():
+        raise ValueError("shard fault")
+
+    with pytest.raises(ValueError, match="shard fault"):
+        pool.map_groups([(0, lambda: 1), (1, boom)])
+
+
+def test_zero_workers_runs_inline():
+    executor = ShardExecutor(0)
+    assert executor.workers == 0
+    threads = executor.map_groups(
+        [(0, lambda: threading.current_thread())] * 2
+    )
+    assert all(t is threading.main_thread() for t in threads)
+    executor.close()
+
+
+def test_negative_worker_count_clamps_to_inline():
+    executor = ShardExecutor(-4)
+    assert executor.workers == 0
+    assert executor.map_groups([(0, lambda: "ok")]) == ["ok"]
+
+
+def test_close_is_idempotent_and_falls_back_inline(pool):
+    pool.close()
+    pool.close()
+    # A closed pool stays usable: jobs run inline on the caller.
+    thread = pool.run_on(2, lambda: threading.current_thread())
+    assert thread is threading.main_thread()
+    # Worker threads actually exited.
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        if not any(t.is_alive() for t in pool._threads):
+            break
+        time.sleep(0.01)
+    assert not any(t.is_alive() for t in pool._threads)
+
+
+def test_run_on_returns_single_result(pool):
+    assert pool.run_on(1, lambda: 40 + 2) == 42
