@@ -1,0 +1,198 @@
+"""Open-system service benchmark: multi-client Poisson load over TCP.
+
+Drives the full ``repro serve`` stack — asyncio front door, wire
+protocol, engine thread, sequential or thread-per-shard manager — with
+four concurrent clients submitting processes on Poisson arrival
+schedules (wall clock, not virtual time), and measures what a service
+operator would: submit-to-commit wall latency (p50/p99) and achieved
+completion throughput versus offered load, per backend.
+
+The sweep ascends offered rates until the service stops tracking the
+offered load; the highest rate still achieving ≥80 % of it is recorded
+as the measured saturation point.  Results land in
+``BENCH_service.json`` next to the other benchmark artifacts.
+"""
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.client import ServiceClient
+from repro.server.net import start_server_thread
+from repro.server.service import ServiceConfig
+from repro.sim.arrivals import poisson_arrivals
+from repro.sim.workload import WorkloadSpec
+
+BENCH_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_service.json"
+)
+
+N_CLIENTS = 4
+SUBMISSIONS = 120  # total per (backend, rate) point
+#: Offered load sweep, arrivals/second across all clients.
+RATES = [25.0, 100.0, 400.0, 1600.0]
+#: (label, workers, batch_k) — the sequential manager and the
+#: thread-per-shard manager behind the same front door.
+BACKENDS = [("sequential", 0, 1), ("parallel", 3, 2)]
+#: A rate "tracks" the offered load while achieved/offered >= this.
+TRACKING = 0.80
+
+SPEC = WorkloadSpec(
+    n_processes=8,
+    n_activity_types=12,
+    conflict_density=0.3,
+    failure_probability=0.04,
+    seed=3,
+)
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (values need not be sorted)."""
+    ordered = sorted(values)
+    index = min(
+        len(ordered) - 1, max(0, round(q / 100 * len(ordered)) - 1)
+    )
+    return ordered[index]
+
+
+def drive_clients(host: str, port: int, rate: float) -> dict:
+    """Offer ``SUBMISSIONS`` processes at ``rate``/s over 4 clients.
+
+    Each client pipelines ``wait=True`` submits on its own Poisson
+    schedule (no waiting for completions between sends), so the
+    offered load is open-system: arrivals keep landing while earlier
+    processes are still being served.
+    """
+    per_client = SUBMISSIONS // N_CLIENTS
+    latencies: list[float] = []
+    outcomes: dict[str, int] = {}
+    mutex = threading.Lock()
+    start = time.monotonic()
+    last_done = [start]
+
+    def client_main(index: int) -> None:
+        schedule = poisson_arrivals(
+            rate=rate / N_CLIENTS, count=per_client, seed=31 + index
+        )
+        pending = []
+
+        def record(fut, sent_at: float) -> None:
+            # Runs on the client's reader thread the moment the
+            # response frame arrives, so the latency is genuine
+            # submit-to-commit wall time, not collection-loop time.
+            done_at = time.monotonic()
+            frame = fut.result()
+            assert frame.get("ok"), frame
+            outcome = frame["outcomes"][0]["outcome"]
+            with mutex:
+                latencies.append(done_at - sent_at)
+                outcomes[outcome] = outcomes.get(outcome, 0) + 1
+                last_done[0] = max(last_done[0], done_at)
+
+        with ServiceClient(host, port, timeout=120) as client:
+            for j, offset in enumerate(schedule):
+                now = time.monotonic() - start
+                if offset > now:
+                    time.sleep(offset - now)
+                fut = client.call_async(
+                    "submit",
+                    program=(index * 31 + j) % SPEC.n_processes,
+                    count=1,
+                    wait=True,
+                )
+                fut.add_done_callback(
+                    lambda f, sent=time.monotonic(): record(f, sent)
+                )
+                pending.append(fut)
+            for fut in pending:
+                fut.result(timeout=120)
+
+    threads = [
+        threading.Thread(target=client_main, args=(i,))
+        for i in range(N_CLIENTS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300)
+    wall = max(last_done[0] - start, 1e-9)
+    done = len(latencies)
+    return {
+        "offered_rate": rate,
+        "completed": done,
+        "committed": outcomes.get("committed", 0),
+        "aborted": outcomes.get("aborted", 0),
+        "wall_s": round(wall, 3),
+        "achieved_rate": round(done / wall, 1),
+        "p50_ms": round(percentile(latencies, 50) * 1e3, 2),
+        "p99_ms": round(percentile(latencies, 99) * 1e3, 2),
+    }
+
+
+def run_service_sweep() -> dict:
+    results: dict[str, list[dict]] = {}
+    saturation: dict[str, float | None] = {}
+    for label, workers, batch_k in BACKENDS:
+        rows = []
+        for rate in RATES:
+            handle = start_server_thread(
+                ServiceConfig(
+                    spec=SPEC,
+                    seed=3,
+                    workers=workers,
+                    batch_k=batch_k,
+                )
+            )
+            try:
+                row = drive_clients(handle.host, handle.port, rate)
+            finally:
+                handle.stop()
+            row["tracking"] = round(
+                row["achieved_rate"] / rate, 3
+            )
+            rows.append(row)
+        results[label] = rows
+        tracked = [
+            row["offered_rate"]
+            for row in rows
+            if row["tracking"] >= TRACKING
+        ]
+        saturation[label] = max(tracked) if tracked else None
+    return {"sweep": results, "saturation": saturation}
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_open_system(benchmark):
+    table = benchmark.pedantic(
+        run_service_sweep, rounds=1, iterations=1
+    )
+    payload = {
+        "open_system_service": {
+            "description": (
+                "open-system load over the repro serve TCP front "
+                "door: 4 concurrent clients, Poisson arrivals, "
+                "pipelined wait=True submits; wall-clock "
+                "submit-to-commit latency and achieved completion "
+                "rate per offered rate and backend"
+            ),
+            "clients": N_CLIENTS,
+            "submissions_per_point": SUBMISSIONS,
+            "tracking_threshold": TRACKING,
+            **table,
+        }
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+
+    for label, rows in table["sweep"].items():
+        for row in rows:
+            # Every offered process terminated and was answered.
+            assert row["completed"] == SUBMISSIONS, (label, row)
+            assert row["committed"] > 0, (label, row)
+        # The lowest offered rate must be fully tracked — a service
+        # that cannot keep up with 25/s has a functional regression.
+        assert rows[0]["tracking"] >= TRACKING, (label, rows[0])
+        assert table["saturation"][label] is not None, label

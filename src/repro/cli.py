@@ -24,6 +24,7 @@ import os
 import sys
 from collections.abc import Sequence
 
+from repro import config as repro_config
 from repro.analysis.exhibits import all_exhibits_text
 from repro.analysis.export import rows_to_json
 from repro.analysis.tables import render_dict_table
@@ -55,6 +56,31 @@ SCENARIOS = {
     "hospital": hospital_scenario,
     "manufacturing": manufacturing_scenario,
 }
+
+
+def _nonneg_int(raw: str) -> int:
+    """argparse type: an integer >= 0, with a one-line error."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer >= 0, got {value}"
+        )
+    return value
+
+
+def _positive_int(raw: str) -> int:
+    """argparse type: an integer >= 1, with a one-line error."""
+    value = _nonneg_int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer >= 1, got {value}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -283,6 +309,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the machine-readable report instead of tables",
     )
     _add_parallel_args(soak)
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the process-locking service: a JSON-lines TCP front "
+            "door for SUBMIT/STATUS/CANCEL/SUBSCRIBE/STATS/CHECK/DRAIN "
+            "(see docs/service.md)"
+        ),
+    )
+    serve.add_argument(
+        "--host",
+        default=None,
+        help="bind address (default: REPRO_SERVE_HOST or 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=_nonneg_int,
+        default=None,
+        help="TCP port, 0 = ephemeral (default: REPRO_SERVE_PORT)",
+    )
+    serve.add_argument(
+        "--protocol",
+        default="process-locking",
+        choices=sorted(PROTOCOL_FACTORIES),
+    )
+    serve.add_argument(
+        "--processes",
+        type=_positive_int,
+        default=8,
+        help="catalog size: programs clients can SUBMIT by index",
+    )
+    serve.add_argument("--density", type=float, default=0.3)
+    serve.add_argument("--failure-prob", type=float, default=0.05)
+    serve.add_argument("--threshold", type=float, default=math.inf)
+    serve.add_argument("--seed", type=int, default=0)
+    _add_parallel_args(serve)
+    serve.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.0,
+        help=(
+            "virtual-time units per wall second; 0 (default) drains "
+            "eagerly after each command batch (deterministic), > 0 "
+            "paces the simulation against the wall clock"
+        ),
+    )
+    serve.add_argument(
+        "--backlog",
+        type=_positive_int,
+        default=None,
+        help=(
+            "submission backlog before SUBMITs are shed at the socket "
+            "(default: REPRO_SERVE_BACKLOG)"
+        ),
+    )
+
+    config = sub.add_parser(
+        "config",
+        help=(
+            "show every REPRO_* knob: effective value, origin "
+            "(override/env/default), and what it does"
+        ),
+    )
+    config.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the knob table as JSON instead of text",
+    )
     return parser
 
 
@@ -325,7 +419,7 @@ def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
     """Parallel-execution knobs (shared; schedules stay byte-identical)."""
     parser.add_argument(
         "--workers",
-        type=int,
+        type=_nonneg_int,
         default=0,
         help=(
             "shard worker threads (0 = sequential manager; N >= 1 "
@@ -335,7 +429,7 @@ def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--batch-k",
-        type=int,
+        type=_positive_int,
         default=1,
         help=(
             "batch lock-acquisition depth: upcoming activities "
@@ -544,7 +638,11 @@ def cmd_explain(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    records = read_jsonl(source)
+    try:
+        records = read_jsonl(source)
+    except (OSError, UnicodeDecodeError, ValueError) as error:
+        print(f"unreadable trace {source}: {error}", file=sys.stderr)
+        return 2
     if args.pid is None:
         pids = deferred_pids(records)
         if not pids:
@@ -610,6 +708,43 @@ def cmd_soak(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server.net import run_server
+    from repro.server.service import ServiceConfig
+
+    spec = WorkloadSpec(
+        n_processes=args.processes,
+        conflict_density=args.density,
+        failure_probability=args.failure_prob,
+        wcc_threshold=args.threshold,
+        seed=args.seed,
+    )
+    service_config = ServiceConfig(
+        protocol=args.protocol,
+        spec=spec,
+        seed=args.seed,
+        workers=args.workers,
+        batch_k=args.batch_k,
+        max_backlog=args.backlog,
+        time_scale=args.time_scale,
+    )
+    run_server(service_config, host=args.host, port=args.port)
+    return 0
+
+
+def cmd_config(args: argparse.Namespace) -> int:
+    rows = repro_config.describe()
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    else:
+        print(
+            render_dict_table(
+                rows, title="REPRO_* environment knobs"
+            )
+        )
+    return 0
+
+
 def cmd_conformance(args: argparse.Namespace) -> int:
     names = (
         [args.protocol]
@@ -638,6 +773,8 @@ _COMMANDS = {
     "explain": cmd_explain,
     "scenario": cmd_scenario,
     "sweep-threshold": cmd_sweep_threshold,
+    "serve": cmd_serve,
+    "config": cmd_config,
 }
 
 

@@ -1,0 +1,233 @@
+"""One registry for every ``REPRO_*`` environment knob.
+
+Historically each subsystem read its own environment variable inline
+(``ManagerConfig`` field factories, the seed-sweep pool in
+:mod:`repro.sim.runner`, the probe fan-out gate in
+:mod:`repro.parallel.manager`), which made the full knob surface hard to
+discover and easy to drift.  This module is now the single source of
+truth: every knob is declared once with its environment variable, its
+default, its clamp, and a one-line description, and every consumer
+resolves through the same helper.
+
+Resolution order (strictly, for every knob):
+
+1. an **explicit override** passed by the caller (a CLI flag or a
+   config-object field the caller set) wins;
+2. otherwise the **environment variable**;
+3. otherwise the built-in **default**.
+
+``repro config`` renders the table below with each knob's current value
+and where it came from, so a deployment can always answer "what is this
+process actually running with?".
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = [
+    "KNOBS",
+    "Knob",
+    "audit_every",
+    "batch_k",
+    "describe",
+    "parallel_fanout",
+    "resolve",
+    "seed_workers",
+    "serve_host",
+    "serve_port",
+    "workers",
+]
+
+
+@dataclass(frozen=True)
+class Knob:
+    """Declaration of one environment knob."""
+
+    #: Short name used by :func:`resolve` and the ``repro config`` table.
+    name: str
+    #: Environment variable consulted when no override is given.
+    env: str
+    #: Built-in default (already in parsed form; ``None`` = unset).
+    default: object
+    description: str
+    #: Parser applied to the raw string (override values are assumed to
+    #: be parsed already).  Receives the raw env string.
+    parse: object = int
+    #: Clamp applied to every parsed value (override or env), keeping
+    #: the historical ``max(floor, ...)`` semantics in one place.
+    floor: int | None = None
+
+
+def _parse_optional_int(raw: str) -> int | None:
+    """``REPRO_PARALLEL_FANOUT`` semantics: empty string means unset."""
+    return int(raw) if raw else None
+
+
+KNOBS: dict[str, Knob] = {
+    knob.name: knob
+    for knob in (
+        Knob(
+            name="workers",
+            env="REPRO_WORKERS",
+            default=0,
+            floor=0,
+            description=(
+                "shard worker threads (0 = sequential manager; N >= 1 "
+                "selects the thread-per-shard parallel manager)"
+            ),
+        ),
+        Knob(
+            name="batch_k",
+            env="REPRO_BATCH_K",
+            default=1,
+            floor=1,
+            description=(
+                "batch lock-acquisition depth: upcoming activities "
+                "pre-declared per shard visit (parallel manager only)"
+            ),
+        ),
+        Knob(
+            name="audit_every",
+            env="REPRO_AUDIT_EVERY",
+            default=1,
+            floor=1,
+            description=(
+                "structural-audit sampling cadence (1 = audit every "
+                "event; N > 1 samples one shard round-robin per audit)"
+            ),
+        ),
+        Knob(
+            name="seed_workers",
+            env="REPRO_SEED_WORKERS",
+            default=1,
+            description=(
+                "seed-sweep process pool size (1 = serial, 0 = one "
+                "worker per core, N = at most N workers)"
+            ),
+        ),
+        Knob(
+            name="parallel_fanout",
+            env="REPRO_PARALLEL_FANOUT",
+            default=None,
+            parse=_parse_optional_int,
+            description=(
+                "min locks per shard group before batch probes fan out "
+                "to the owning workers (unset = probes stay on the "
+                "coordinator; sensible on free-threaded builds only)"
+            ),
+        ),
+        Knob(
+            name="serve_host",
+            env="REPRO_SERVE_HOST",
+            default="127.0.0.1",
+            parse=str,
+            description="bind address of `repro serve`",
+        ),
+        Knob(
+            name="serve_port",
+            env="REPRO_SERVE_PORT",
+            default=7453,
+            floor=0,
+            description="TCP port of `repro serve` (0 = ephemeral)",
+        ),
+        Knob(
+            name="serve_backlog",
+            env="REPRO_SERVE_BACKLOG",
+            default=256,
+            floor=1,
+            description=(
+                "submission backlog the server accepts before shedding "
+                "SUBMITs at the socket (overload protection)"
+            ),
+        ),
+    )
+}
+
+
+def resolve(name: str, override: object = None):
+    """The effective value of one knob under the resolution order.
+
+    ``override`` is the caller's explicit value (``None`` = not given);
+    it is returned as-is apart from the knob's clamp, so CLI flags and
+    config fields behave exactly like the historical inline reads.
+    """
+    knob = KNOBS[name]
+    if override is not None:
+        value = override
+    else:
+        raw = os.environ.get(knob.env)
+        if raw is None or (raw == "" and knob.parse is not str):
+            value = knob.default
+        else:
+            value = knob.parse(raw)
+    if knob.floor is not None and value is not None:
+        value = max(knob.floor, value)
+    return value
+
+
+def source(name: str, override: object = None) -> str:
+    """Where :func:`resolve` takes the value from, for the CLI table."""
+    if override is not None:
+        return "override"
+    knob = KNOBS[name]
+    raw = os.environ.get(knob.env)
+    if raw is None or (raw == "" and knob.parse is not str):
+        return "default"
+    return "env"
+
+
+def describe() -> list[dict[str, object]]:
+    """One row per knob: current value, origin, default, description."""
+    rows = []
+    for knob in KNOBS.values():
+        value = resolve(knob.name)
+        rows.append(
+            {
+                "knob": knob.name,
+                "env": knob.env,
+                "value": "unset" if value is None else value,
+                "source": source(knob.name),
+                "default": (
+                    "unset" if knob.default is None else knob.default
+                ),
+                "description": knob.description,
+            }
+        )
+    return rows
+
+
+# Named accessors: the call sites read as documentation and the clamp
+# semantics stay greppable next to their historical homes.
+def workers(override: int | None = None) -> int:
+    return resolve("workers", override)
+
+
+def batch_k(override: int | None = None) -> int:
+    return resolve("batch_k", override)
+
+
+def audit_every(override: int | None = None) -> int:
+    return resolve("audit_every", override)
+
+
+def seed_workers(override: int | None = None) -> int:
+    return resolve("seed_workers", override)
+
+
+def parallel_fanout(override: int | None = None) -> int | None:
+    value = resolve("parallel_fanout", override)
+    return None if value is None else max(1, value)
+
+
+def serve_host(override: str | None = None) -> str:
+    return resolve("serve_host", override)
+
+
+def serve_port(override: int | None = None) -> int:
+    return resolve("serve_port", override)
+
+
+def serve_backlog(override: int | None = None) -> int:
+    return resolve("serve_backlog", override)

@@ -93,6 +93,21 @@ class ProcessResubmitted:
     timestamp: int
 
 
+@dataclass(frozen=True)
+class ProcessCancelled:
+    """A client explicitly cancelled the process (service front door).
+
+    ``initiated`` distinguishes a cancel that had to abort a running
+    process (compensations ran, no resubmission) from one that caught
+    the process before initiation (nothing to undo — the scheduled
+    initiation callback is simply dropped).
+    """
+
+    kind = "process.cancel"
+    pid: int
+    initiated: bool
+
+
 # ----------------------------------------------------------------------
 # protocol decisions
 # ----------------------------------------------------------------------
@@ -379,6 +394,7 @@ EVENT_TYPES: dict[str, type] = {
         ProcessCommitted,
         AbortBegun,
         ProcessAborted,
+        ProcessCancelled,
         ProcessResubmitted,
         LockGranted,
         LockDeferred,

@@ -34,8 +34,7 @@ preserving byte-identical schedules at the same seed:
 
 from __future__ import annotations
 
-import os
-
+from repro import config as repro_config
 from repro.core.locks import LockMode
 from repro.parallel.executor import ShardExecutor
 from repro.process.instance import Process
@@ -145,11 +144,9 @@ class ParallelProcessManager(ProcessManager):
         #: probes are pure-Python CPU work, so cross-thread dispatch can
         #: only add latency — the workers still own their shards' audits
         #: (:meth:`_run_audit`).  Free-threaded builds (or tests pinning
-        #: the dispatch path) opt in via ``REPRO_PARALLEL_FANOUT=N``.
-        raw_fanout = os.environ.get("REPRO_PARALLEL_FANOUT", "")
-        self._fanout_threshold = (
-            max(1, int(raw_fanout)) if raw_fanout else None
-        )
+        #: the dispatch path) opt in via ``REPRO_PARALLEL_FANOUT=N``
+        #: (resolved through :mod:`repro.config`).
+        self._fanout_threshold = repro_config.parallel_fanout()
 
     def close(self) -> None:
         self._executor.close()

@@ -233,6 +233,18 @@ class ResilienceLayer:
         self._emit_admission(pid, "defer", tuple(blocked), count)
         return self.config.admission_retry_delay
 
+    def discard_pending(self, pid: int) -> None:
+        """Forget a deferred admission whose process was cancelled.
+
+        Called by :meth:`ProcessManager.cancel` when it drops a
+        not-yet-initiated process: without this, a crash/recovery
+        re-bind would resurrect the cancelled admission from
+        ``_pending``.
+        """
+        self._pending.pop(pid, None)
+        self._defers.pop(pid, None)
+        self._bp_defers.pop(pid, None)
+
     def backpressure_delay(
         self, pid: int, program, depth_of
     ) -> float | None:

@@ -83,6 +83,36 @@ class SimulationEngine:
                     "suspected livelock"
                 )
 
+    def run_due(
+        self, deadline: float, max_events: int = 1_000_000
+    ) -> int:
+        """Process every event due by ``deadline``; returns the count.
+
+        The service front end (:mod:`repro.server`) uses this to pace
+        virtual time against the wall clock: each real-time tick
+        advances the clock to its mapped virtual deadline and fires
+        exactly the events due by then, leaving later events queued.
+        The clock lands *on* the deadline even when nothing fired, so
+        subsequent arrivals are stamped with the paced time.
+        """
+        fired = 0
+        while self._queue and self._queue[0][0] <= deadline:
+            time, _seq, item = heapq.heappop(self._queue)
+            if item.cancelled:
+                continue
+            self.now = time
+            item.callback()
+            self.events_processed += 1
+            fired += 1
+            if fired > max_events:
+                raise SchedulerError(
+                    f"simulation exceeded {max_events} events; "
+                    "suspected livelock"
+                )
+        if self.now < deadline:
+            self.now = deadline
+        return fired
+
     def run_steps(self, limit: int) -> int:
         """Process at most ``limit`` events; returns how many fired.
 

@@ -18,10 +18,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import os
 import random
 import threading
 from dataclasses import dataclass, field
+
+from repro import config as repro_config
 
 from repro.activities.activity import Activity
 from repro.core.deadlock import (
@@ -54,6 +55,7 @@ from repro.obs.events import (
     LockDeferred,
     LockGranted,
     ProcessAborted,
+    ProcessCancelled,
     ProcessCommitted,
     ProcessInitiated,
     ProcessResubmitted,
@@ -105,14 +107,11 @@ class ManagerConfig:
     #: Run the protocol's structural audit after every event (slow).
     audit: bool = False
     #: Audit every Nth event instead of every event (``REPRO_AUDIT_EVERY``
-    #: env knob).  With a sharded lock table and N > 1, each audit checks
-    #: one shard round-robin, so the sampled auditor's per-event cost no
-    #: longer scans the whole table.  N = 1 keeps the seed behaviour.
-    audit_every: int = field(
-        default_factory=lambda: max(
-            1, int(os.environ.get("REPRO_AUDIT_EVERY", "1"))
-        )
-    )
+    #: env knob, resolved by :mod:`repro.config`).  With a sharded lock
+    #: table and N > 1, each audit checks one shard round-robin, so the
+    #: sampled auditor's per-event cost no longer scans the whole table.
+    #: N = 1 keeps the seed behaviour.
+    audit_every: int = field(default_factory=repro_config.audit_every)
     #: Answer the per-park deadlock check from the incrementally
     #: maintained wait-for reachability structure (O(1) amortized in the
     #: common acyclic case) instead of re-walking every parked request.
@@ -135,20 +134,13 @@ class ManagerConfig:
     #: N ≥ 1 makes :func:`make_manager` return the thread-per-shard
     #: manager (worker count capped at the shard count), whose emitted
     #: schedule is byte-identical to the sequential run at the same
-    #: seed.  ``REPRO_WORKERS`` env knob.
-    workers: int = field(
-        default_factory=lambda: max(
-            0, int(os.environ.get("REPRO_WORKERS", "0"))
-        )
-    )
+    #: seed.  ``REPRO_WORKERS`` env knob
+    #: (:mod:`repro.config`).
+    workers: int = field(default_factory=repro_config.workers)
     #: Batch lock acquisition depth: how many upcoming activities a
     #: process pre-declares per shard visit (parallel manager only;
     #: 1 = the plain per-lock fast path).  ``REPRO_BATCH_K`` env knob.
-    batch_k: int = field(
-        default_factory=lambda: max(
-            1, int(os.environ.get("REPRO_BATCH_K", "1"))
-        )
-    )
+    batch_k: int = field(default_factory=repro_config.batch_k)
     #: Optional resilience layer (duck-typed; see
     #: :class:`repro.resilience.ResilienceLayer`): subsystem circuit
     #: breakers feeding admission gating and an adaptive ``Wcc*`` cap.
@@ -176,6 +168,9 @@ class ManagerStats:
     retries: int = 0
     deadlock_victims: int = 0
     unresolvable_violations: int = 0
+    #: Processes aborted (or dropped pre-initiation) on a client's
+    #: explicit request — the service front door's CANCEL command.
+    cancellations: int = 0
     #: Admissions the resilience layer deferred (0 without a layer).
     admissions_deferred: int = 0
     #: Admissions the shard-queue backpressure gate deferred (0 unless
@@ -305,6 +300,9 @@ class ProcessManager:
         self._dependents: dict[int, set[int]] = {}
         self._comp_runs: dict[int, CompensationRun] = {}
         self._stashed_failures: dict[int, Activity] = {}
+        #: pid -> engine handle of its pending initiation callback, so
+        #: :meth:`cancel` can drop a process that has not started yet.
+        self._pending_init: dict[int, object] = {}
         self.tracer.bind_clock(lambda: self.engine.now)
         self.tracer.bind_sampler(self._gauge_sample)
         if self.resilience is not None:
@@ -320,10 +318,13 @@ class ProcessManager:
         self.stats.submitted += 1
         if self.tracer.enabled:
             self.tracer.emit(ProcessSubmitted(pid=pid))
-        self.engine.schedule(at, lambda: self._initiate(pid, program))
+        self._pending_init[pid] = self.engine.schedule(
+            at, lambda: self._initiate(pid, program)
+        )
         return pid
 
     def _initiate(self, pid: int, program: ProcessProgram) -> None:
+        self._pending_init.pop(pid, None)
         if self.resilience is not None:
             # Admission gate: shed *before* a timestamp is drawn or any
             # lock is requested — a deferred process holds nothing and
@@ -331,7 +332,7 @@ class ProcessManager:
             delay = self.resilience.admission_delay(pid, program)
             if delay is not None:
                 self.stats.admissions_deferred += 1
-                self.engine.schedule(
+                self._pending_init[pid] = self.engine.schedule(
                     delay, lambda: self._initiate(pid, program)
                 )
                 return
@@ -341,7 +342,7 @@ class ProcessManager:
             delay = self._backpressure_delay(pid, program)
             if delay is not None:
                 self.stats.add("admissions_backpressured")
-                self.engine.schedule(
+                self._pending_init[pid] = self.engine.schedule(
                     delay, lambda: self._initiate(pid, program)
                 )
                 return
@@ -443,6 +444,65 @@ class ProcessManager:
             self._post_event()
 
         self.engine.schedule(0.0, resume)
+
+    def cancel(self, pid: int) -> bool:
+        """Cancel a submitted process on a client's explicit request.
+
+        Two shapes, mirroring how far the process got:
+
+        * **not yet initiated** (its initiation callback is still
+          scheduled, possibly re-scheduled by admission deferrals) —
+          the callback is dropped; the process never drew a timestamp,
+          holds nothing, and has nothing to compensate;
+        * **running** — aborted through the regular protocol-abort
+          machinery (compensations run, locks release, waiters wake)
+          but *without* the cascade path's resubmission.
+
+        Completing and aborting processes are past the point of client
+        cancellation, exactly like protocol-induced aborts; ``False``
+        is returned and the process finishes on its own.
+        """
+        handle = self._pending_init.pop(pid, None)
+        if handle is not None:
+            SimulationEngine.cancel(handle)
+            if self.resilience is not None:
+                discard = getattr(
+                    self.resilience, "discard_pending", None
+                )
+                if discard is not None:
+                    discard(pid)
+            self.stats.add("cancellations")
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    ProcessCancelled(pid=pid, initiated=False)
+                )
+            return True
+        process = self._processes.get(pid)
+        if process is None or process.state is not ProcessState.RUNNING:
+            return False
+        if self.tracer.enabled:
+            self.tracer.emit(ProcessCancelled(pid=pid, initiated=True))
+            self.tracer.emit(
+                AbortBegun(
+                    pid=pid,
+                    incarnation=process.incarnation,
+                    cause="cancel",
+                )
+            )
+        self._cancel_all_work(process)
+        plan = process.plan_protocol_abort()
+        if self.config.incremental_deadlock:
+            self._note_abort_started(pid)
+        self.stats.add("cancellations")
+        self._start_compensation_run(
+            process,
+            plan,
+            label="protocol-abort:cancel",
+            on_done=lambda: self._finalize_abort(
+                process, resubmit=False
+            ),
+        )
+        return True
 
     def close(self) -> None:
         """Release execution resources (shard workers, when any).

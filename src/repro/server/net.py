@@ -1,0 +1,309 @@
+"""Asyncio TCP front end of the process-locking service.
+
+One asyncio task per connection reads JSON-lines requests and a
+companion writer task drains a single per-connection outbound queue —
+responses and pushed event frames share that one queue, so a client
+always observes its events and responses in a well-defined order (for
+a lockstep client in eager mode, a byte-deterministic one: the engine
+thread publishes a batch's events before it resolves the batch's
+response futures, and the loop preserves that order).
+
+``SUBSCRIBE``/``UNSUBSCRIBE`` are connection-local: they wire the
+service bus straight into the connection's outbound queue via
+``call_soon_threadsafe`` and never touch the engine thread.  Every
+other command funnels through
+:meth:`~repro.server.service.ProcessLockingService.execute`, with
+``SUBMIT`` shed at the socket (see
+:meth:`~repro.server.service.ProcessLockingService.shed_reason`)
+before anything is enqueued.
+
+Shutdown: SIGTERM/SIGINT stop the listener, ``DRAIN`` the service (all
+in-flight processes run to termination), announce ``service.drained``
+to subscribers, then close lingering connections.  The smoke test
+asserts no submitted process is lost across this path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import threading
+
+from repro import config as repro_config
+from repro.server.protocol import (
+    WireError,
+    decode_line,
+    encode,
+    error_response,
+    event_frame,
+    ok_response,
+)
+from repro.server.service import (
+    ProcessLockingService,
+    ServiceConfig,
+    ServiceError,
+)
+
+#: Queue sentinel that tells a connection's writer task to finish.
+_CLOSE = object()
+
+
+async def handle_connection(
+    service: ProcessLockingService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Serve one client until EOF, ``bye``, or cancellation."""
+    loop = asyncio.get_running_loop()
+    out_q: asyncio.Queue = asyncio.Queue()
+
+    async def pump() -> None:
+        while True:
+            frame = await out_q.get()
+            if frame is _CLOSE:
+                break
+            writer.write(encode(frame))
+            await writer.drain()
+
+    pump_task = asyncio.create_task(pump())
+    tokens: list[int] = []
+
+    def push_event(topic: str, record: dict) -> None:
+        loop.call_soon_threadsafe(
+            out_q.put_nowait, event_frame(topic, record)
+        )
+
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            if not line.strip():
+                continue
+            try:
+                request = decode_line(line)
+            except WireError as exc:
+                out_q.put_nowait(
+                    error_response(None, exc.code, exc.message)
+                )
+                continue
+            req_id = request.get("id")
+            cmd = request["cmd"]
+            if cmd == "subscribe":
+                out_q.put_nowait(
+                    _subscribe(service, request, push_event, tokens)
+                )
+                continue
+            if cmd == "unsubscribe":
+                out_q.put_nowait(
+                    _unsubscribe(service, request, tokens)
+                )
+                continue
+            try:
+                body = await asyncio.wrap_future(
+                    service.execute(request)
+                )
+                out_q.put_nowait(ok_response(req_id, **body))
+            except ServiceError as exc:
+                out_q.put_nowait(
+                    error_response(req_id, exc.code, exc.message)
+                )
+            if cmd == "bye":
+                break
+    finally:
+        for token in tokens:
+            service.bus.unsubscribe(token)
+        out_q.put_nowait(_CLOSE)
+        with contextlib.suppress(Exception):
+            await pump_task
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
+
+
+def _subscribe(service, request, push_event, tokens) -> dict:
+    req_id = request.get("id")
+    topics = request.get("topics", ["*"])
+    if not (
+        isinstance(topics, list)
+        and topics
+        and all(isinstance(t, str) for t in topics)
+    ):
+        return error_response(
+            req_id,
+            "bad-request",
+            f"'topics' must be a non-empty list of strings, "
+            f"got {topics!r}",
+        )
+    token = service.bus.subscribe(topics, push_event)
+    tokens.append(token)
+    return ok_response(req_id, token=token, topics=topics)
+
+
+def _unsubscribe(service, request, tokens) -> dict:
+    req_id = request.get("id")
+    token = request.get("token")
+    if token is None:
+        dropped = [t for t in tokens if service.bus.unsubscribe(t)]
+        tokens.clear()
+        return ok_response(req_id, dropped=len(dropped))
+    if token not in tokens:
+        return error_response(
+            req_id, "bad-request", f"unknown subscription {token!r}"
+        )
+    tokens.remove(token)
+    service.bus.unsubscribe(token)
+    return ok_response(req_id, dropped=1)
+
+
+async def serve(
+    service: ProcessLockingService,
+    host: str | None = None,
+    port: int | None = None,
+    *,
+    on_ready=None,
+    shutdown: asyncio.Event | None = None,
+) -> None:
+    """Listen, serve, and drain gracefully on shutdown.
+
+    ``on_ready(host, port)`` fires once the socket is bound (the CLI
+    prints the address; tests and the in-thread helper capture the
+    ephemeral port).  ``shutdown`` is set by SIGTERM/SIGINT (installed
+    when the loop runs on the main thread) or by the embedding test.
+    """
+    service.start()
+    shutdown = shutdown or asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+            loop.add_signal_handler(sig, shutdown.set)
+    connections: set[asyncio.Task] = set()
+
+    async def entry(reader, writer):
+        task = asyncio.current_task()
+        connections.add(task)
+        try:
+            await handle_connection(service, reader, writer)
+        finally:
+            connections.discard(task)
+
+    server = await asyncio.start_server(
+        entry,
+        repro_config.serve_host(host),
+        repro_config.serve_port(port),
+        backlog=128,
+    )
+    bound = server.sockets[0].getsockname()
+    if on_ready is not None:
+        on_ready(bound[0], bound[1])
+    async with server:
+        await shutdown.wait()
+        # Graceful drain: stop accepting, run every in-flight process
+        # to termination, then let clients read the final frames.
+        server.close()
+        await server.wait_closed()
+        if not service._drained.is_set():
+            with contextlib.suppress(Exception):
+                await asyncio.wrap_future(
+                    service.execute({"cmd": "drain"})
+                )
+        if connections:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    asyncio.gather(
+                        *connections, return_exceptions=True
+                    ),
+                    timeout=5.0,
+                )
+        for task in list(connections):
+            task.cancel()
+    service.stop()
+
+
+def run_server(
+    config: ServiceConfig | None = None,
+    host: str | None = None,
+    port: int | None = None,
+) -> None:
+    """Blocking entry point behind ``repro serve``."""
+    service = ProcessLockingService(config)
+
+    def announce(bound_host: str, bound_port: int) -> None:
+        print(
+            f"repro-serve listening on {bound_host}:{bound_port} "
+            f"(protocol={service.config.protocol}, "
+            f"workers={service.manager.config.workers}, "
+            f"catalog={len(service.workload.programs)})",
+            flush=True,
+        )
+
+    asyncio.run(serve(service, host, port, on_ready=announce))
+    print("repro-serve drained cleanly", flush=True)
+
+
+class ServerHandle:
+    """A server running on a background thread (tests, benchmarks)."""
+
+    def __init__(
+        self, service: ProcessLockingService, host: str, port: int
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+
+    def stop(self) -> None:
+        """Trigger the graceful-drain path and join the thread."""
+        if self._loop is not None and self._shutdown is not None:
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._shutdown.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+
+def start_server_thread(
+    config: ServiceConfig | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ServerHandle:
+    """Run a full server on a daemon thread; returns once bound."""
+    service = ProcessLockingService(config)
+    handle = ServerHandle(service, host, port)
+    ready = threading.Event()
+    failure: list[BaseException] = []
+
+    def main() -> None:
+        async def body() -> None:
+            handle._loop = asyncio.get_running_loop()
+            handle._shutdown = asyncio.Event()
+
+            def on_ready(bound_host: str, bound_port: int) -> None:
+                handle.host = bound_host
+                handle.port = bound_port
+                ready.set()
+
+            await serve(
+                service,
+                host,
+                port,
+                on_ready=on_ready,
+                shutdown=handle._shutdown,
+            )
+
+        try:
+            asyncio.run(body())
+        except BaseException as exc:  # surfaced via ready-wait below
+            failure.append(exc)
+            ready.set()
+
+    handle._thread = threading.Thread(
+        target=main, name="repro-serve", daemon=True
+    )
+    handle._thread.start()
+    ready.wait(timeout=30)
+    if failure:
+        raise failure[0]
+    return handle

@@ -1,0 +1,502 @@
+"""The engine-thread core of the process-locking service.
+
+:class:`ProcessLockingService` owns one
+:class:`~repro.scheduler.manager.ProcessManager` (sequential or
+thread-per-shard, picked by the ``workers`` knob through
+:func:`~repro.scheduler.manager.make_manager`) and drives it from a
+single dedicated engine thread; every network-facing layer talks to it
+through a command queue, so the simulation state is never touched
+concurrently.
+
+Pacing
+------
+With ``time_scale == 0`` (**eager**, the default) every command batch
+is followed by a drain to quiescence: virtual time jumps, responses
+describe a settled world, and a single-client scripted session is
+byte-deterministic at a fixed seed.  With ``time_scale > 0`` (**paced**)
+each wall-clock tick advances virtual time by
+``elapsed_wall * time_scale`` via
+:meth:`~repro.scheduler.engine.SimulationEngine.run_due`, so processes
+stay genuinely in flight between ticks and ``CANCEL`` can catch a
+running process.
+
+Overload protection
+-------------------
+:meth:`ProcessLockingService.shed_reason` is checked by the network
+layer *before* a ``SUBMIT`` is enqueued — i.e. before the process
+draws a timestamp or touches a lock: submissions are shed when the
+service is draining, when the not-yet-initiated backlog reaches the
+``serve_backlog`` knob, or when any subsystem circuit breaker of the
+attached resilience layer is open (mirroring the admission gate at the
+socket instead of queueing work the gate would only defer).
+
+Drain
+-----
+``DRAIN`` (and the network layer's SIGTERM path) stops admissions,
+runs the engine to quiescence so every in-flight process terminates,
+closes the manager, and answers with a final summary — no submitted
+process is ever dropped mid-flight.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field, fields, replace
+
+from repro import config as repro_config
+from repro.scheduler.manager import ManagerConfig, make_manager
+from repro.server.bridge import BusTracer
+from repro.server.bus import EventBus
+from repro.sim.runner import make_protocol
+from repro.sim.workload import WorkloadSpec, build_workload
+from repro.theory.criteria import (
+    check_process_recoverability,
+    is_prefix_reducible,
+)
+
+
+@dataclass
+class ServiceConfig:
+    """Everything needed to stand up one service instance."""
+
+    #: Protocol name from :data:`repro.sim.runner.PROTOCOL_FACTORIES`.
+    protocol: str = "process-locking"
+    #: Template workload: its programs become the submission catalog
+    #: (``SUBMIT {"program": i}`` runs catalog entry ``i mod size``)
+    #: and its registry/conflict matrix/subsystems define the world.
+    spec: WorkloadSpec = field(default_factory=WorkloadSpec)
+    seed: int = 0
+    #: Shard workers / batch depth; ``None`` defers to the
+    #: ``REPRO_WORKERS`` / ``REPRO_BATCH_K`` knobs (:mod:`repro.config`).
+    workers: int | None = None
+    batch_k: int | None = None
+    #: Submission backlog before shedding; ``None`` defers to the
+    #: ``REPRO_SERVE_BACKLOG`` knob.
+    max_backlog: int | None = None
+    #: Virtual-time units per wall second; 0 = eager (see module doc).
+    time_scale: float = 0.0
+    #: Paced-mode wall poll interval, seconds.
+    tick: float = 0.02
+    #: Full manager-config override for advanced callers (resilience
+    #: layers, audit cadence); ``workers``/``batch_k`` above still win.
+    manager_config: ManagerConfig | None = None
+
+
+class ProcessLockingService:
+    """Command-queue front end over one process manager."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.bus = EventBus()
+        self.tracer = BusTracer(self.bus)
+        self.workload = build_workload(self.config.spec)
+        manager_config = (
+            self.config.manager_config or ManagerConfig()
+        )
+        manager_config = replace(
+            manager_config,
+            workers=repro_config.workers(self.config.workers)
+            if self.config.workers is not None
+            else manager_config.workers,
+            batch_k=repro_config.batch_k(self.config.batch_k)
+            if self.config.batch_k is not None
+            else manager_config.batch_k,
+        )
+        self.manager = make_manager(
+            make_protocol(self.config.protocol, self.workload),
+            subsystems=self.workload.make_subsystems(),
+            config=manager_config,
+            seed=self.config.seed,
+            tracer=self.tracer,
+        )
+        self.max_backlog = repro_config.serve_backlog(
+            self.config.max_backlog
+        )
+        self._commands: queue.Queue = queue.Queue()
+        #: (response builder, future) pairs resolved after each drain.
+        self._deferred: list[tuple[object, Future]] = []
+        #: (pid set, request id, future) triples for ``wait`` submits.
+        self._waiters: list[tuple[set[int], Future]] = []
+        self._cancelled: set[int] = set()
+        self._draining = threading.Event()
+        self._drained = threading.Event()
+        self._stop = threading.Event()
+        self._started = threading.Event()
+        self._thread: threading.Thread | None = None
+        # Shed mirrors, written on the engine thread after each drain
+        # and read lock-free from the network thread (atomic swaps).
+        self._pending_submissions = 0
+        self._open_breakers: tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ProcessLockingService":
+        """Spawn the engine thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run_loop,
+                name="repro-service-engine",
+                daemon=True,
+            )
+            self._thread.start()
+            self._started.wait()
+        return self
+
+    def stop(self) -> None:
+        """Drain (if not already) and stop the engine thread."""
+        if self._thread is None:
+            return
+        if not self._drained.is_set():
+            try:
+                self.execute({"cmd": "drain"}).result(timeout=60)
+            except Exception:
+                pass
+        self._stop.set()
+        self._thread.join(timeout=10)
+        self._thread = None
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    # ------------------------------------------------------------------
+    # network-facing entry points (any thread)
+    # ------------------------------------------------------------------
+    def shed_reason(self, cmd: str) -> tuple[str, str] | None:
+        """``(code, message)`` when ``cmd`` must be rejected up front."""
+        if self._draining.is_set() and cmd in ("submit", "cancel"):
+            return ("draining", "server is draining; no new work")
+        if cmd != "submit":
+            return None
+        backlog = self._pending_submissions + self._commands.qsize()
+        if backlog >= self.max_backlog:
+            return (
+                "overloaded",
+                f"submission backlog {backlog} at cap "
+                f"{self.max_backlog}; retry later",
+            )
+        if self._open_breakers:
+            return (
+                "overloaded",
+                "circuit breaker open for subsystem(s) "
+                f"{', '.join(self._open_breakers)}; retry later",
+            )
+        return None
+
+    def execute(self, request: dict) -> Future:
+        """Queue one request for the engine thread; returns a future.
+
+        The future resolves to a response *body* dict (the network
+        layer wraps it into a wire frame) or raises
+        :class:`ServiceError` for request-level failures.
+        """
+        fut: Future = Future()
+        shed = self.shed_reason(request.get("cmd", ""))
+        if shed is not None:
+            fut.set_exception(ServiceError(*shed))
+            return fut
+        if self._drained.is_set() and request.get("cmd") not in (
+            "ping",
+            "stats",
+            "status",
+            "check",
+            "drain",
+        ):
+            fut.set_exception(
+                ServiceError("draining", "server has drained")
+            )
+            return fut
+        self._commands.put((request, fut))
+        return fut
+
+    # ------------------------------------------------------------------
+    # engine thread
+    # ------------------------------------------------------------------
+    def _run_loop(self) -> None:
+        eager = self.config.time_scale <= 0
+        start_wall = time.monotonic()
+        self._started.set()
+        while not self._stop.is_set():
+            batch = self._next_batch()
+            for request, fut in batch:
+                self._apply(request, fut)
+            if eager:
+                self.manager.engine.run(
+                    max_events=self.manager.config.max_events
+                )
+            else:
+                deadline = (
+                    time.monotonic() - start_wall
+                ) * self.config.time_scale
+                self.manager.engine.run_due(deadline)
+            self._post_drain()
+
+    def _next_batch(self) -> list:
+        batch = []
+        try:
+            batch.append(self._commands.get(timeout=self.config.tick))
+        except queue.Empty:
+            return batch
+        while True:
+            try:
+                batch.append(self._commands.get_nowait())
+            except queue.Empty:
+                return batch
+
+    def _apply(self, request: dict, fut: Future) -> None:
+        cmd = request.get("cmd")
+        try:
+            handler = getattr(self, f"_cmd_{cmd}", None)
+            if handler is None:
+                raise ServiceError(
+                    "unknown-command", f"unknown command {cmd!r}"
+                )
+            handler(request, fut)
+        except ServiceError as exc:
+            fut.set_exception(exc)
+        except Exception as exc:  # defensive: engine must not die
+            fut.set_exception(
+                ServiceError("internal", f"{type(exc).__name__}: {exc}")
+            )
+
+    # -- command handlers (engine thread) ------------------------------
+    def _cmd_ping(self, request: dict, fut: Future) -> None:
+        self._deferred.append(
+            (lambda: {"pong": True, "now": self.manager.engine.now}, fut)
+        )
+
+    def _cmd_submit(self, request: dict, fut: Future) -> None:
+        program = _int_arg(request, "program", 0, minimum=0)
+        count = _int_arg(request, "count", 1, minimum=1)
+        at = request.get("at", 0.0)
+        if not isinstance(at, (int, float)) or at < 0:
+            raise ServiceError(
+                "bad-request", f"'at' must be a delay >= 0, got {at!r}"
+            )
+        catalog = self.workload.programs
+        pids = [
+            self.manager.submit(
+                catalog[(program + k) % len(catalog)], at=float(at)
+            )
+            for k in range(count)
+        ]
+        if request.get("wait"):
+            self._waiters.append((set(pids), fut))
+        else:
+            self._deferred.append((lambda: {"pids": pids}, fut))
+
+    def _cmd_status(self, request: dict, fut: Future) -> None:
+        pid = _int_arg(request, "pid", None, minimum=1)
+        self._deferred.append((lambda: self._status_body(pid), fut))
+
+    def _cmd_cancel(self, request: dict, fut: Future) -> None:
+        pid = _int_arg(request, "pid", None, minimum=1)
+        if pid not in self.manager.records:
+            raise ServiceError("unknown-pid", f"no process {pid}")
+        cancelled = self.manager.cancel(pid)
+        if cancelled:
+            self._cancelled.add(pid)
+        self._deferred.append(
+            (lambda: {"pid": pid, "cancelled": cancelled}, fut)
+        )
+
+    def _cmd_stats(self, request: dict, fut: Future) -> None:
+        self._deferred.append((self._stats_body, fut))
+
+    def _cmd_check(self, request: dict, fut: Future) -> None:
+        stride = _int_arg(request, "stride", 1, minimum=1)
+        self._deferred.append((lambda: self._check_body(stride), fut))
+
+    def _cmd_drain(self, request: dict, fut: Future) -> None:
+        self._draining.set()
+        self.manager.engine.run(
+            max_events=self.manager.config.max_events
+        )
+        self.manager.close()
+        self._drained.set()
+        body = self._stats_body()
+        body["drained"] = True
+        body["quiesced"] = not (
+            self.manager._processes or self.manager._pending_init
+        )
+        self.bus.publish(
+            "service.drained",
+            {"kind": "service.drained", "quiesced": body["quiesced"]},
+        )
+        self._deferred.append((lambda: body, fut))
+
+    def _cmd_subscribe(self, request: dict, fut: Future) -> None:
+        # Subscription wiring is connection-local; the network layer
+        # intercepts it.  Reaching here means a caller without one.
+        raise ServiceError(
+            "bad-request", "subscribe is handled per connection"
+        )
+
+    _cmd_unsubscribe = _cmd_subscribe
+
+    def _cmd_bye(self, request: dict, fut: Future) -> None:
+        self._deferred.append((lambda: {"bye": True}, fut))
+
+    # -- post-drain bookkeeping (engine thread) ------------------------
+    def _post_drain(self) -> None:
+        for builder, fut in self._deferred:
+            if not fut.set_running_or_notify_cancel():
+                continue
+            try:
+                fut.set_result(builder())
+            except ServiceError as exc:
+                fut.set_exception(exc)
+            except Exception as exc:
+                fut.set_exception(
+                    ServiceError(
+                        "internal", f"{type(exc).__name__}: {exc}"
+                    )
+                )
+        self._deferred.clear()
+        if self._waiters:
+            unresolved = []
+            for pids, fut in self._waiters:
+                if all(self._is_terminal(p) for p in pids):
+                    if fut.set_running_or_notify_cancel():
+                        fut.set_result(self._outcomes_body(pids))
+                else:
+                    unresolved.append((pids, fut))
+            self._waiters = unresolved
+        self._pending_submissions = len(self.manager._pending_init)
+        self._open_breakers = self._snapshot_open_breakers()
+
+    def _snapshot_open_breakers(self) -> tuple[str, ...]:
+        layer = self.manager.resilience
+        health = getattr(layer, "health", None)
+        if health is None:
+            return ()
+        return health.open_subsystems(self.manager.engine.now)
+
+    # -- response bodies -----------------------------------------------
+    def _is_terminal(self, pid: int) -> bool:
+        return (
+            pid not in self.manager._pending_init
+            and pid not in self.manager._processes
+        )
+
+    def _outcome(self, pid: int) -> str:
+        record = self.manager.records.get(pid)
+        if record is not None and record.committed_at is not None:
+            return "committed"
+        if pid in self._cancelled:
+            return "cancelled"
+        return "aborted"
+
+    def _outcomes_body(self, pids: set[int]) -> dict:
+        rows = []
+        for pid in sorted(pids):
+            record = self.manager.records.get(pid)
+            rows.append(
+                {
+                    "pid": pid,
+                    "outcome": self._outcome(pid),
+                    "latency": record.latency if record else None,
+                }
+            )
+        return {"pids": sorted(pids), "outcomes": rows}
+
+    def _status_body(self, pid: int) -> dict:
+        manager = self.manager
+        if pid in manager._pending_init:
+            return {"pid": pid, "state": "pending"}
+        process = manager._processes.get(pid)
+        if process is not None:
+            return {
+                "pid": pid,
+                "state": process.state.value,
+                "incarnation": process.incarnation,
+            }
+        record = manager.records.get(pid)
+        if record is None:
+            raise ServiceError("unknown-pid", f"no process {pid}")
+        return {
+            "pid": pid,
+            "state": "done",
+            "outcome": self._outcome(pid),
+            "committed_at": record.committed_at,
+            "latency": record.latency,
+            "resubmissions": record.resubmissions,
+        }
+
+    def _stats_body(self) -> dict:
+        manager = self.manager
+        stats = {
+            f.name: getattr(manager.stats, f.name)
+            for f in fields(manager.stats)
+            if not f.name.startswith("_")
+        }
+        counters = self.bus.counters
+        return {
+            "manager": stats,
+            "engine": {
+                "now": manager.engine.now,
+                "events_processed": manager.engine.events_processed,
+                "pending": manager.engine.pending,
+            },
+            "service": {
+                "backlog": self._pending_submissions,
+                "draining": self._draining.is_set(),
+                "open_breakers": list(self._open_breakers),
+                "waiters": len(self._waiters),
+                "catalog_size": len(self.workload.programs),
+                "workers": manager.config.workers,
+            },
+            "bus": {
+                "published": counters.published,
+                "delivered": counters.delivered,
+                "dropped": counters.dropped,
+                "subscribers": self.bus.subscriber_count,
+            },
+        }
+
+    def _check_body(self, stride: int) -> dict:
+        schedule = self.manager.trace.to_schedule(
+            self.workload.conflicts.conflict
+        )
+        complete = schedule.is_complete
+        prefix_reducible = is_prefix_reducible(schedule, stride=stride)
+        report = check_process_recoverability(schedule)
+        return {
+            "events": len(schedule.events),
+            "complete": complete,
+            # CT (Definition 6) is P-RED over a *complete* schedule.
+            "correct_termination": prefix_reducible if complete else None,
+            "prefix_reducible": prefix_reducible,
+            "process_recoverable": report.ok,
+            "violations": len(report.violations),
+        }
+
+
+class ServiceError(Exception):
+    """A request-level failure with a wire error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def _int_arg(request: dict, name: str, default, minimum: int):
+    value = request.get(name, default)
+    if value is None:
+        raise ServiceError(
+            "bad-request", f"missing integer field {name!r}"
+        )
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServiceError(
+            "bad-request", f"{name!r} must be an integer, got {value!r}"
+        )
+    if value < minimum:
+        raise ServiceError(
+            "bad-request", f"{name!r} must be >= {minimum}, got {value}"
+        )
+    return value

@@ -13,6 +13,8 @@ import os
 from collections.abc import Callable
 from concurrent.futures import ProcessPoolExecutor
 
+from repro import config as repro_config
+
 from repro.baselines.aca import CascadeAvoidingScheduler
 from repro.baselines.osl import PureOrderedSharedLocking
 from repro.baselines.s2pl import StrictTwoPhaseLocking
@@ -128,10 +130,12 @@ def compare_protocols(
 
 
 def _resolve_workers(max_workers: int | None, n_jobs: int) -> int:
-    """Effective pool size: explicit arg beats the environment knob."""
-    if max_workers is None:
-        raw = os.environ.get(WORKERS_ENV, "1") or "1"
-        max_workers = int(raw)
+    """Effective pool size: explicit arg beats the environment knob.
+
+    Resolution itself lives in :mod:`repro.config` (override > env >
+    default); 0 still means one worker per core.
+    """
+    max_workers = repro_config.seed_workers(max_workers)
     if max_workers == 0:
         max_workers = os.cpu_count() or 1
     return max(1, min(max_workers, n_jobs))

@@ -249,3 +249,66 @@ class TestObservabilityCommands:
         payload = json.loads(capsys.readouterr().out)
         assert code == 0
         assert payload["resilience"] == [None, None]
+
+
+class TestServiceCommands:
+    def test_config_table(self, capsys):
+        assert main(["config"]) == 0
+        out = capsys.readouterr().out
+        assert "REPRO_* environment knobs" in out
+        for env in (
+            "REPRO_WORKERS", "REPRO_BATCH_K", "REPRO_AUDIT_EVERY",
+            "REPRO_SEED_WORKERS", "REPRO_PARALLEL_FANOUT",
+            "REPRO_SERVE_HOST", "REPRO_SERVE_PORT",
+            "REPRO_SERVE_BACKLOG",
+        ):
+            assert env in out
+
+    def test_config_json_reports_sources(self, capsys, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.delenv("REPRO_BATCH_K", raising=False)
+        assert main(["config", "--json"]) == 0
+        rows = {
+            row["knob"]: row
+            for row in json.loads(capsys.readouterr().out)
+        }
+        assert rows["workers"]["value"] == 2
+        assert rows["workers"]["source"] == "env"
+        assert rows["batch_k"]["source"] == "default"
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port is None
+        assert args.time_scale == 0.0
+        assert args.protocol == "process-locking"
+
+
+class TestErrorHardening:
+    def test_malformed_workers_one_line_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--workers", "banana"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "expected an integer, got 'banana'" in err
+
+    def test_negative_workers_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--workers", "-3"])
+        assert excinfo.value.code == 2
+        assert "integer >= 0" in capsys.readouterr().err
+
+    def test_zero_batch_k_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--batch-k", "0"])
+        assert excinfo.value.code == 2
+        assert "integer >= 1" in capsys.readouterr().err
+
+    def test_explain_corrupt_trace_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "events.jsonl"
+        bad.write_text("this is { not jsonl\n")
+        assert main(["explain", "1", "--trace", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "unreadable trace" in err
+        assert "Traceback" not in err

@@ -1,0 +1,117 @@
+"""Tests for the consolidated REPRO_* knob registry."""
+
+import pytest
+
+from repro import config as repro_config
+
+
+class TestResolution:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert repro_config.workers() == 0
+        assert repro_config.source("workers") == "default"
+
+    def test_env_wins_over_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert repro_config.workers() == 3
+        assert repro_config.source("workers") == "env"
+
+    def test_override_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert repro_config.workers(5) == 5
+        assert repro_config.source("workers", 5) == "override"
+
+    def test_floor_clamps_env_and_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_K", "-4")
+        assert repro_config.batch_k() == 1
+        assert repro_config.batch_k(-2) == 1
+
+    def test_unknown_knob_raises(self):
+        with pytest.raises(KeyError):
+            repro_config.resolve("no-such-knob")
+
+
+class TestParallelFanout:
+    def test_empty_string_means_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_FANOUT", "")
+        assert repro_config.parallel_fanout() is None
+
+    def test_value_clamped_to_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_FANOUT", "0")
+        assert repro_config.parallel_fanout() == 1
+        monkeypatch.setenv("REPRO_PARALLEL_FANOUT", "7")
+        assert repro_config.parallel_fanout() == 7
+
+    def test_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL_FANOUT", raising=False)
+        assert repro_config.parallel_fanout() is None
+
+
+class TestServeKnobs:
+    def test_host_is_string(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_HOST", raising=False)
+        assert repro_config.serve_host() == "127.0.0.1"
+        monkeypatch.setenv("REPRO_SERVE_HOST", "0.0.0.0")
+        assert repro_config.serve_host() == "0.0.0.0"
+
+    def test_port_and_backlog(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_PORT", raising=False)
+        assert repro_config.serve_port() == 7453
+        assert repro_config.serve_port(0) == 0
+        monkeypatch.setenv("REPRO_SERVE_BACKLOG", "9")
+        assert repro_config.serve_backlog() == 9
+
+
+class TestDescribe:
+    def test_every_knob_described(self):
+        rows = repro_config.describe()
+        names = {row["knob"] for row in rows}
+        assert names == set(repro_config.KNOBS)
+        for row in rows:
+            assert row["source"] in ("default", "env")
+            assert row["description"]
+            assert row["env"].startswith("REPRO_")
+
+
+class TestConsumers:
+    """The historical inline readers now route through the registry."""
+
+    def test_manager_config_defaults_from_env(self, monkeypatch):
+        from repro.scheduler.manager import ManagerConfig
+
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.setenv("REPRO_BATCH_K", "4")
+        monkeypatch.setenv("REPRO_AUDIT_EVERY", "8")
+        config = ManagerConfig()
+        assert config.workers == 2
+        assert config.batch_k == 4
+        assert config.audit_every == 8
+
+    def test_seed_worker_resolution(self, monkeypatch):
+        from repro.sim.runner import _resolve_workers
+
+        monkeypatch.setenv("REPRO_SEED_WORKERS", "4")
+        assert _resolve_workers(None, n_jobs=8) == 4
+        # Explicit argument beats the environment.
+        assert _resolve_workers(2, n_jobs=8) == 2
+        # Clamped to the job count; zero expands to the core count.
+        assert _resolve_workers(None, n_jobs=2) == 2
+        monkeypatch.setenv("REPRO_SEED_WORKERS", "")
+        assert _resolve_workers(None, n_jobs=8) == 1
+
+    def test_parallel_manager_reads_fanout(self, monkeypatch):
+        from repro.scheduler.manager import ManagerConfig, make_manager
+        from repro.sim.runner import make_protocol
+        from repro.sim.workload import WorkloadSpec, build_workload
+
+        monkeypatch.setenv("REPRO_PARALLEL_FANOUT", "5")
+        workload = build_workload(WorkloadSpec(n_processes=2, seed=0))
+        manager = make_manager(
+            make_protocol("process-locking", workload),
+            subsystems=workload.make_subsystems(),
+            config=ManagerConfig(workers=2),
+        )
+        try:
+            assert manager._fanout_threshold == 5
+        finally:
+            manager.close()

@@ -1,0 +1,178 @@
+"""Socket-level tests: server thread + real clients over TCP."""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.client import ServiceCallError, ServiceClient
+from repro.server.net import start_server_thread
+from repro.server.service import ServiceConfig
+from repro.sim.workload import WorkloadSpec
+
+
+@pytest.fixture()
+def server():
+    handle = start_server_thread(
+        ServiceConfig(
+            spec=WorkloadSpec(n_processes=6, seed=5), seed=5
+        )
+    )
+    yield handle
+    handle.stop()
+
+
+def connect(handle) -> ServiceClient:
+    return ServiceClient(handle.host, handle.port, timeout=30)
+
+
+class TestWire:
+    def test_ping_and_stats(self, server):
+        with connect(server) as client:
+            assert client.ping()["pong"] is True
+            stats = client.stats()
+            assert stats["manager"]["submitted"] == 0
+            assert stats["service"]["catalog_size"] == 6
+
+    def test_submit_status_cancel_cycle(self, server):
+        with connect(server) as client:
+            pids = client.submit(count=2, wait=True)["pids"]
+            assert pids == [1, 2]
+            assert client.status(pids[0])["state"] == "done"
+            assert client.cancel(pids[0])["cancelled"] is False
+
+    def test_error_frames(self, server):
+        with connect(server) as client:
+            with pytest.raises(ServiceCallError) as excinfo:
+                client.status(404)
+            assert excinfo.value.code == "unknown-pid"
+            with pytest.raises(ServiceCallError) as excinfo:
+                client.call("submit", count=0)
+            assert excinfo.value.code == "bad-request"
+
+    def test_malformed_line_answered_not_fatal(self, server):
+        with connect(server) as client:
+            with client._send_mutex:
+                client._sock.sendall(b"this is not json\n")
+            # The error frame has no id, so it lands in no pending
+            # future; the connection must survive for the next call.
+            time.sleep(0.1)
+            assert client.ping()["pong"] is True
+
+    def test_subscribe_streams_lifecycle_events(self, server):
+        with connect(server) as client:
+            client.subscribe("process.*")
+            client.submit(count=2, wait=True)
+            kinds = set()
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                frame = client.next_event(timeout=1.0)
+                if frame is None:
+                    break
+                kinds.add(frame["event"])
+                if "process.commit" in kinds:
+                    break
+            assert "process.submit" in kinds
+            assert "process.commit" in kinds
+
+    def test_unsubscribe_stops_the_stream(self, server):
+        with connect(server) as client:
+            token = client.subscribe("process.*")["token"]
+            client.unsubscribe(token)
+            client.submit(wait=True)
+            assert client.next_event(timeout=0.3) is None
+
+
+class TestConcurrentClients:
+    def test_four_clients_submit_in_parallel(self, server):
+        results: list[dict] = []
+        errors: list[Exception] = []
+
+        def worker(index: int) -> None:
+            try:
+                with connect(server) as client:
+                    body = client.submit(
+                        program=index, count=2, wait=True
+                    )
+                    results.append(body)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert len(results) == 4
+        all_pids = sorted(
+            pid for body in results for pid in body["pids"]
+        )
+        assert all_pids == list(range(1, 9))  # unique, no clashes
+        with connect(server) as client:
+            stats = client.stats()
+            assert stats["manager"]["submitted"] == 8
+            battery = client.check()
+            assert battery["prefix_reducible"] is True
+            assert battery["process_recoverable"] is True
+
+
+class TestDrain:
+    def test_stop_drains_cleanly(self):
+        handle = start_server_thread(
+            ServiceConfig(
+                spec=WorkloadSpec(n_processes=4, seed=9), seed=9
+            )
+        )
+        client = connect(handle)
+        client.submit(count=3, wait=True)
+        drain = client.drain()
+        assert drain["drained"] is True
+        assert drain["quiesced"] is True
+        client.close()
+        handle.stop()
+
+
+_SIGTERM_SERVER = """
+import sys
+from repro.cli import main
+sys.exit(main([
+    "serve", "--port", "0", "--processes", "4", "--seed", "3",
+]))
+"""
+
+
+class TestSigterm:
+    def test_sigterm_drains_without_losing_processes(self, tmp_path):
+        env = os.environ.copy()
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _SIGTERM_SERVER],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+        )
+        try:
+            line = proc.stdout.readline().decode()
+            assert "listening on" in line, line
+            host_port = line.split("listening on ")[1].split()[0]
+            host, port = host_port.rsplit(":", 1)
+            with ServiceClient(host, int(port), timeout=30) as client:
+                submitted = client.submit(count=3, wait=True)
+                assert len(submitted["outcomes"]) == 3
+                proc.send_signal(signal.SIGTERM)
+                # The drain announcement reaches subscribers and the
+                # link closes only after every process terminated.
+            out, err = proc.communicate(timeout=30)
+            assert proc.returncode == 0, err.decode()
+            assert b"drained cleanly" in out, out + err
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=10)

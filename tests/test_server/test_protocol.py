@@ -1,0 +1,75 @@
+"""Tests for the JSON-lines wire protocol helpers."""
+
+import pytest
+
+from repro.server.protocol import (
+    COMMANDS,
+    WireError,
+    decode_line,
+    encode,
+    error_response,
+    event_frame,
+    ok_response,
+)
+
+
+class TestEncode:
+    def test_canonical_and_newline_terminated(self):
+        frame = {"b": 1, "a": [2, 3]}
+        data = encode(frame)
+        assert data == b'{"a":[2,3],"b":1}\n'
+
+    def test_byte_stable_across_key_orders(self):
+        assert encode({"x": 1, "y": 2}) == encode({"y": 2, "x": 1})
+
+
+class TestDecodeLine:
+    def test_round_trip(self):
+        line = encode({"cmd": "ping", "id": 3})
+        assert decode_line(line) == {"cmd": "ping", "id": 3}
+
+    def test_accepts_str(self):
+        assert decode_line('{"cmd": "stats"}')["cmd"] == "stats"
+
+    @pytest.mark.parametrize(
+        "line,code",
+        [
+            (b"not json\n", "bad-request"),
+            (b"[1,2]\n", "bad-request"),
+            (b'{"no": "cmd"}\n', "bad-request"),
+            (b'{"cmd": 7}\n', "bad-request"),
+            (b'{"cmd": "frobnicate"}\n', "unknown-command"),
+            (b"\xff\xfe\n", "bad-request"),
+        ],
+    )
+    def test_bad_frames(self, line, code):
+        with pytest.raises(WireError) as excinfo:
+            decode_line(line)
+        assert excinfo.value.code == code
+
+    def test_command_set(self):
+        assert {"submit", "status", "cancel", "subscribe", "stats",
+                "check", "drain", "ping", "bye"} <= COMMANDS
+
+
+class TestFrames:
+    def test_ok_echoes_id(self):
+        assert ok_response(9, pids=[1]) == {
+            "id": 9,
+            "ok": True,
+            "pids": [1],
+        }
+
+    def test_error_shape(self):
+        frame = error_response(None, "overloaded", "retry later")
+        assert frame["ok"] is False
+        assert frame["error"] == {
+            "code": "overloaded",
+            "message": "retry later",
+        }
+
+    def test_event_frame(self):
+        assert event_frame("process.commit", {"pid": 2}) == {
+            "event": "process.commit",
+            "record": {"pid": 2},
+        }
