@@ -12,6 +12,14 @@ This file pins both: byte-identity at benchmark scale, and an
 enabled-overhead factor recorded to ``BENCH_obs_overhead.json`` and
 asserted under a generous ceiling (regressions like unguarded event
 construction or quadratic series upkeep blow well past it).
+
+The metrics plane adds a third point: a
+:class:`~repro.obs.MetricsTracer` tee (registry feeder + flight
+recorder) wrapped around the same recording tracer.  Its marginal cost
+over plain tracing is pinned at a much tighter factor — the feeder
+reads event attributes directly and the flight recorder appends
+without flattening, so anything quadratic or allocation-happy on that
+path (say, an ``asdict`` per emit) blows the bound immediately.
 """
 
 from __future__ import annotations
@@ -21,7 +29,7 @@ import time
 from pathlib import Path
 
 from repro.faults.harness import canonical_trace
-from repro.obs import Tracer
+from repro.obs import FlightRecorder, MetricsTracer, Tracer
 from repro.scheduler.manager import ManagerConfig
 from repro.sim.runner import run_workload
 from repro.sim.workload import WorkloadSpec, build_workload
@@ -47,6 +55,10 @@ SPEC = WorkloadSpec(
 #: per-emit gauge poll); the ceiling leaves headroom for CI-runner noise
 #: while still catching structural regressions.
 MAX_ENABLED_FACTOR = 4.0
+
+#: The metrics tee (registry feeder + flight ring) may cost at most
+#: this factor over the plain recording tracer it wraps.
+MAX_METRICS_FACTOR = 1.5
 
 CONFIG = dict(max_resubmissions=100_000)
 
@@ -74,6 +86,12 @@ def test_disabled_tracing_is_invisible_and_enabled_is_bounded(
     uid_floor.repin()
     tracer = Tracer()
     traced, wall_traced = _timed(tracer)
+    uid_floor.repin()
+    metrics_sink = Tracer()
+    metrics_tracer = MetricsTracer(
+        sinks=(metrics_sink,), recorder=FlightRecorder(512)
+    )
+    metered, wall_metrics = _timed(metrics_tracer)
 
     # Disabled-path contract: the traced run *scheduled* identically —
     # tracing observed the run without participating in it.
@@ -84,21 +102,40 @@ def test_disabled_tracing_is_invisible_and_enabled_is_bounded(
     assert plain.makespan == traced.makespan
     assert len(tracer) > 0
 
+    # The metrics tee is as invisible to the schedule as the tracer it
+    # wraps, and its sink recorded exactly what the plain tracer did.
+    assert canonical_trace(plain.trace.events) == canonical_trace(
+        metered.trace.events
+    )
+    assert json.dumps(tracer.records()) == json.dumps(
+        metrics_sink.records()
+    )
+    assert (
+        metrics_tracer.metrics.outcomes.value(("committed",))
+        == plain.stats.committed
+    )
+
     factor = wall_traced / wall_plain
+    metrics_factor = wall_metrics / wall_traced
     BENCH_PATH.write_text(
         json.dumps(
             {
                 "description": (
                     "full decision-level tracing vs the untraced "
                     "default on one contended workload; schedules "
-                    "asserted byte-identical"
+                    "asserted byte-identical; third point adds the "
+                    "metrics tee (registry feeder + flight ring) "
+                    "around the same tracer"
                 ),
                 "n_processes": SPEC.n_processes,
                 "events_traced": len(tracer),
                 "wall_s_untraced": round(wall_plain, 3),
                 "wall_s_traced": round(wall_traced, 3),
+                "wall_s_metrics": round(wall_metrics, 3),
                 "enabled_overhead_factor": round(factor, 2),
+                "metrics_over_traced_factor": round(metrics_factor, 2),
                 "max_allowed_factor": MAX_ENABLED_FACTOR,
+                "max_metrics_factor": MAX_METRICS_FACTOR,
             },
             indent=2,
         )
@@ -107,9 +144,14 @@ def test_disabled_tracing_is_invisible_and_enabled_is_bounded(
     print(
         f"\ntracing overhead: {factor:.2f}x "
         f"({len(tracer)} events, {wall_plain:.3f}s -> "
-        f"{wall_traced:.3f}s)"
+        f"{wall_traced:.3f}s); metrics tee: {metrics_factor:.2f}x "
+        f"over tracing ({wall_metrics:.3f}s)"
     )
     assert factor < MAX_ENABLED_FACTOR, (
         f"enabled tracing costs {factor:.2f}x "
         f"(limit {MAX_ENABLED_FACTOR}x)"
+    )
+    assert metrics_factor < MAX_METRICS_FACTOR, (
+        f"metrics tee costs {metrics_factor:.2f}x over plain tracing "
+        f"(limit {MAX_METRICS_FACTOR}x)"
     )

@@ -364,6 +364,51 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: REPRO_SERVE_BACKLOG)"
         ),
     )
+    serve.add_argument(
+        "--metrics-port",
+        type=_nonneg_int,
+        default=None,
+        help=(
+            "HTTP /metrics sidecar port, 0 = ephemeral (default: "
+            "REPRO_SERVE_METRICS_PORT; unset = no sidecar)"
+        ),
+    )
+
+    top = sub.add_parser(
+        "top",
+        help=(
+            "live terminal dashboard for a running `repro serve`: "
+            "polls stats + metrics over the wire protocol"
+        ),
+    )
+    top.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="service address (default: 127.0.0.1)",
+    )
+    top.add_argument(
+        "--port",
+        type=_nonneg_int,
+        default=7453,
+        help="service TCP port (default: 7453)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between polls (default: 1.0)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=_nonneg_int,
+        default=0,
+        help="frames to render before exiting (0 = until Ctrl-C)",
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of redrawing in place",
+    )
 
     config = sub.add_parser(
         "config",
@@ -728,7 +773,69 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_backlog=args.backlog,
         time_scale=args.time_scale,
     )
-    run_server(service_config, host=args.host, port=args.port)
+    run_server(
+        service_config,
+        host=args.host,
+        port=args.port,
+        metrics_port=args.metrics_port,
+    )
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.analysis.top import TopState, render_top
+    from repro.client import ServiceClient
+
+    try:
+        client = ServiceClient(args.host, args.port)
+    except OSError as error:
+        print(
+            f"cannot reach {args.host}:{args.port}: {error}",
+            file=sys.stderr,
+        )
+        return 2
+    state = TopState()
+    frames = 0
+    last_poll: float | None = None
+    try:
+        with client:
+            while True:
+                now = time.monotonic()
+                elapsed = 0.0 if last_poll is None else now - last_poll
+                stats = client.stats()
+                metrics = client.metrics()
+                frame = render_top(
+                    stats,
+                    metrics,
+                    state if last_poll is not None else None,
+                    elapsed,
+                )
+                if last_poll is None:
+                    # Prime the rate baseline on the first poll.
+                    state.committed = float(
+                        stats["manager"].get("committed", 0)
+                    )
+                    state.submitted = float(
+                        stats["manager"].get("submitted", 0)
+                    )
+                    state.events = float(
+                        stats["engine"].get("events_processed", 0)
+                    )
+                last_poll = now
+                if not args.no_clear and sys.stdout.isatty():
+                    print("\x1b[2J\x1b[H", end="")
+                print(frame, flush=True)
+                frames += 1
+                if args.iterations and frames >= args.iterations:
+                    break
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    except (ConnectionError, OSError) as error:
+        print(f"connection lost: {error}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -774,6 +881,7 @@ _COMMANDS = {
     "scenario": cmd_scenario,
     "sweep-threshold": cmd_sweep_threshold,
     "serve": cmd_serve,
+    "top": cmd_top,
     "config": cmd_config,
 }
 

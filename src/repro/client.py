@@ -151,6 +151,25 @@ class ServiceClient:
     def check(self, stride: int = 1) -> dict:
         return self.call("check", stride=stride)
 
+    def metrics(self) -> dict:
+        """The server's metrics-registry snapshot (JSON form)."""
+        return self.call("metrics")
+
+    def dump(self, restore: bool = True) -> dict:
+        """The server's flight-recorder window as trace records.
+
+        With ``restore`` (the default) the JSONL string stand-ins for
+        non-finite floats are converted back to numbers, so the
+        records feed :func:`repro.obs.explain_process` and
+        :func:`repro.obs.replay_metrics` directly.
+        """
+        body = self.call("dump")
+        if restore:
+            from repro.obs.export import _restore
+
+            body["events"] = [_restore(r) for r in body["events"]]
+        return body
+
     def drain(self) -> dict:
         return self.call("drain")
 

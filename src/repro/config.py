@@ -32,10 +32,13 @@ __all__ = [
     "audit_every",
     "batch_k",
     "describe",
+    "flight_events",
+    "flight_path",
     "parallel_fanout",
     "resolve",
     "seed_workers",
     "serve_host",
+    "serve_metrics_port",
     "serve_port",
     "workers",
 ]
@@ -63,6 +66,10 @@ class Knob:
 def _parse_optional_int(raw: str) -> int | None:
     """``REPRO_PARALLEL_FANOUT`` semantics: empty string means unset."""
     return int(raw) if raw else None
+
+
+def _parse_optional_str(raw: str) -> str | None:
+    return raw if raw else None
 
 
 KNOBS: dict[str, Knob] = {
@@ -140,6 +147,37 @@ KNOBS: dict[str, Knob] = {
             description=(
                 "submission backlog the server accepts before shedding "
                 "SUBMITs at the socket (overload protection)"
+            ),
+        ),
+        Knob(
+            name="serve_metrics_port",
+            env="REPRO_SERVE_METRICS_PORT",
+            default=None,
+            parse=_parse_optional_int,
+            description=(
+                "HTTP /metrics sidecar port of `repro serve` (0 = "
+                "ephemeral, unset = no sidecar)"
+            ),
+        ),
+        Knob(
+            name="flight_events",
+            env="REPRO_FLIGHT_EVENTS",
+            default=512,
+            floor=1,
+            description=(
+                "flight-recorder ring capacity: last N trace events "
+                "retained in the service for crash dumps"
+            ),
+        ),
+        Knob(
+            name="flight_path",
+            env="REPRO_FLIGHT_PATH",
+            default=None,
+            parse=_parse_optional_str,
+            description=(
+                "JSONL path the service dumps the flight recorder to "
+                "on SIGTERM drain or unhandled errors (unset = dump "
+                "only via the `dump` wire verb)"
             ),
         ),
     )
@@ -231,3 +269,15 @@ def serve_port(override: int | None = None) -> int:
 
 def serve_backlog(override: int | None = None) -> int:
     return resolve("serve_backlog", override)
+
+
+def serve_metrics_port(override: int | None = None) -> int | None:
+    return resolve("serve_metrics_port", override)
+
+
+def flight_events(override: int | None = None) -> int:
+    return resolve("flight_events", override)
+
+
+def flight_path(override: str | None = None) -> str | None:
+    return resolve("flight_path", override)

@@ -20,30 +20,56 @@ observable, instead of only the end-of-run aggregates of
   trace-event/Perfetto JSON, and wait-for-graph DOT snapshots;
 * :mod:`repro.obs.explain` — replay a JSONL trace into a
   human-readable causal account of one process's blocks, aborts, and
-  resubmissions (``repro explain``).
+  resubmissions (``repro explain``);
+* :mod:`repro.obs.metrics` — the deterministic metrics plane: a
+  dependency-free registry of counters/gauges/histograms with
+  Prometheus text exposition, the :class:`EventMetrics` feeder mapping
+  the event stream onto it, and the :class:`MetricsTracer` tee;
+* :mod:`repro.obs.flight` — a bounded ring of the last N events,
+  dumped as JSONL on drain/crash so any incident is explainable.
 """
 
 from repro.obs.explain import deferred_pids, explain_process
 from repro.obs.export import (
+    events_from_records,
     export_all,
     perfetto_trace,
     read_jsonl,
+    record_to_event,
     wait_for_dot,
     write_jsonl,
+)
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import (
+    EventMetrics,
+    MetricsRegistry,
+    MetricsTracer,
+    histogram_quantile,
+    parse_prometheus,
+    replay_metrics,
 )
 from repro.obs.series import SeriesBank
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
+    "EventMetrics",
+    "FlightRecorder",
+    "MetricsRegistry",
+    "MetricsTracer",
     "NULL_TRACER",
     "NullTracer",
     "SeriesBank",
     "Tracer",
     "deferred_pids",
+    "events_from_records",
     "explain_process",
     "export_all",
+    "histogram_quantile",
+    "parse_prometheus",
     "perfetto_trace",
     "read_jsonl",
+    "record_to_event",
+    "replay_metrics",
     "wait_for_dot",
     "write_jsonl",
 ]

@@ -71,7 +71,9 @@ class AbortBegun:
     kind = "process.abort-begin"
     pid: int
     incarnation: int
-    #: "cascade", "deadlock", "self", "intrinsic", or "subprocess".
+    #: "cascade", "deadlock", "self", "intrinsic", "subprocess", or
+    #: "cancel" (client cancel of a running process, service front
+    #: door).
     cause: str
 
 

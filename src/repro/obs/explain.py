@@ -221,8 +221,21 @@ def explain_process(records: list[dict], pid: int) -> str:
             )
         elif kind == "process.abort-begin":
             add(t, f"abort started (cause: {record['cause']})")
+        elif kind == "process.cancel":
+            outcome = "cancelled"
+            add(
+                t,
+                "CANCELLED by client"
+                + (
+                    " (running: abort-process executes, no "
+                    "resubmission)"
+                    if record["initiated"]
+                    else " (before initiation: dropped)"
+                ),
+            )
         elif kind == "process.abort":
-            outcome = "aborted"
+            if outcome != "cancelled":
+                outcome = "aborted"
             tail = (
                 "resubmission scheduled"
                 if record["resubmit"]

@@ -28,8 +28,10 @@ from __future__ import annotations
 
 import json
 import math
+from dataclasses import fields
 from pathlib import Path
 
+from repro.obs.events import EVENT_TYPES, Holder
 from repro.obs.series import SeriesBank
 
 #: Exported µs per virtual time unit (1 vt unit == 1 ms on screen).
@@ -111,6 +113,64 @@ def read_jsonl(path: str | Path) -> list[dict]:
             if line:
                 records.append(_restore(json.loads(line)))
     return records
+
+
+# ----------------------------------------------------------------------
+# record -> event restore table
+# ----------------------------------------------------------------------
+#: Fields holding tuples of :class:`Holder` (JSON lists of dicts).
+_HOLDER_TUPLE_FIELDS = {
+    ("lock.defer", "blockers"),
+    ("lock.cascade", "victims"),
+}
+
+#: Fields holding flat tuples of scalars (JSON lists).
+_SCALAR_TUPLE_FIELDS = {
+    ("wait.edge", "blockers"),
+    ("deadlock.victim", "cycle"),
+    ("deadlock.forced", "cycle"),
+    ("resilience.admission", "subsystems"),
+    ("resilience.backpressure", "subsystems"),
+    ("resilience.degrade", "open_subsystems"),
+}
+
+
+def record_to_event(record: dict):
+    """Rebuild the typed event dataclass from one flat record.
+
+    Inverse of :meth:`repro.obs.tracer.Stamped.to_record` for the
+    payload part: JSON round-trips turn tuples into lists and
+    ``Holder`` entries into dicts, so this restores every tuple-typed
+    field per the tables above.  Covers every class in
+    :data:`repro.obs.events.EVENT_TYPES`; raises :class:`ValueError`
+    on an unknown kind and :class:`TypeError` when required payload
+    fields are missing.
+    """
+    kind = record["kind"]
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown event kind {kind!r}")
+    kwargs = {}
+    for field_info in fields(cls):
+        name = field_info.name
+        if name not in record:
+            continue  # absent optional field: let the default fill in
+        value = record[name]
+        if (kind, name) in _HOLDER_TUPLE_FIELDS:
+            value = tuple(
+                item if isinstance(item, Holder) else Holder(**item)
+                for item in value
+            )
+        elif (kind, name) in _SCALAR_TUPLE_FIELDS:
+            value = tuple(value)
+        kwargs[name] = value
+    return cls(**kwargs)
+
+
+def events_from_records(records: list[dict]) -> list:
+    """Restore a whole record stream (drops no stamps — pair with the
+    ``seq``/``t`` keys of the originals as needed)."""
+    return [record_to_event(record) for record in records]
 
 
 def _holder_args(record: dict) -> dict:

@@ -339,18 +339,6 @@ class ParallelProcessManager(ProcessManager):
     def _flights_of(self, pid: int) -> list[InflightActivity]:
         return list(self._inflight.by_pid.get(pid, {}).values())
 
-    def _shard_queue_depth(self, subsystem: str) -> int:
-        bucket = self._inflight.by_shard.get(subsystem)
-        depth = len(bucket) if bucket else 0
-        for request in self._parked.values():
-            activity = request.activity
-            if (
-                activity is not None
-                and activity.activity_type.subsystem == subsystem
-            ):
-                depth += 1
-        return depth
-
     # ------------------------------------------------------------------
     # worker-aware observability & audits
     # ------------------------------------------------------------------

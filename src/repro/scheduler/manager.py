@@ -288,6 +288,10 @@ class ProcessManager:
         #: Pids with a parked COMMIT request (O(1) membership).
         self._parked_commit_pids: set[int] = set()
         self._inflight: dict[int, InflightActivity] = {}
+        #: subsystem -> live queue depth (in-flight + parked activity
+        #: requests), maintained incrementally at the _inflight/_parked
+        #: mutation sites so gauge sampling never scans either store.
+        self._shard_depth_counts: dict[str, int] = {}
         #: Incrementally maintained wait-for reachability over the parked
         #: requests (mirrors :meth:`_wait_edges` exactly; audited).
         self._waitfor = IncrementalWaitFor()
@@ -532,18 +536,27 @@ class ProcessManager:
     def _shard_queue_depth(self, subsystem: str) -> int:
         """Live work queued on one shard: in-flight activities plus
         parked non-commit requests on the subsystem's types."""
-        depth = 0
-        for flight in self._inflight.values():
-            if flight.activity.activity_type.subsystem == subsystem:
-                depth += 1
-        for request in self._parked.values():
-            activity = request.activity
-            if (
-                activity is not None
-                and activity.activity_type.subsystem == subsystem
-            ):
-                depth += 1
-        return depth
+        return self._shard_depth_counts.get(subsystem, 0)
+
+    def _note_shard_depth(self, activity, delta: int) -> None:
+        """Bump the incremental depth counter for ``activity``'s shard.
+
+        Called at every ``_inflight``/``_parked`` mutation site; parked
+        COMMIT requests carry no activity and never count.
+        """
+        if activity is None:
+            return
+        counts = self._shard_depth_counts
+        shard = activity.activity_type.subsystem
+        counts[shard] = counts.get(shard, 0) + delta
+
+    def _shard_depths(self) -> dict[str, int]:
+        """All shard queue depths (incremental; O(live shards))."""
+        return {
+            shard: depth
+            for shard, depth in self._shard_depth_counts.items()
+            if depth
+        }
 
     # ------------------------------------------------------------------
     # forward progress
@@ -644,6 +657,7 @@ class ProcessManager:
             entry=entry,
         )
         self._inflight[activity.uid] = flight
+        self._note_shard_depth(activity, +1)
         self._gate_flight(flight)
         if not flight.gate:
             self._start_flight(flight)
@@ -753,7 +767,8 @@ class ProcessManager:
                 lambda: self._complete_regular(flight),
             )
             return
-        self._inflight.pop(activity.uid, None)
+        if self._inflight.pop(activity.uid, None) is not None:
+            self._note_shard_depth(activity, -1)
         self.stats.note_inflight(self.engine.now, -1)
         self._release_dependents(flight)
         failed = not activity_type.retriable and self._samples_failure(
@@ -989,7 +1004,8 @@ class ProcessManager:
             return            # belong to abortable processes
         process = flight.process
         activity = flight.activity
-        self._inflight.pop(activity.uid, None)
+        if self._inflight.pop(activity.uid, None) is not None:
+            self._note_shard_depth(activity, -1)
         self.stats.note_inflight(self.engine.now, -1)
         self._release_dependents(flight)
         run = self._comp_runs.get(process.pid)
@@ -1083,6 +1099,7 @@ class ProcessManager:
         for flight in self._flights_of(process.pid):
             flight.cancelled = True
             del self._inflight[flight.activity.uid]
+            self._note_shard_depth(flight.activity, -1)
             if self.tracer.enabled:
                 self.tracer.emit(
                     ActivityCancelled(
@@ -1206,6 +1223,7 @@ class ProcessManager:
         """
         request.seq = next(self._park_seq)
         self._parked[request.seq] = request
+        self._note_shard_depth(request.activity, +1)
         for pid in request.wait_for:
             self._wait_index.setdefault(pid, set()).add(request.seq)
         if request.kind is RequestKind.COMMIT:
@@ -1234,6 +1252,7 @@ class ProcessManager:
     def _unpark(self, request: ParkedRequest) -> None:
         """Remove a parked request and unregister its wait-index entries."""
         del self._parked[request.seq]
+        self._note_shard_depth(request.activity, -1)
         for pid in request.wait_for:
             bucket = self._wait_index.get(pid)
             if bucket is not None:
@@ -1644,6 +1663,11 @@ class ProcessManager:
                 for shard in shards.values():
                     sample[f"locks.{shard.name}"] = float(
                         shard.lock_count
+                    )
+                depths = self._shard_depths()
+                for name in shards:
+                    sample[f"queue.{name}"] = float(
+                        depths.get(name, 0)
                     )
         return sample
 

@@ -162,6 +162,7 @@ async def serve(
     host: str | None = None,
     port: int | None = None,
     *,
+    metrics_port: int | None = None,
     on_ready=None,
     shutdown: asyncio.Event | None = None,
 ) -> None:
@@ -171,8 +172,23 @@ async def serve(
     prints the address; tests and the in-thread helper capture the
     ephemeral port).  ``shutdown`` is set by SIGTERM/SIGINT (installed
     when the loop runs on the main thread) or by the embedding test.
+
+    With a ``metrics_port`` (or the ``REPRO_SERVE_METRICS_PORT`` knob)
+    an HTTP ``/metrics`` sidecar runs for the server's lifetime; it is
+    exposed as ``service.sidecar`` before ``on_ready`` fires.
     """
     service.start()
+    resolved_metrics_port = repro_config.serve_metrics_port(
+        metrics_port
+    )
+    if resolved_metrics_port is not None:
+        from repro.server.sidecar import MetricsSidecar
+
+        service.sidecar = MetricsSidecar(
+            service,
+            repro_config.serve_host(host),
+            resolved_metrics_port,
+        ).start()
     shutdown = shutdown or asyncio.Event()
     loop = asyncio.get_running_loop()
     for sig in (signal.SIGTERM, signal.SIGINT):
@@ -218,6 +234,9 @@ async def serve(
                 )
         for task in list(connections):
             task.cancel()
+    if service.sidecar is not None:
+        service.sidecar.stop()
+        service.sidecar = None
     service.stop()
 
 
@@ -225,6 +244,7 @@ def run_server(
     config: ServiceConfig | None = None,
     host: str | None = None,
     port: int | None = None,
+    metrics_port: int | None = None,
 ) -> None:
     """Blocking entry point behind ``repro serve``."""
     service = ProcessLockingService(config)
@@ -237,8 +257,23 @@ def run_server(
             f"catalog={len(service.workload.programs)})",
             flush=True,
         )
+        sidecar = service.sidecar
+        if sidecar is not None:
+            print(
+                f"repro-serve metrics on "
+                f"http://{sidecar.host}:{sidecar.port}/metrics",
+                flush=True,
+            )
 
-    asyncio.run(serve(service, host, port, on_ready=announce))
+    asyncio.run(
+        serve(
+            service,
+            host,
+            port,
+            metrics_port=metrics_port,
+            on_ready=announce,
+        )
+    )
     print("repro-serve drained cleanly", flush=True)
 
 
@@ -251,6 +286,8 @@ class ServerHandle:
         self.service = service
         self.host = host
         self.port = port
+        #: Bound sidecar port, or ``None`` when no sidecar runs.
+        self.metrics_port: int | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._shutdown: asyncio.Event | None = None
         self._thread: threading.Thread | None = None
@@ -268,6 +305,7 @@ def start_server_thread(
     config: ServiceConfig | None = None,
     host: str = "127.0.0.1",
     port: int = 0,
+    metrics_port: int | None = None,
 ) -> ServerHandle:
     """Run a full server on a daemon thread; returns once bound."""
     service = ProcessLockingService(config)
@@ -283,12 +321,17 @@ def start_server_thread(
             def on_ready(bound_host: str, bound_port: int) -> None:
                 handle.host = bound_host
                 handle.port = bound_port
+                sidecar = service.sidecar
+                handle.metrics_port = (
+                    sidecar.port if sidecar is not None else None
+                )
                 ready.set()
 
             await serve(
                 service,
                 host,
                 port,
+                metrics_port=metrics_port,
                 on_ready=on_ready,
                 shutdown=handle._shutdown,
             )

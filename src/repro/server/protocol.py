@@ -33,8 +33,10 @@ import json
 
 #: The full command set.  ``submit``/``status``/``cancel`` drive the
 #: process lifecycle; ``subscribe``/``unsubscribe`` manage event
-#: delivery; ``stats``/``check`` observe; ``drain`` performs a
-#: graceful shutdown; ``ping``/``bye`` frame sessions.
+#: delivery; ``stats``/``check``/``metrics``/``dump`` observe
+#: (``metrics`` returns the registry snapshot, ``dump`` the
+#: flight-recorder window); ``drain`` performs a graceful shutdown;
+#: ``ping``/``bye`` frame sessions.
 COMMANDS = frozenset(
     {
         "ping",
@@ -45,6 +47,8 @@ COMMANDS = frozenset(
         "unsubscribe",
         "stats",
         "check",
+        "metrics",
+        "dump",
         "drain",
         "bye",
     }

@@ -47,6 +47,8 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field, fields, replace
 
 from repro import config as repro_config
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import EventMetrics, MetricsTracer
 from repro.scheduler.manager import ManagerConfig, make_manager
 from repro.server.bridge import BusTracer
 from repro.server.bus import EventBus
@@ -83,6 +85,14 @@ class ServiceConfig:
     #: Full manager-config override for advanced callers (resilience
     #: layers, audit cadence); ``workers``/``batch_k`` above still win.
     manager_config: ManagerConfig | None = None
+    #: Flight-recorder ring capacity; ``None`` defers to the
+    #: ``REPRO_FLIGHT_EVENTS`` knob.
+    flight_capacity: int | None = None
+    #: JSONL path for automatic flight dumps (SIGTERM drain, unhandled
+    #: errors); ``None`` defers to the ``REPRO_FLIGHT_PATH`` knob,
+    #: which is itself unset by default — the ``dump`` wire verb works
+    #: regardless.
+    flight_path: str | None = None
 
 
 class ProcessLockingService:
@@ -91,7 +101,54 @@ class ProcessLockingService:
     def __init__(self, config: ServiceConfig | None = None) -> None:
         self.config = config or ServiceConfig()
         self.bus = EventBus()
-        self.tracer = BusTracer(self.bus)
+        self.bus_tracer = BusTracer(self.bus)
+        self.metrics = EventMetrics()
+        self.flight = FlightRecorder(
+            repro_config.flight_events(self.config.flight_capacity)
+        )
+        self.flight_path = repro_config.flight_path(
+            self.config.flight_path
+        )
+        # The tee feeds the metrics registry and the flight ring, then
+        # forwards to the bus bridge, which stamps exactly as it would
+        # standalone (byte-identical wire frames).
+        self.tracer = MetricsTracer(
+            metrics=self.metrics,
+            sinks=(self.bus_tracer,),
+            recorder=self.flight,
+        )
+        registry = self.metrics.registry
+        self._g_backlog = registry.gauge(
+            "repro_service_backlog",
+            "Submitted-but-not-initiated processes queued for admission.",
+        )
+        self._g_waiters = registry.gauge(
+            "repro_service_waiters",
+            "SUBMIT wait=true calls still awaiting their outcomes.",
+        )
+        self._g_draining = registry.gauge(
+            "repro_service_draining",
+            "1 while the service is draining (no new work accepted).",
+        )
+        self._g_bus = registry.gauge(
+            "repro_bus_frames",
+            "Event-bus frame counts by disposition.",
+            ("disposition",),
+        )
+        self._g_subscribers = registry.gauge(
+            "repro_bus_subscribers", "Live event-bus subscriptions."
+        )
+        self._c_shed = registry.counter(
+            "repro_service_shed_total",
+            "Requests rejected before reaching the engine, by reason.",
+            ("reason",),
+        )
+        self._c_flight_dumps = registry.counter(
+            "repro_flight_dumps_total",
+            "Flight-recorder dump triggers (a file is written only "
+            "when a dump path is configured).",
+            ("trigger",),
+        )
         self.workload = build_workload(self.config.spec)
         manager_config = (
             self.config.manager_config or ManagerConfig()
@@ -121,6 +178,12 @@ class ProcessLockingService:
         #: (pid set, request id, future) triples for ``wait`` submits.
         self._waiters: list[tuple[set[int], Future]] = []
         self._cancelled: set[int] = set()
+        #: pid -> wall submit time, popped into the submit-to-commit
+        #: histogram when the pid turns terminal.
+        self._wall_submitted: dict[int, float] = {}
+        #: The HTTP metrics sidecar, installed by the network layer
+        #: when a metrics port is configured.
+        self.sidecar = None
         self._draining = threading.Event()
         self._drained = threading.Event()
         self._stop = threading.Event()
@@ -197,6 +260,7 @@ class ProcessLockingService:
         fut: Future = Future()
         shed = self.shed_reason(request.get("cmd", ""))
         if shed is not None:
+            self._c_shed.inc((shed[0],))
             fut.set_exception(ServiceError(*shed))
             return fut
         if self._drained.is_set() and request.get("cmd") not in (
@@ -204,6 +268,8 @@ class ProcessLockingService:
             "stats",
             "status",
             "check",
+            "metrics",
+            "dump",
             "drain",
         ):
             fut.set_exception(
@@ -259,9 +325,34 @@ class ProcessLockingService:
         except ServiceError as exc:
             fut.set_exception(exc)
         except Exception as exc:  # defensive: engine must not die
+            self._flight_dump("internal-error")
             fut.set_exception(
                 ServiceError("internal", f"{type(exc).__name__}: {exc}")
             )
+
+    def _flight_dump(self, trigger: str) -> str | None:
+        """Write the flight ring to ``flight_path`` (when configured).
+
+        Never raises — a dump failure must not mask the error that
+        triggered it.  Returns the path written, or ``None``.
+        """
+        self._c_flight_dumps.inc((trigger,))
+        if self.flight_path is None:
+            return None
+        try:
+            written = self.flight.dump_jsonl(self.flight_path)
+        except OSError:
+            return None
+        self.bus.publish(
+            "service.flight",
+            {
+                "kind": "service.flight",
+                "trigger": trigger,
+                "path": str(self.flight_path),
+                "events": written,
+            },
+        )
+        return str(self.flight_path)
 
     # -- command handlers (engine thread) ------------------------------
     def _cmd_ping(self, request: dict, fut: Future) -> None:
@@ -284,6 +375,9 @@ class ProcessLockingService:
             )
             for k in range(count)
         ]
+        submitted_wall = time.monotonic()
+        for pid in pids:
+            self._wall_submitted[pid] = submitted_wall
         if request.get("wait"):
             self._waiters.append((set(pids), fut))
         else:
@@ -307,6 +401,12 @@ class ProcessLockingService:
     def _cmd_stats(self, request: dict, fut: Future) -> None:
         self._deferred.append((self._stats_body, fut))
 
+    def _cmd_metrics(self, request: dict, fut: Future) -> None:
+        self._deferred.append((self.metrics_snapshot, fut))
+
+    def _cmd_dump(self, request: dict, fut: Future) -> None:
+        self._deferred.append((self._dump_body, fut))
+
     def _cmd_check(self, request: dict, fut: Future) -> None:
         stride = _int_arg(request, "stride", 1, minimum=1)
         self._deferred.append((lambda: self._check_body(stride), fut))
@@ -318,6 +418,8 @@ class ProcessLockingService:
         )
         self.manager.close()
         self._drained.set()
+        self._settle_latencies()
+        self._flight_dump("drain")
         body = self._stats_body()
         body["drained"] = True
         body["quiesced"] = not (
@@ -342,7 +444,24 @@ class ProcessLockingService:
         self._deferred.append((lambda: {"bye": True}, fut))
 
     # -- post-drain bookkeeping (engine thread) ------------------------
+    def _settle_latencies(self) -> None:
+        """Move terminal pids into the submit-to-commit histogram."""
+        if not self._wall_submitted:
+            return
+        now_wall = time.monotonic()
+        done = [
+            pid
+            for pid in self._wall_submitted
+            if self._is_terminal(pid)
+        ]
+        for pid in done:
+            started = self._wall_submitted.pop(pid)
+            self.metrics.observe_latency(
+                now_wall - started, self._outcome(pid)
+            )
+
     def _post_drain(self) -> None:
+        self._settle_latencies()
         for builder, fut in self._deferred:
             if not fut.set_running_or_notify_cancel():
                 continue
@@ -456,6 +575,46 @@ class ProcessLockingService:
                 "dropped": counters.dropped,
                 "subscribers": self.bus.subscriber_count,
             },
+        }
+
+    def _refresh_service_gauges(self) -> None:
+        """Fold server-side state into the registry before a snapshot.
+
+        Called on the engine thread for the wire verb and on the
+        sidecar's HTTP thread for scrapes — every read here is either a
+        lock-free mirror or an atomic attribute read.
+        """
+        self._g_backlog.set(float(self._pending_submissions))
+        self._g_waiters.set(float(len(self._waiters)))
+        self._g_draining.set(
+            1.0 if self._draining.is_set() else 0.0
+        )
+        counters = self.bus.counters
+        self._g_bus.set(float(counters.published), ("published",))
+        self._g_bus.set(float(counters.delivered), ("delivered",))
+        self._g_bus.set(float(counters.dropped), ("dropped",))
+        self._g_subscribers.set(float(self.bus.subscriber_count))
+
+    def metrics_snapshot(self) -> dict:
+        """The registry as JSON (the ``metrics`` wire verb's body)."""
+        self._refresh_service_gauges()
+        return {
+            "now": self.manager.engine.now,
+            "metrics": self.metrics.registry.snapshot(),
+        }
+
+    def render_metrics(self) -> str:
+        """Prometheus text exposition (served by the HTTP sidecar)."""
+        self._refresh_service_gauges()
+        return self.metrics.registry.render_prometheus()
+
+    def _dump_body(self) -> dict:
+        records = self.flight.snapshot()
+        return {
+            "events": records,
+            "retained": len(records),
+            "appended": self.flight.appended,
+            "capacity": self.flight.capacity,
         }
 
     def _check_body(self, stride: int) -> dict:

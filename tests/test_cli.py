@@ -283,6 +283,75 @@ class TestServiceCommands:
         assert args.port is None
         assert args.time_scale == 0.0
         assert args.protocol == "process-locking"
+        assert args.metrics_port is None
+
+    def test_serve_metrics_port_parses(self):
+        args = build_parser().parse_args(
+            ["serve", "--metrics-port", "0"]
+        )
+        assert args.metrics_port == 0
+
+    def test_top_parser_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 7453
+        assert args.interval == 1.0
+        assert args.iterations == 0
+        assert args.no_clear is False
+
+    def test_top_unreachable_service_exits_2(self, capsys):
+        # Port 1 on localhost is never listening in the test sandbox.
+        assert main(
+            ["top", "--port", "1", "--iterations", "1"]
+        ) == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+
+class TestRenderTop:
+    def _bodies(self):
+        from repro.obs.metrics import EventMetrics
+
+        m = EventMetrics()
+        m.observe_latency(0.02, "committed")
+        m.observe_latency(0.08, "committed")
+        m.sample_gauges({"queue.bank": 2.0, "locks.bank": 1.0})
+        m.breaker_state.set(2.0, ("bank",))
+        stats = {
+            "manager": {
+                "submitted": 10, "committed": 8,
+                "protocol_aborts": 1, "intrinsic_aborts": 1,
+                "cancellations": 0, "resubmissions": 1, "retries": 2,
+            },
+            "service": {"workers": 0, "backlog": 3, "draining": False},
+            "engine": {"now": 42.0, "events_processed": 500},
+            "bus": {
+                "published": 100, "delivered": 50, "dropped": 0,
+                "subscribers": 1,
+            },
+        }
+        return stats, {"now": 42.0, "metrics": m.registry.snapshot()}
+
+    def test_frame_shows_throughput_latency_and_shards(self):
+        from repro.analysis.top import render_top
+
+        stats, metrics = self._bodies()
+        frame = render_top(stats, metrics)
+        assert "vt 42.00" in frame
+        assert "submitted       10" in frame
+        assert "p50" in frame and "(n=2)" in frame
+        assert "!bank=open" in frame
+        assert "bank: q=2 locks=1" in frame
+        assert "published      100" in frame
+
+    def test_rates_come_from_successive_polls(self):
+        from repro.analysis.top import TopState, render_top
+
+        stats, metrics = self._bodies()
+        state = TopState()
+        state.committed = 4.0  # previous poll saw 4 commits
+        frame = render_top(stats, metrics, state, elapsed=2.0)
+        assert "committed        8 (    2.0/s)" in frame
+        assert state.committed == 8.0  # advanced for the next poll
 
 
 class TestErrorHardening:

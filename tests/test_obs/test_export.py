@@ -160,3 +160,142 @@ class TestExportAll:
 
 def _reject(token):
     raise AssertionError(f"non-strict JSON constant in export: {token}")
+
+
+# ----------------------------------------------------------------------
+# record -> event restoration (every dataclass round-trips)
+# ----------------------------------------------------------------------
+import math
+
+import pytest
+
+from repro.obs import events_from_records, record_to_event
+from repro.obs.events import EVENT_TYPES, Holder
+from repro.obs import events as ev
+
+#: One exemplar per event class, exercising the awkward field shapes:
+#: Holder tuples, plain int/str tuples, optional fields, non-finite
+#: floats, and nested dicts.
+EXEMPLARS = [
+    ev.ProcessSubmitted(pid=1),
+    ev.ProcessInitiated(pid=1, timestamp=3, incarnation=1),
+    ev.ProcessCommitted(pid=1, incarnation=1),
+    ev.AbortBegun(pid=1, incarnation=0, cause="cascade"),
+    ev.ProcessAborted(pid=1, incarnation=0, resubmit=True),
+    ev.ProcessCancelled(pid=1, initiated=False),
+    ev.ProcessResubmitted(pid=1, incarnation=1, timestamp=3),
+    ev.LockGranted(
+        pid=1, incarnation=0, request="regular", activity="reserve",
+        uid=9, mode="w", position=2,
+    ),
+    ev.LockDeferred(
+        pid=1, incarnation=0, timestamp=3, request="regular",
+        activity="reserve", uid=9, mode="w", reason="conflict",
+        rule="Comp-Rule",
+        blockers=(Holder(pid=2, timestamp=1, modes="w"),),
+    ),
+    ev.CascadeRequested(
+        pid=1, incarnation=0, timestamp=3, request="commit",
+        activity=None, uid=None, mode=None,
+        victims=(
+            Holder(pid=2, timestamp=1),
+            Holder(pid=3, timestamp=2, modes="rw"),
+        ),
+    ),
+    ev.SelfAbortDecision(
+        pid=1, incarnation=0, timestamp=3, request="regular",
+        activity="reserve", reason="older holder", rule="WW",
+    ),
+    ev.LockConverted(pid=1, type_name="reserve", position=0),
+    ev.ActivityClassified(
+        pid=1, incarnation=0, activity="reserve", mode="regular",
+        wcc=math.inf, threshold=math.inf,
+        pseudo_pivot=False, real_pivot=True,
+    ),
+    ev.ActivityStarted(
+        pid=1, incarnation=0, activity="reserve", uid=9,
+        compensation=False, worker=2,
+    ),
+    ev.ActivityRetried(pid=1, activity="ship", uid=9, attempt=2),
+    ev.ActivityCommitted(
+        pid=1, incarnation=0, activity="reserve", uid=9,
+        compensation=True,
+    ),
+    ev.ActivityFailed(pid=1, incarnation=0, activity="charge", uid=9),
+    ev.ActivityCancelled(pid=1, incarnation=0, activity="ship", uid=9),
+    ev.WaitEdge(
+        op="insert", waiter=1, blockers=(2, 3), seq=7,
+        request="regular", activity="reserve", reason="conflict",
+        shard="bank", worker=0,
+    ),
+    ev.DeadlockVictim(pid=1, cycle=(1, 2, 3)),
+    ev.UnresolvableForced(pid=1, request="commit", cycle=(1, 2)),
+    ev.FaultInjected(
+        channel="crash", pid=1, activity="reserve",
+        detail={"offset": 4.0},
+    ),
+    ev.BreakerTransition(
+        subsystem="bank", from_state="closed", to_state="open",
+        reason="failure-threshold", opens=2,
+    ),
+    ev.AdmissionGate(
+        pid=1, op="defer", subsystems=("bank", "shop"), deferrals=3
+    ),
+    ev.BackpressureEngaged(
+        pid=1, op="defer", subsystems=("bank",), deferrals=1
+    ),
+    ev.DegradationChanged(
+        active=True, cap=25.0, reason="breaker-open",
+        open_subsystems=("bank",),
+    ),
+    ev.RetryBudgetExhausted(
+        pid=1, activity="ship", uid=9, attempts=5, subsystem="shop"
+    ),
+]
+
+
+def test_exemplars_cover_every_event_type():
+    assert {type(e).kind for e in EXEMPLARS} == set(EVENT_TYPES)
+
+
+@pytest.mark.parametrize(
+    "event", EXEMPLARS, ids=lambda e: type(e).kind
+)
+def test_every_event_round_trips_through_jsonl(event, tmp_path):
+    """event -> stamped record -> JSONL -> record -> event, equal."""
+    tracer = Tracer()
+    tracer.bind_clock(lambda: 1.5)
+    tracer.emit(event)
+    path = write_jsonl(tracer.records(), tmp_path / "one.jsonl")
+    (record,) = read_jsonl(path)
+    assert record["t"] == 1.5
+    assert record_to_event(record) == event
+
+
+def test_events_from_records_restores_the_whole_stream(tmp_path):
+    tracer = Tracer()
+    for event in EXEMPLARS:
+        tracer.emit(event)
+    path = write_jsonl(tracer.records(), tmp_path / "all.jsonl")
+    restored = events_from_records(read_jsonl(path))
+    assert restored == EXEMPLARS
+
+
+def test_record_to_event_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown event kind"):
+        record_to_event({"seq": 0, "t": 0.0, "kind": "no.such"})
+
+
+def test_restored_stream_feeds_replay_and_explain(tmp_path):
+    """A restored full-run stream drives the downstream consumers."""
+    from repro.obs import explain_process, replay_metrics
+
+    tracer = traced_run()
+    path = write_jsonl(tracer.records(), tmp_path / "events.jsonl")
+    records = read_jsonl(path)
+    events = events_from_records(records)
+    assert len(events) == len(records)
+    metrics = replay_metrics(records)
+    assert metrics.events.total() == len(records)
+    pid = next(r["pid"] for r in records if "pid" in r)
+    assert explain_process(records, pid)

@@ -1,0 +1,66 @@
+"""Flight-recorder tests: ring bounds, lazy flattening, dump format."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs import FlightRecorder, read_jsonl, replay_metrics
+from repro.obs.events import (
+    ActivityClassified,
+    ProcessCommitted,
+    ProcessInitiated,
+)
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError, match="positive"):
+        FlightRecorder(0)
+
+
+def test_ring_keeps_only_the_last_n_events():
+    flight = FlightRecorder(capacity=3)
+    for i in range(10):
+        flight.append(i, float(i), ProcessInitiated(pid=i, timestamp=i))
+    assert len(flight) == 3
+    assert flight.appended == 10
+    records = flight.snapshot()
+    assert [r["seq"] for r in records] == [7, 8, 9]
+    assert all(r["kind"] == "process.init" for r in records)
+    assert flight.dumps == 1
+
+
+def test_snapshot_is_strict_json_even_with_infinite_wcc():
+    flight = FlightRecorder(capacity=4)
+    flight.append(0, 1.0, ActivityClassified(
+        pid=1, incarnation=0, activity="reserve", mode="regular",
+        wcc=math.inf, threshold=math.inf,
+        pseudo_pivot=False, real_pivot=False,
+    ))
+    records = flight.snapshot()
+    text = json.dumps(records, allow_nan=False)  # must not raise
+    assert "Infinity" in text  # the string stand-in, not the constant
+
+    from repro.obs.export import _restore
+
+    restored = [_restore(r) for r in records]
+    assert restored[0]["wcc"] == math.inf
+
+
+def test_dump_jsonl_round_trips_through_readers(tmp_path):
+    flight = FlightRecorder(capacity=8)
+    flight.append(0, 0.0, ProcessInitiated(pid=1, timestamp=1))
+    flight.append(1, 2.0, ProcessCommitted(pid=1, incarnation=0))
+    path = tmp_path / "flight.jsonl"
+    written = flight.dump_jsonl(path)
+    assert written == 2
+
+    records = read_jsonl(path)
+    assert [r["kind"] for r in records] == [
+        "process.init", "process.commit",
+    ]
+    metrics = replay_metrics(records)
+    assert metrics.outcomes.value(("committed",)) == 1
+    assert metrics.initiated.total() == 1

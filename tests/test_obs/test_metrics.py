@@ -1,0 +1,427 @@
+"""Metrics-plane tests: registry, exposition, parser, reconciliation.
+
+The heavyweight test here is the stats-reconciliation property: a
+:class:`~repro.obs.metrics.MetricsTracer` observing a full simulation
+(including mid-run client cancels) must derive exactly the counters
+:class:`~repro.scheduler.manager.ManagerStats` accumulates directly —
+any drift means an emit site and a stats bump disagree about what
+happened.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    EventMetrics,
+    MetricsRegistry,
+    MetricsTracer,
+    Tracer,
+    histogram_quantile,
+    parse_prometheus,
+    read_jsonl,
+    replay_metrics,
+    write_jsonl,
+)
+from repro.obs.events import (
+    ActivityCommitted,
+    ActivityRetried,
+    LockDeferred,
+    LockGranted,
+    ProcessCancelled,
+    ProcessCommitted,
+)
+from repro.scheduler.manager import ManagerConfig, make_manager
+from repro.sim.runner import make_protocol
+from repro.sim.workload import WorkloadSpec, build_workload
+
+CONTENDED = WorkloadSpec(
+    n_processes=16,
+    n_activity_types=8,
+    conflict_density=0.5,
+    failure_probability=0.1,
+    arrival_spacing=0.5,
+    seed=3,
+)
+
+
+# ----------------------------------------------------------------------
+# registry primitives
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_counter_accumulates_per_label_child(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", "help.", ("kind",))
+        c.inc(("a",))
+        c.inc(("a",), amount=2)
+        c.inc(("b",))
+        assert c.value(("a",)) == 3
+        assert c.value(("b",)) == 1
+        assert c.total() == 4
+
+    def test_counter_rejects_negative_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", "help.")
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(amount=-1)
+
+    def test_label_arity_is_enforced(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", "help.", ("kind",))
+        with pytest.raises(ValueError, match="expected labels"):
+            c.inc()
+
+    def test_redeclaration_returns_same_family(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help.", ("kind",))
+        b = reg.counter("x_total", "other help.", ("kind",))
+        assert a is b
+
+    def test_conflicting_redeclaration_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "help.", ("kind",))
+        with pytest.raises(ValueError, match="re-declared"):
+            reg.gauge("x_total", "help.", ("kind",))
+        with pytest.raises(ValueError, match="re-declared"):
+            reg.counter("x_total", "help.", ("other",))
+
+    def test_histogram_buckets_must_increase(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="strictly increase"):
+            reg.histogram("h", "help.", buckets=(1.0, 1.0, 2.0))
+
+    def test_histogram_cumulative_counts(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", "help.", buckets=(1.0, 5.0))
+        for v in (0.5, 1.0, 3.0, 100.0):
+            h.observe(v)
+        assert h.cumulative() == [(1.0, 2), (5.0, 3), (math.inf, 4)]
+
+
+# ----------------------------------------------------------------------
+# exposition + parser (round-trip through our own parser)
+# ----------------------------------------------------------------------
+class TestExposition:
+    def _registry(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_x_total", "Events by kind.", ("kind",))
+        c.inc(("a",), amount=3)
+        c.inc(('we"ird\\label\n',))
+        g = reg.gauge("repro_g", "A gauge.")
+        g.set(2.5)
+        h = reg.histogram("repro_h", "A histogram.", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(9.0)
+        return reg
+
+    def test_render_is_deterministic_and_parses(self):
+        reg = self._registry()
+        text = reg.render_prometheus()
+        assert text == self._registry().render_prometheus()
+        parsed = parse_prometheus(text)
+        assert parsed["repro_x_total"]["type"] == "counter"
+        assert (
+            parsed["repro_x_total"]["samples"][
+                ("repro_x_total", frozenset({("kind", "a")}))
+            ]
+            == 3
+        )
+        assert parsed["repro_g"]["samples"][("repro_g", frozenset())] == 2.5
+        hist = parsed["repro_h"]["samples"]
+        assert hist[("repro_h_bucket", frozenset({("le", "1")}))] == 1
+        assert hist[("repro_h_bucket", frozenset({("le", "+Inf")}))] == 2
+        assert hist[("repro_h_sum", frozenset())] == 9.5
+        assert hist[("repro_h_count", frozenset())] == 2
+
+    def test_label_escaping_round_trips(self):
+        text = self._registry().render_prometheus()
+        parsed = parse_prometheus(text)
+        keys = {
+            labels
+            for (name, labels) in parsed["repro_x_total"]["samples"]
+            if name == "repro_x_total"
+        }
+        assert frozenset({("kind", 'we"ird\\label\n')}) in keys
+
+    def test_parser_rejects_untyped_samples(self):
+        with pytest.raises(ValueError, match="# TYPE"):
+            parse_prometheus("repro_x_total 3\n")
+
+    def test_parser_rejects_bad_histogram_suffix(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            "repro_h_wat 3\n"
+        )
+        with pytest.raises(ValueError, match="suffix"):
+            parse_prometheus(text)
+
+    def test_snapshot_is_strict_json(self):
+        snapshot = self._registry().snapshot()
+        json.loads(json.dumps(snapshot, allow_nan=False))
+        names = [f["name"] for f in snapshot["families"]]
+        assert names == ["repro_x_total", "repro_g", "repro_h"]
+
+
+class TestHistogramQuantile:
+    def test_interpolates_within_bucket(self):
+        # 10 observations all in (1, 2]: p50 halfway through it.
+        cumulative = [(1.0, 0), (2.0, 10), (math.inf, 10)]
+        assert histogram_quantile(cumulative, 0.5) == pytest.approx(1.5)
+
+    def test_lowest_bucket_interpolates_from_zero(self):
+        cumulative = [(4.0, 8), (math.inf, 8)]
+        assert histogram_quantile(cumulative, 0.5) == pytest.approx(2.0)
+
+    def test_overflow_returns_last_finite_bound(self):
+        cumulative = [(1.0, 1), (math.inf, 10)]
+        assert histogram_quantile(cumulative, 0.99) == 1.0
+
+    def test_empty_histogram_is_nan(self):
+        assert math.isnan(histogram_quantile([], 0.5))
+        assert math.isnan(
+            histogram_quantile([(1.0, 0), (math.inf, 0)], 0.5)
+        )
+
+
+# ----------------------------------------------------------------------
+# the event feeder on hand-built streams
+# ----------------------------------------------------------------------
+class TestEventMetrics:
+    def test_lock_wait_pairs_first_defer_with_grant(self):
+        m = EventMetrics()
+        defer = LockDeferred(
+            pid=1, incarnation=0, timestamp=1, request="regular",
+            activity="reserve", uid=9, mode="w", reason="conflict",
+            rule="Comp-Rule",
+        )
+        m.observe(2.0, defer)
+        m.observe(4.0, defer)  # re-defer: the first park time stands
+        m.observe(7.0, LockGranted(
+            pid=1, incarnation=0, request="regular",
+            activity="reserve", uid=9, mode="w",
+        ))
+        cumulative = m.lock_wait.cumulative(("regular",))
+        assert cumulative[-1][1] == 1
+        # waited 5 vt units -> lands in the (2, 5] bucket.
+        assert m.lock_wait.cumulative(("regular",))[3] == (5.0, 1)
+        assert m.lock_defers.value(("Comp-Rule",)) == 2
+
+    def test_retries_histogram_counts_attempts_per_uid(self):
+        m = EventMetrics()
+        for attempt in (1, 2, 3):
+            m.observe(0.0, ActivityRetried(
+                pid=1, activity="ship", uid=5, attempt=attempt
+            ))
+        m.observe(1.0, ActivityCommitted(
+            pid=1, incarnation=0, activity="ship", uid=5
+        ))
+        m.observe(1.0, ActivityCommitted(
+            pid=1, incarnation=0, activity="wrap", uid=6
+        ))
+        cumulative = m.retries_per_activity.cumulative()
+        assert cumulative[-1][1] == 2  # two completed activities
+        assert cumulative[0] == (0.0, 1)  # one with zero retries
+
+    def test_cancel_of_running_process_is_not_an_abort_outcome(self):
+        m = EventMetrics()
+        m.observe(0.0, ProcessCancelled(pid=4, initiated=True))
+        from repro.obs.events import AbortBegun, ProcessAborted
+
+        m.observe(0.0, AbortBegun(pid=4, incarnation=0, cause="cancel"))
+        m.observe(1.0, ProcessAborted(
+            pid=4, incarnation=0, resubmit=False
+        ))
+        assert m.outcomes.value(("cancelled",)) == 1
+        assert m.outcomes.value(("aborted",)) == 0
+        assert m.aborts.value(("cancel",)) == 1
+
+    def test_gauge_samples_route_shard_prefixes(self):
+        m = EventMetrics()
+        m.sample_gauges({
+            "parked": 2.0, "inflight": 3.0, "live": 4.0,
+            "locks": 5.0, "locks.bank": 1.0, "queue.bank": 6.0,
+        })
+        assert m.parked_gauge.value() == 2.0
+        assert m.locks_by_shard.value(("bank",)) == 1.0
+        assert m.queue_depth.value(("bank",)) == 6.0
+
+
+# ----------------------------------------------------------------------
+# stats reconciliation (the satellite property test)
+# ----------------------------------------------------------------------
+def _run_with_metrics(seed: int, cancel_pids: tuple[int, ...] = ()):
+    spec = CONTENDED.with_(seed=seed)
+    workload = build_workload(spec)
+    protocol = make_protocol("process-locking", workload)
+    tracer = MetricsTracer(sinks=(Tracer(),))
+    manager = make_manager(
+        protocol,
+        subsystems=workload.make_subsystems(),
+        config=ManagerConfig(max_resubmissions=100_000),
+        seed=seed,
+        tracer=tracer,
+    )
+    pids = [
+        manager.submit(program, at=workload.arrival_time(i))
+        for i, program in enumerate(workload.programs)
+    ]
+    for index in cancel_pids:
+        pid = pids[index]
+        # Mid-run cancels: one before its initiation time, the rest
+        # while (probably) running — both shapes must reconcile.
+        manager.engine.schedule(
+            workload.arrival_time(index) + 1.0,
+            lambda pid=pid: manager.cancel(pid),
+        )
+    result = manager.run()
+    return result.stats, tracer
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11])
+def test_event_derived_counters_reconcile_with_manager_stats(seed):
+    stats, tracer = _run_with_metrics(
+        seed, cancel_pids=(0, 4, 9, 15)
+    )
+    m = tracer.metrics
+
+    assert m.submitted.total() == stats.submitted
+    assert m.outcomes.value(("committed",)) == stats.committed
+    assert m.outcomes.value(("cancelled",)) == stats.cancellations
+    protocol_aborts = (
+        m.aborts.value(("cascade",))
+        + m.aborts.value(("deadlock",))
+        + m.aborts.value(("self",))
+    )
+    assert protocol_aborts == stats.protocol_aborts
+    assert m.aborts.value(("intrinsic",)) == stats.intrinsic_aborts
+    assert m.aborts.value(("subprocess",)) == stats.subprocess_aborts
+    assert m.resubmitted.total() == stats.resubmissions
+    assert m.retries.total() == stats.retries
+    assert m.compensations.total() == stats.compensations
+    assert m.deadlock_victims.total() == stats.deadlock_victims
+    assert m.admission.value(("defer",)) == stats.admissions_deferred
+    assert (
+        m.backpressure.value(("defer",))
+        == stats.admissions_backpressured
+    )
+    # Every submitted process reached exactly one terminal outcome.
+    assert m.outcomes.total() == stats.submitted
+    # The cancels actually exercised both counters.
+    assert stats.cancellations > 0
+
+
+def test_tee_leaves_sink_tracer_records_byte_identical(uid_floor):
+    """Wrapping a Tracer in the metrics tee must not perturb it."""
+    seed = 5
+    uid_floor.pin()
+    spec = CONTENDED.with_(seed=seed)
+    workload = build_workload(spec)
+    protocol = make_protocol("process-locking", workload)
+    plain = Tracer()
+    manager = make_manager(
+        protocol, subsystems=workload.make_subsystems(),
+        seed=seed, tracer=plain,
+    )
+    for i, program in enumerate(workload.programs):
+        manager.submit(program, at=workload.arrival_time(i))
+    manager.run()
+
+    uid_floor.repin()
+    workload = build_workload(spec)
+    protocol = make_protocol("process-locking", workload)
+    sink = Tracer()
+    tee = MetricsTracer(sinks=(sink,))
+    manager = make_manager(
+        protocol, subsystems=workload.make_subsystems(),
+        seed=seed, tracer=tee,
+    )
+    for i, program in enumerate(workload.programs):
+        manager.submit(program, at=workload.arrival_time(i))
+    manager.run()
+
+    assert json.dumps(plain.records()) == json.dumps(sink.records())
+
+
+def test_replay_from_jsonl_matches_live_registry(tmp_path):
+    """Counter families replayed from disk equal the live ones.
+
+    Sampler-polled gauges are excluded: exported records carry no gauge
+    samples (the tracer's series bank holds those), so a replay leaves
+    them at zero by design.
+    """
+    stats, tracer = _run_with_metrics(7, cancel_pids=(2,))
+    sink = tracer.sinks[0]
+    path = write_jsonl(sink.records(), tmp_path / "events.jsonl")
+    replayed = replay_metrics(read_jsonl(path))
+
+    live = tracer.metrics.registry.snapshot()
+    rebuilt = replayed.registry.snapshot()
+    gauge_families = {
+        f["name"] for f in live["families"] if f["type"] == "gauge"
+    }
+    live_rest = [
+        f for f in live["families"] if f["name"] not in gauge_families
+    ]
+    rebuilt_rest = [
+        f for f in rebuilt["families"]
+        if f["name"] not in gauge_families
+    ]
+    assert live_rest == rebuilt_rest
+    assert replayed.outcomes.value(("committed",)) == stats.committed
+
+
+def test_metrics_tracer_offset_propagates_to_sinks():
+    sink = Tracer()
+    tee = MetricsTracer(sinks=(sink,))
+    tee.offset += 12.5
+    assert sink.offset == 12.5
+    tee.emit(ProcessCommitted(pid=1, incarnation=0))
+    assert sink.records()[0]["t"] == 12.5
+
+
+def test_incremental_shard_depths_match_recompute():
+    """The queue-depth gauges come from counters bumped at the
+    ``_inflight``/``_parked`` mutation sites; every mid-run sample must
+    agree with a brute-force scan of both stores, and a drained manager
+    must be back at zero on every shard."""
+    spec = CONTENDED.with_(seed=9)
+    workload = build_workload(spec)
+    protocol = make_protocol("process-locking", workload)
+    tracer = MetricsTracer(sinks=(Tracer(),))
+    manager = make_manager(
+        protocol,
+        subsystems=workload.make_subsystems(),
+        config=ManagerConfig(max_resubmissions=100_000),
+        seed=spec.seed,
+        tracer=tracer,
+    )
+    checked = 0
+    incremental = manager._shard_depths
+
+    def checking():
+        nonlocal checked
+        depths = incremental()
+        brute: dict[str, int] = {}
+        for flight in manager._inflight.values():
+            shard = flight.activity.activity_type.subsystem
+            brute[shard] = brute.get(shard, 0) + 1
+        for request in manager._parked.values():
+            if request.activity is not None:
+                shard = request.activity.activity_type.subsystem
+                brute[shard] = brute.get(shard, 0) + 1
+        assert depths == brute
+        checked += 1
+        return depths
+
+    manager._shard_depths = checking
+    for i, program in enumerate(workload.programs):
+        manager.submit(program, at=workload.arrival_time(i))
+    manager.run()
+
+    assert checked > 100
+    assert all(
+        depth == 0 for depth in manager._shard_depth_counts.values()
+    )

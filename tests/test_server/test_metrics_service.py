@@ -1,0 +1,177 @@
+"""Service metrics plane over the wire: METRICS and DUMP verbs.
+
+Covers the verb round-trips, agreement between the event-derived
+registry and the manager's own stats on a *live* service, the wall
+submit-to-terminal histogram, and post-drain availability (both verbs
+stay usable after DRAIN for post-mortems).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import ServiceClient
+from repro.obs import replay_metrics
+from repro.server.net import start_server_thread
+from repro.server.service import ServiceConfig
+from repro.sim.workload import WorkloadSpec
+
+
+@pytest.fixture()
+def server():
+    handle = start_server_thread(
+        ServiceConfig(
+            spec=WorkloadSpec(
+                n_processes=6, conflict_density=0.5, seed=5
+            ),
+            seed=5,
+            flight_capacity=100_000,
+        )
+    )
+    yield handle
+    handle.stop()
+
+
+def connect(handle) -> ServiceClient:
+    return ServiceClient(handle.host, handle.port, timeout=30)
+
+
+def _family(snapshot: dict, name: str) -> dict:
+    for family in snapshot["metrics"]["families"]:
+        if family["name"] == name:
+            return family
+    raise AssertionError(f"family {name} missing")
+
+
+def _counter(snapshot: dict, name: str, **labels) -> float:
+    total = 0.0
+    for sample in _family(snapshot, name)["samples"]:
+        if all(sample["labels"].get(k) == v for k, v in labels.items()):
+            total += sample["value"]
+    return total
+
+
+class TestMetricsVerb:
+    def test_registry_tracks_live_work(self, server):
+        with connect(server) as client:
+            pids = client.submit(count=4, wait=True)["pids"]
+            client.cancel(pids[0])  # already terminal -> no-op
+            body = client.metrics()
+            assert body["now"] > 0
+            outcomes = _counter(
+                body, "repro_process_outcomes_total"
+            )
+            assert outcomes == 4
+            assert (
+                _counter(body, "repro_process_submitted_total") == 4
+            )
+            # Service-level gauges are part of the same registry.
+            _family(body, "repro_service_backlog")
+            _family(body, "repro_bus_frames")
+
+    def test_metrics_agree_with_stats_on_live_service(self, server):
+        with connect(server) as client:
+            client.submit(count=6, wait=True)
+            stats = client.stats()["manager"]
+            body = client.metrics()
+            assert (
+                _counter(
+                    body,
+                    "repro_process_outcomes_total",
+                    outcome="committed",
+                )
+                == stats["committed"]
+            )
+            assert (
+                _counter(body, "repro_process_submitted_total")
+                == stats["submitted"]
+            )
+            assert (
+                _counter(body, "repro_activity_retries_total")
+                == stats["retries"]
+            )
+            assert (
+                _counter(body, "repro_compensations_total")
+                == stats["compensations"]
+            )
+
+    def test_submit_to_commit_histogram_observes_every_pid(
+        self, server
+    ):
+        with connect(server) as client:
+            client.submit(count=5, wait=True)
+            family = _family(
+                client.metrics(), "repro_submit_to_commit_seconds"
+            )
+            total = sum(s["count"] for s in family["samples"])
+            assert total == 5
+            outcomes = {
+                s["labels"]["outcome"] for s in family["samples"]
+            }
+            assert "committed" in outcomes
+
+    def test_shard_queue_gauges_cover_every_shard(self, server):
+        with connect(server) as client:
+            client.submit(count=2, wait=True)
+            family = _family(
+                client.metrics(), "repro_shard_queue_depth"
+            )
+            shards = {s["labels"]["shard"] for s in family["samples"]}
+            assert len(shards) >= 2  # zeros included: stable key set
+
+
+class TestDumpVerb:
+    def test_dump_returns_restorable_trace_records(self, server):
+        with connect(server) as client:
+            client.submit(count=3, wait=True)
+            body = client.dump()
+            assert body["retained"] == len(body["events"])
+            assert body["appended"] >= body["retained"]
+            kinds = {r["kind"] for r in body["events"]}
+            assert "process.submit" in kinds
+            assert "process.commit" in kinds
+            # The restored records feed the replay path directly.
+            metrics = replay_metrics(body["events"])
+            assert metrics.outcomes.value(("committed",)) > 0
+
+    def test_dump_window_matches_flight_capacity(self):
+        handle = start_server_thread(
+            ServiceConfig(
+                spec=WorkloadSpec(n_processes=6, seed=5),
+                seed=5,
+                flight_capacity=16,
+            )
+        )
+        try:
+            with connect(handle) as client:
+                client.submit(count=4, wait=True)
+                body = client.dump()
+                assert body["capacity"] == 16
+                assert body["retained"] == 16
+                assert body["appended"] > 16
+                seqs = [r["seq"] for r in body["events"]]
+                assert seqs == sorted(seqs)
+        finally:
+            handle.stop()
+
+
+class TestPostDrain:
+    def test_metrics_and_dump_survive_drain(self, server):
+        with connect(server) as client:
+            client.submit(count=2, wait=True)
+            assert client.drain()["drained"] is True
+            body = client.metrics()
+            assert (
+                _counter(body, "repro_process_submitted_total") == 2
+            )
+            dump = client.dump()
+            assert dump["retained"] > 0
+
+    def test_drain_settles_every_latency_sample(self, server):
+        with connect(server) as client:
+            client.submit(count=3)  # no wait: drain settles them
+            client.drain()
+            family = _family(
+                client.metrics(), "repro_submit_to_commit_seconds"
+            )
+            assert sum(s["count"] for s in family["samples"]) == 3
