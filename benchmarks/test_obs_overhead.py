@@ -74,6 +74,27 @@ def _timed(tracer=None):
     return result, time.perf_counter() - start
 
 
+def _timed_min2(uid_floor, make_tracer):
+    """Min-of-2 walls, same policy as ``test_perf_scaling``.
+
+    The pinned factors have only a few percent of headroom, so a single
+    cold wall on either side flips the ratio spuriously.  Each run
+    repins the uid floor (keeping all runs byte-comparable) and gets a
+    fresh tracer from ``make_tracer``; the first run's result and
+    tracer are the ones the identity assertions use.
+    """
+    first_result = first_tracer = None
+    walls = []
+    for attempt in range(2):
+        uid_floor.repin()
+        tracer = make_tracer()
+        result, wall = _timed(tracer)
+        walls.append(wall)
+        if attempt == 0:
+            first_result, first_tracer = result, tracer
+    return first_result, first_tracer, min(walls)
+
+
 def test_disabled_tracing_is_invisible_and_enabled_is_bounded(
     uid_floor,
 ):
@@ -81,17 +102,15 @@ def test_disabled_tracing_is_invisible_and_enabled_is_bounded(
     uid_floor.pin()
     _timed()
 
-    uid_floor.pin()
-    plain, wall_plain = _timed()
-    uid_floor.repin()
-    tracer = Tracer()
-    traced, wall_traced = _timed(tracer)
-    uid_floor.repin()
-    metrics_sink = Tracer()
-    metrics_tracer = MetricsTracer(
-        sinks=(metrics_sink,), recorder=FlightRecorder(512)
+    plain, _, wall_plain = _timed_min2(uid_floor, lambda: None)
+    traced, tracer, wall_traced = _timed_min2(uid_floor, Tracer)
+    metered, metrics_tracer, wall_metrics = _timed_min2(
+        uid_floor,
+        lambda: MetricsTracer(
+            sinks=(Tracer(),), recorder=FlightRecorder(512)
+        ),
     )
-    metered, wall_metrics = _timed(metrics_tracer)
+    metrics_sink = metrics_tracer.sinks[0]
 
     # Disabled-path contract: the traced run *scheduled* identically —
     # tracing observed the run without participating in it.
@@ -125,7 +144,7 @@ def test_disabled_tracing_is_invisible_and_enabled_is_bounded(
                     "default on one contended workload; schedules "
                     "asserted byte-identical; third point adds the "
                     "metrics tee (registry feeder + flight ring) "
-                    "around the same tracer"
+                    "around the same tracer; all walls min-of-2"
                 ),
                 "n_processes": SPEC.n_processes,
                 "events_traced": len(tracer),

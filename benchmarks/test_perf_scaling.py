@@ -23,8 +23,16 @@ per-subsystem lock shards.  This file
 * sweeps the **parallel execution mode** (``repro.parallel``) against
   the sequential manager over workers × batch-k grids, asserts every
   variant's schedule is byte-identical to the sequential run, and
-  asserts ≥ 1.5× wall-clock speedup at ``workers=n_subsystems`` on the
-  largest point.
+  bounds the parallel overhead (≥ 0.7× sequential at
+  ``workers=n_subsystems`` on the largest point — the compiled plane
+  collapsed the gate-scan asymmetry the old ≥ 1.5× bar measured),
+* reconstructs the **adjacency path** — the sharded stack as it stood
+  before the compiled conflict plane (frozenset adjacency iteration,
+  un-memoized Figure-1 classification, dict-based gate) — and asserts
+  the compiled plane is ≥ 1.3× faster on the largest contention point
+  (``compiled_vs_indexed``),
+* pins an absolute lock-ops/sec floor on the smallest point for the CI
+  ``perf-guard`` job.
 """
 
 from __future__ import annotations
@@ -35,13 +43,22 @@ import json
 import time
 from pathlib import Path
 
+import functools
+
 from repro.core.lock_table import LockTable
 from repro.core.locks import LockEntry, LockMode
 from repro.core.reference import (
+    adjacency_conflicting_locks,
+    adjacency_conflicting_locks_flat,
+    adjacency_conflicting_younger_flat,
+    adjacency_iter_conflicting,
+    adjacency_probe_blocked,
     naive_commit_blockers,
     naive_conflicting_locks,
     naive_find_wait_cycle,
+    reference_classify_regular,
 )
+from repro.core.sharding import ShardedLockTable
 from repro.errors import ProtocolError
 from repro.scheduler.manager import ManagerConfig, ProcessManager
 from repro.sim.metrics import lock_operations
@@ -231,6 +248,115 @@ def run_monolithic_workload(workload, protocol_name, seed, config):
 
 
 # ----------------------------------------------------------------------
+# the adjacency (pre-compiled-plane) path, kept runnable as a reference
+# ----------------------------------------------------------------------
+class AdjacencyLockTable(ShardedLockTable):
+    """Sharded table with the pre-compiled-plane hot-path formulations.
+
+    Exactly the indexed+sharded stack as it stood before the compiled
+    conflict plane: blocker discovery and every conflict query iterate
+    the dict-based adjacency frozensets instead of ANDing bitmasks.
+    The bitmask fields stay untouched (and stale) — every reader is
+    overridden, so the adjacency path pays neither mask upkeep nor
+    mask wins.
+    """
+
+    def acquire(self, process, type_name, mode, activity_uid=None):
+        self._sync()
+        self._position += 1
+        entry = LockEntry(
+            process=process,
+            type_name=type_name,
+            mode=mode,
+            position=self._position,
+            activity_uid=activity_uid,
+            table=self,
+        )
+        pid = process.pid
+        self._by_type.setdefault(type_name, []).append(entry)
+        self._by_pid.setdefault(pid, []).append(entry)
+        if mode is LockMode.C:
+            self._c_by_pid.setdefault(pid, []).append(entry)
+        else:
+            self._p_counts[pid] = self._p_counts.get(pid, 0) + 1
+        by_type = self._by_type
+        for candidate in self._conflicts.conflicting_types(type_name):
+            for other in by_type.get(candidate, ()):
+                if other.pid != pid:
+                    self._add_block_edge(other.pid, pid)
+        shard = self.shard_of(type_name)
+        shard.lock_count += 1
+        shard.acquires += 1
+        return entry
+
+    def conflicting_locks(self, type_name, exclude_pid=None):
+        return adjacency_conflicting_locks(self, type_name, exclude_pid)
+
+    def iter_conflicting(self, type_name, exclude_pid=None):
+        return adjacency_iter_conflicting(self, type_name, exclude_pid)
+
+    def probe_blocked(self, type_name, exclude_pid, ts, aborting):
+        return adjacency_probe_blocked(
+            self, type_name, exclude_pid, ts, aborting
+        )
+
+    def conflicting_locks_flat(self, type_name, exclude_pid):
+        return adjacency_conflicting_locks_flat(
+            self, type_name, exclude_pid
+        )
+
+    def conflicting_younger_flat(
+        self, type_name, exclude_pid, ts, aborting
+    ):
+        return adjacency_conflicting_younger_flat(
+            self, type_name, exclude_pid, ts, aborting
+        )
+
+
+class AdjacencyProcessManager(ProcessManager):
+    """Manager with the pre-compiled-plane conflict gate."""
+
+    def _gate_flight(self, flight):
+        if flight.entry is None:
+            return
+        if not self.config.gate_conflicting_executions:
+            return
+        conflict = self.protocol.conflicts.conflict
+        for other in self._inflight.values():
+            if other is flight or other.cancelled or other.entry is None:
+                continue
+            if other.entry.position >= flight.entry.position:
+                continue
+            if conflict(other.activity.name, flight.activity.name):
+                flight.gate.add(other.activity.uid)
+                self._dependents.setdefault(
+                    other.activity.uid, set()
+                ).add(flight.activity.uid)
+
+
+def run_adjacency_workload(workload, protocol_name, seed, config):
+    """``run_workload`` through the pre-compiled-plane stack.
+
+    Adjacency table, adjacency gate, and the un-memoized Figure-1
+    classification — the full hot path as of the sharding/parallel PRs.
+    """
+    protocol = make_protocol(protocol_name, workload)
+    protocol.table = AdjacencyLockTable(workload.conflicts)
+    protocol.classify_regular = functools.partial(
+        reference_classify_regular, protocol
+    )
+    manager = AdjacencyProcessManager(
+        protocol,
+        subsystems=workload.make_subsystems(),
+        config=config,
+        seed=seed,
+    )
+    for index, program in enumerate(workload.programs):
+        manager.submit(program, at=workload.arrival_time(index))
+    return manager.run()
+
+
+# ----------------------------------------------------------------------
 # helpers
 # ----------------------------------------------------------------------
 def _canonical_trace(result) -> str:
@@ -331,19 +457,20 @@ def _worker_counts(n_subsystems: int) -> list[int]:
     return counts
 
 
-def _timed_run_quiet(workload, seed, config):
+def _timed_run_quiet(workload, seed, config, runner=run_workload):
     """One timed run with the cyclic GC parked.
 
     Collector pauses land at allocation-count thresholds, not at fixed
     schedule points, so they add run-to-run jitter that swamps the
-    parallel-vs-sequential margins; both sides are timed with the
-    collector off and a clean heap.
+    compared margins; every side is timed with the collector off and a
+    clean heap.  ``runner`` swaps in an alternate execution path with
+    ``run_workload``'s signature (the adjacency reconstruction, say).
     """
     gc.collect()
     gc.disable()
     try:
         start = time.perf_counter()
-        result = run_workload(
+        result = runner(
             workload, "process-locking", seed=seed, config=config
         )
         return result, time.perf_counter() - start
@@ -556,18 +683,135 @@ class TestShardedIncrementalScaling:
         )
 
 
+class TestCompiledVsIndexed:
+    """Compiled conflict plane vs the adjacency (pre-bitset) hot path.
+
+    Both sides run the sharded table and the incremental wait-for
+    structure; the only difference is the conflict representation —
+    per-type bitmasks + per-process held-type masks against frozenset
+    adjacency iteration — plus the allocation-lean passes that rode in
+    with the compiled plane (Wcc memo, slotted records).  Walls are
+    min-of-2 with the GC parked on both sides; byte-identical schedules
+    asserted at every point; the ≥1.3× bar applies to the largest
+    (200-process) point.
+    """
+
+    def test_compiled_vs_indexed_sweep(self, uid_floor):
+        config = ManagerConfig(**BENCH_CONFIG)
+        rows = []
+        for n_processes, density, spacing in CONTENTION_SWEEP:
+            spec = _spec6(n_processes, density, spacing, seed=7)
+            workload = build_workload(spec)
+            uid_floor.pin()
+            compiled, wall_c1 = _timed_run_quiet(workload, 7, config)
+            uid_floor.repin()
+            _, wall_c2 = _timed_run_quiet(workload, 7, config)
+            wall_compiled = min(wall_c1, wall_c2)
+            uid_floor.repin()
+            indexed, wall_i1 = _timed_run_quiet(
+                workload, 7, config, runner=run_adjacency_workload
+            )
+            uid_floor.repin()
+            _, wall_i2 = _timed_run_quiet(
+                workload, 7, config, runner=run_adjacency_workload
+            )
+            wall_indexed = min(wall_i1, wall_i2)
+            assert _schedule_digest(compiled) == _schedule_digest(
+                indexed
+            ), f"schedule diverged at {n_processes} processes"
+            ops = lock_operations(compiled.protocol_stats)
+            rows.append(
+                {
+                    "n_processes": n_processes,
+                    "conflict_density": density,
+                    "arrival_spacing": spacing,
+                    "n_subsystems": spec.n_subsystems,
+                    "committed": compiled.stats.committed,
+                    "lock_ops": ops,
+                    "wall_s_compiled": round(wall_compiled, 3),
+                    "wall_s_indexed": round(wall_indexed, 3),
+                    "lock_ops_per_sec_compiled": round(
+                        ops / wall_compiled
+                    ),
+                    "lock_ops_per_sec_indexed": round(
+                        ops / wall_indexed
+                    ),
+                    "speedup": round(wall_indexed / wall_compiled, 2),
+                }
+            )
+        _update_bench(
+            "compiled_vs_indexed",
+            {
+                "description": (
+                    "compiled conflict plane (bitset masks, Wcc memo, "
+                    "slotted records) vs the adjacency hot path of the "
+                    "sharding/parallel PRs; fixed seed 7, GC parked, "
+                    "min-of-2 walls both sides, byte-identical "
+                    "schedules asserted at every point"
+                ),
+                "sweep": rows,
+            },
+        )
+        print()
+        for row in rows:
+            print(row)
+        largest = rows[-1]
+        assert largest["speedup"] >= 1.3, (
+            f"compiled plane only {largest['speedup']}x the adjacency "
+            f"path on the largest workload: {largest}"
+        )
+
+
+#: Pinned lock-ops/sec floor for the CI perf guard (smallest scaling
+#: point, min-of-2 GC-parked walls).  Set to roughly a quarter of the
+#: rate measured on the build box at PR time, so only a genuine hot-path
+#: regression — not runner jitter — can trip it.
+PERF_GUARD_FLOOR = 8_000
+
+
+class TestPerfGuard:
+    """Fast pinned-floor guard for the CI ``perf-guard`` job."""
+
+    def test_lock_ops_per_sec_floor(self, uid_floor):
+        config = ManagerConfig(**BENCH_CONFIG)
+        spec = _spec(*SCALING_SWEEP[0], seed=7)
+        workload = build_workload(spec)
+        uid_floor.pin()
+        result, wall_1 = _timed_run_quiet(workload, 7, config)
+        uid_floor.repin()
+        _, wall_2 = _timed_run_quiet(workload, 7, config)
+        wall = min(wall_1, wall_2)
+        ops = lock_operations(result.protocol_stats)
+        rate = ops / wall
+        print(f"\nperf-guard: {ops} lock ops / {wall:.3f}s = "
+              f"{rate:.0f} ops/s (floor {PERF_GUARD_FLOOR})")
+        assert rate >= PERF_GUARD_FLOOR, (
+            f"lock throughput regressed: {rate:.0f} ops/s under the "
+            f"pinned floor of {PERF_GUARD_FLOOR} "
+            f"(smallest scaling point, min-of-2 walls)"
+        )
+
+
 class TestParallelVsSequential:
     """Thread-per-shard execution vs the sequential manager.
 
     Every (workers, batch-k) variant must emit a schedule byte-identical
     to the sequential run at the same seed — parallel mode is a pure
-    perf change.  The speedup on this box is algorithmic, not
-    thread-level: one CPU under the GIL means wall-clock gains come from
-    the per-shard in-flight buckets (the sequential gate scans *all*
-    in-flight activities per flight) and the probe-first C-grant path,
-    both of which sharpen as subsystems multiply.  Sequential baselines
-    pass ``workers=0`` explicitly so a ``REPRO_WORKERS`` env default
-    (the CI tier-1 matrix sets one) cannot silently parallelize them.
+    perf change.  Historically the parallel mode was ~1.5x faster on
+    the largest point: one CPU under the GIL means wall-clock gains
+    were algorithmic, not thread-level — the per-shard in-flight
+    buckets beat the sequential gate's scan of *all* in-flight
+    activities, and the probe-first C-grant path skipped work.  The
+    compiled conflict plane (``TestCompiledVsIndexed``) collapsed that
+    gap: the sequential gate is now one bitwise AND per in-flight
+    activity, so both modes run the same cheap hot path and the
+    parallel mode's thread handoffs put it within noise of — not ahead
+    of — the sequential manager.  The timing assertion is therefore an
+    *overhead bound* (parallel must stay within 30% of sequential);
+    byte-identity across every variant remains the real regression
+    net.  Sequential baselines pass ``workers=0`` explicitly so a
+    ``REPRO_WORKERS`` env default (the CI tier-1 matrix sets one)
+    cannot silently parallelize them.
     """
 
     def test_parallel_smoke(self, uid_floor):
@@ -614,16 +858,25 @@ class TestParallelVsSequential:
             variants = []
             for workers in _worker_counts(n_subsystems):
                 for batch_k in PARALLEL_BATCH_KS:
-                    uid_floor.repin()
-                    parallel, wall = _timed_run_quiet(
-                        workload,
-                        7,
-                        ManagerConfig(
-                            workers=workers,
-                            batch_k=batch_k,
-                            **BENCH_CONFIG,
-                        ),
+                    # Min-of-2 walls, same as the sequential baseline:
+                    # a single parallel wall is exposed to one-off
+                    # scheduler/allocator stalls that read as bogus
+                    # slowdowns (a 0.79x outlier shipped in an earlier
+                    # BENCH_scaling.json this way).
+                    parallel_config = ManagerConfig(
+                        workers=workers,
+                        batch_k=batch_k,
+                        **BENCH_CONFIG,
                     )
+                    uid_floor.repin()
+                    parallel, wall_1 = _timed_run_quiet(
+                        workload, 7, parallel_config
+                    )
+                    uid_floor.repin()
+                    _, wall_2 = _timed_run_quiet(
+                        workload, 7, parallel_config
+                    )
+                    wall = min(wall_1, wall_2)
                     assert reference == _schedule_digest(parallel), (
                         f"schedule diverged at workers={workers} "
                         f"batch_k={batch_k} on {point}"
@@ -665,9 +918,10 @@ class TestParallelVsSequential:
                 "description": (
                     "thread-per-shard parallel mode vs the sequential "
                     "manager over workers x batch-k grids; fixed seed "
-                    "7, GC parked during timing, sequential wall is "
-                    "min-of-2; byte-identical schedules asserted for "
-                    "every variant"
+                    "7, GC parked during timing, all walls min-of-2 "
+                    "(sequential and every parallel variant); "
+                    "byte-identical schedules asserted for every "
+                    "variant"
                 ),
                 "sweep": rows,
             },
@@ -681,10 +935,17 @@ class TestParallelVsSequential:
                     if key != "variants"
                 }
             )
+        # Overhead bound, not a speedup bar: since the compiled
+        # conflict plane the sequential manager runs the same bitwise
+        # gate the parallel mode's per-shard buckets used to win on,
+        # so the best full-worker variant is expected near 1.0x (see
+        # the class docstring).  Guard against the parallel path
+        # *regressing* — thread handoffs must stay within 30% of the
+        # sequential wall on the largest point.
         largest = rows[-1]
-        assert largest["speedup_at_full_workers"] >= 1.5, (
-            "parallel mode only "
+        assert largest["speedup_at_full_workers"] >= 0.7, (
+            "parallel mode fell to "
             f"{largest['speedup_at_full_workers']}x the sequential "
-            f"manager at workers=n_subsystems on the largest point: "
-            f"{largest}"
+            f"manager at workers=n_subsystems on the largest point "
+            f"(overhead bound 0.7x): {largest}"
         )

@@ -1,0 +1,157 @@
+"""Phase-level profile of a scheduling run (``BENCH_profile.json``).
+
+The scaling sweeps in ``test_perf_scaling.py`` price whole paths against
+each other; this file answers the orthogonal question *where the wall
+clock goes* inside the live path.  :class:`repro.obs.PhaseProfiler`
+attributes exclusive time to grant / park / wake / deadlock /
+trace_emit / other (see ``src/repro/obs/profiling.py``), and this file
+
+* asserts the attribution is sound — shares sum to 1.0 by construction
+  and every expected phase actually fires,
+* asserts instrumentation is **observation only**: a profiled run's
+  schedule is byte-identical to the unprofiled run,
+* emits ``BENCH_profile.json`` with one row per (workload point,
+  traced?) combination so the CI ``profile-smoke`` step and later PRs
+  can watch the phase mix drift as the hot path evolves.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from test_perf_scaling import (
+    BENCH_CONFIG,
+    _schedule_digest,
+    _spec6,
+    _timed_run_quiet,
+)
+
+from repro.obs import Tracer, run_profiled_workload
+from repro.scheduler.manager import ManagerConfig
+from repro.sim.metrics import lock_operations
+from repro.sim.workload import build_workload
+
+PROFILE_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_profile.json"
+)
+
+#: (n_processes, conflict_density, arrival_spacing) profile points —
+#: the two smaller contention-sweep points (the 200-process point adds
+#: minutes of wall clock without changing the phase mix story).
+PROFILE_POINTS = [
+    (40, 0.4, 0.5),
+    (80, 0.5, 0.3),
+]
+
+#: Phases that must show activity on every contention point.
+EXPECTED_ACTIVE = ("grant", "park", "wake", "other")
+
+
+def _profiled_run(spec, tracer=None):
+    result, profiler = run_profiled_workload(
+        build_workload(spec),
+        "process-locking",
+        seed=spec.seed,
+        config=ManagerConfig(**BENCH_CONFIG),
+        tracer=tracer,
+    )
+    return result, profiler
+
+
+def _assert_shares_sum(report: dict) -> None:
+    total_share = sum(
+        phase["share"] for phase in report["phases"].values()
+    )
+    assert math.isclose(total_share, 1.0, abs_tol=1e-9), (
+        f"phase shares sum to {total_share}, not 1.0"
+    )
+
+
+class TestPhaseAttribution:
+    def test_shares_sum_to_one_and_phases_fire(self):
+        spec = _spec6(40, 0.4, 0.5, seed=7)
+        result, profiler = _profiled_run(spec)
+        report = profiler.report()
+        _assert_shares_sum(report)
+        assert report["total_s"] > 0
+        for phase in EXPECTED_ACTIVE:
+            assert report["phases"][phase]["calls"] > 0 or phase == (
+                "other"
+            ), f"phase {phase!r} never fired"
+            assert report["phases"][phase]["seconds"] >= 0
+        # Untraced run: the tracer proxy is never entered.
+        assert report["phases"]["trace_emit"]["calls"] == 0
+
+    def test_traced_run_meters_trace_emit(self):
+        spec = _spec6(40, 0.4, 0.5, seed=7)
+        result, profiler = _profiled_run(spec, tracer=Tracer())
+        report = profiler.report()
+        _assert_shares_sum(report)
+        assert report["phases"]["trace_emit"]["calls"] > 0
+
+    def test_profiled_schedule_byte_identical(self, uid_floor):
+        spec = _spec6(40, 0.4, 0.5, seed=7)
+        workload = build_workload(spec)
+        uid_floor.pin()
+        plain, _ = _timed_run_quiet(
+            workload, spec.seed, ManagerConfig(**BENCH_CONFIG)
+        )
+        uid_floor.repin()
+        profiled, _ = _profiled_run(spec)
+        assert _schedule_digest(profiled) == _schedule_digest(plain)
+
+
+class TestBenchProfile:
+    def test_emit_bench_profile(self):
+        rows = []
+        for n_processes, density, spacing in PROFILE_POINTS:
+            spec = _spec6(n_processes, density, spacing, seed=7)
+            for traced in (False, True):
+                tracer = Tracer() if traced else None
+                result, profiler = _profiled_run(spec, tracer=tracer)
+                report = profiler.report()
+                _assert_shares_sum(report)
+                rows.append(
+                    {
+                        "n_processes": n_processes,
+                        "conflict_density": density,
+                        "arrival_spacing": spacing,
+                        "traced": traced,
+                        "committed": result.stats.committed,
+                        "lock_ops": lock_operations(
+                            result.protocol_stats
+                        ),
+                        "total_s": round(report["total_s"], 4),
+                        "phases": {
+                            name: {
+                                "seconds": round(
+                                    phase["seconds"], 4
+                                ),
+                                "share": round(phase["share"], 4),
+                                "calls": phase["calls"],
+                            }
+                            for name, phase in report[
+                                "phases"
+                            ].items()
+                        },
+                    }
+                )
+        PROFILE_PATH.write_text(
+            json.dumps(
+                {
+                    "description": (
+                        "Exclusive wall-clock share per scheduler "
+                        "phase (PhaseProfiler over "
+                        "run_profiled_workload); shares sum to 1.0 "
+                        "per row"
+                    ),
+                    "protocol": "process-locking",
+                    "rows": rows,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        assert PROFILE_PATH.exists()

@@ -18,27 +18,114 @@ Two structural facts are enforced here:
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator
 
 from repro.activities.registry import ActivityRegistry
 from repro.errors import CommutativityError
 
 
+def iter_bits(mask: int) -> Iterator[int]:
+    """Indices of the set bits of ``mask``, ascending.
+
+    Convenience for cold paths and tests; the lock table's hot loops
+    inline the same ``mask & -mask`` peel to avoid generator overhead.
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class CompiledConflicts:
+    """One :class:`ConflictMatrix` state compiled to dense-id bitsets.
+
+    Every registered activity type gets a dense integer id (registry
+    definition order — stable across recompiles because the registry is
+    append-only), and the conflict relation becomes one big-int bitmask
+    per type: bit ``j`` of ``masks[i]`` is set iff types ``i`` and ``j``
+    conflict.  Conflict tests are then a shift + AND, and "which held
+    types conflict with ``t``" is ``masks[t] & live_mask`` — the form
+    the lock table's hot scans consume.
+
+    Instances are immutable snapshots: :meth:`ConflictMatrix.compiled`
+    hands out a cached plane and replaces it wholesale whenever the
+    relation mutates (``declare_conflict`` / ``close_perfect`` bump the
+    matrix version and drop the cache) or a type is registered late
+    (detected by the registry-length check).  Consumers therefore cache
+    the plane by identity and resync when ``compiled()`` returns a new
+    object.
+    """
+
+    __slots__ = ("version", "index", "names", "masks", "mask_of")
+
+    def __init__(
+        self,
+        version: int,
+        index: dict[str, int],
+        names: list[str],
+        masks: list[int],
+    ) -> None:
+        #: The matrix version this plane was compiled from.
+        self.version = version
+        #: type name -> dense id (registry definition order).
+        self.index = index
+        #: dense id -> type name (the inverse of :attr:`index`).
+        self.names = names
+        #: dense id -> bitmask of conflicting dense ids.
+        self.masks = masks
+        #: type name -> conflict bitmask (fused ``masks[index[name]]``).
+        self.mask_of = {
+            name: masks[i] for i, name in enumerate(names)
+        }
+
+    def id_of(self, name: str) -> int:
+        """Dense id of ``name`` (validating, for scan setup)."""
+        try:
+            return self.index[name]
+        except KeyError:
+            raise CommutativityError(
+                f"conflict query over unknown activity type {name!r}"
+            ) from None
+
+    def conflict(self, first: str, second: str) -> bool:
+        """``CON(first, second)`` as one shift + AND."""
+        return bool(
+            self.masks[self.id_of(first)] >> self.id_of(second) & 1
+        )
+
+    def commute(self, first: str, second: str) -> bool:
+        return not self.conflict(first, second)
+
+    def conflicting_types(self, name: str) -> frozenset[str]:
+        """Decode one row back to names (oracle/test convenience)."""
+        names = self.names
+        return frozenset(
+            names[i] for i in iter_bits(self.masks[self.id_of(name)])
+        )
+
+
 class ConflictMatrix:
     """Symmetric boolean conflict relation over activity type names.
 
-    Hot-path queries are served from a precomputed adjacency index
-    (``type -> frozenset(conflicting types)``) that is invalidated by
-    every mutation (:meth:`declare_conflict`, :meth:`close_perfect`) and
-    rebuilt lazily on the next lookup.  :attr:`version` increments on
-    every mutation so dependent structures (the lock table's blocker
-    index) can detect staleness cheaply.
+    Hot-path consumers (the lock table, the execution gate) read the
+    relation through the **compiled plane** (:meth:`compiled`): dense
+    integer type ids and per-type big-int conflict bitmasks, rebuilt
+    lazily after every mutation (:meth:`declare_conflict`,
+    :meth:`close_perfect`) and on late type registration.  The
+    dict/frozenset representation here — :meth:`conflict`,
+    :meth:`conflicting_types` and the adjacency index behind it — stays
+    as the validating dev-time oracle (theory checks, audits, the
+    reference implementations in :mod:`repro.core.reference`).
+    :attr:`version` increments on every mutation so dependent
+    structures (the lock table's blocker index and adopted plane) can
+    detect staleness cheaply.
     """
 
     def __init__(self, registry: ActivityRegistry) -> None:
         self._registry = registry
         self._conflicts: set[frozenset[str]] = set()
         self._adjacency: dict[str, frozenset[str]] | None = None
+        self._compiled: CompiledConflicts | None = None
         self._version = 0
 
     @property
@@ -53,7 +140,48 @@ class ConflictMatrix:
 
     def _invalidate(self) -> None:
         self._adjacency = None
+        self._compiled = None
         self._version += 1
+
+    def compiled(self) -> CompiledConflicts:
+        """The compiled bitset plane for the current relation state.
+
+        Cached: mutation (:meth:`declare_conflict`,
+        :meth:`close_perfect`) drops the cache through
+        :meth:`_invalidate`, and late type registration is caught by
+        comparing the plane's type count against the registry — so the
+        fast path is one ``None`` check plus one length compare.
+        """
+        compiled = self._compiled
+        if compiled is not None and len(compiled.names) == len(
+            self._registry
+        ):
+            return compiled
+        return self._build_compiled()
+
+    def _build_compiled(self) -> CompiledConflicts:
+        names = [activity_type.name for activity_type in self._registry]
+        index = {name: i for i, name in enumerate(names)}
+        masks = [0] * len(names)
+        for pair in self._conflicts:
+            pair_names = tuple(pair)
+            first, second = (
+                pair_names
+                if len(pair_names) == 2
+                else (pair_names[0], pair_names[0])
+            )
+            a = index[first]
+            b = index[second]
+            masks[a] |= 1 << b
+            masks[b] |= 1 << a
+        compiled = CompiledConflicts(
+            version=self._version,
+            index=index,
+            names=names,
+            masks=masks,
+        )
+        self._compiled = compiled
+        return compiled
 
     def _build_adjacency(self) -> dict[str, frozenset[str]]:
         """Materialize the adjacency index over the full registry.

@@ -93,6 +93,51 @@ def is_pseudo_pivot(
     )
 
 
+class WccMemo:
+    """Per-activity-type memo of the Figure-1 charge inputs.
+
+    :meth:`ProcessLockManager.classify_regular` needs, per decision, the
+    type's ``c(a) + c(a⁻¹)`` charge (Equation 2) and its
+    point-of-no-return flag — both pure functions of the registry entry,
+    which is immutable once registered.  The memo computes each type's
+    pair once and serves every later classification from a dict hit,
+    skipping the two registry lookups and the pivot/infinite-cost
+    branch of :meth:`ActivityRegistry.compensation_cost` per call.
+
+    What is **deliberately not** cached is the effective threshold:
+    ``Wcc*`` is re-read on every classification — from the program or
+    from ``threshold_provider`` — because the resilience layer moves it
+    while subsystem breakers open and close.  Invalidation for the
+    threshold therefore *is* the provider call itself.
+
+    The registry is append-only and its entries immutable, so memoized
+    pairs never go stale: a name unknown at memo creation simply misses
+    into the registry (which raises on truly unknown types, preserving
+    the un-memoized error behaviour).
+    """
+
+    __slots__ = ("_registry", "_entries")
+
+    def __init__(self, registry: ActivityRegistry) -> None:
+        self._registry = registry
+        #: type name -> (wcc charge, is real point of no return)
+        self._entries: dict[str, tuple[float, bool]] = {}
+
+    def lookup(self, type_name: str) -> tuple[float, bool]:
+        """``(c(a) + c(a⁻¹), point_of_no_return)`` for one type."""
+        entry = self._entries.get(type_name)
+        if entry is None:
+            registry = self._registry
+            activity_type = registry.get(type_name)
+            entry = (
+                activity_type.cost
+                + registry.compensation_cost(type_name),
+                activity_type.point_of_no_return,
+            )
+            self._entries[type_name] = entry
+        return entry
+
+
 def degraded_threshold(base: float, cap: float) -> float:
     """Effective ``Wcc*`` while the resilience layer is degraded.
 

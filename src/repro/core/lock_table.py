@@ -26,19 +26,33 @@ primary per-type and per-process lists, the table maintains
 
 The per-type lists are position-sorted *by construction* (appends use a
 monotone counter; releases preserve relative order), so
-:meth:`conflicting_locks` merges the candidate lists instead of
-re-sorting their union.
+:meth:`conflicting_locks` flat-collects the candidate lists and lets
+timsort exploit the already-sorted runs (positions are globally unique,
+so this reproduces the k-way merge order exactly).
+
+Conflict discovery runs on the **compiled plane**
+(:meth:`ConflictMatrix.compiled`): the table keeps a bitmask of types
+with at least one live lock (``_live_mask``) plus one held-types
+bitmask per process (``_pid_type_masks``), so "which held types
+conflict with ``t``" is ``masks[t] & _live_mask`` and "does P hold
+anything conflicting with ``t``" is one AND against P's mask — no
+frozenset iteration, no per-pair frozenset allocation.  The plane is
+adopted by identity and resynced whenever the conflict relation
+mutates or a type registers late (see :meth:`_live_plane`).
 """
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Iterable, Iterator
+from operator import attrgetter
 
-from repro.activities.commutativity import ConflictMatrix
+from repro.activities.commutativity import ConflictMatrix, iter_bits
 from repro.core.locks import LockEntry, LockMode
 from repro.errors import ProtocolError
 from repro.process.instance import Process
+
+#: C-level sort key shared by every position-ordered collect.
+_BY_POSITION = attrgetter("position")
 
 
 class LockTable:
@@ -56,6 +70,40 @@ class LockTable:
         #: pid -> pids holding a later conflicting lock (the transpose).
         self._blocks: dict[int, set[int]] = {}
         self._position = 0
+        #: Adopted compiled conflict plane (resynced by identity).
+        self._plane = conflicts.compiled()
+        #: Bitmask of type ids with at least one live lock.
+        self._live_mask = 0
+        #: pid -> bitmask of type ids the process holds locks on.
+        #: Bits are only ever cleared wholesale by :meth:`release_all`
+        #: (strict 2PL: locks release all-at-once), which keeps the
+        #: per-process masks exact without per-type refcounts.
+        self._pid_type_masks: dict[int, int] = {}
+
+    def _live_plane(self):
+        """The current compiled plane, adopting a recompile if needed.
+
+        Type ids are stable across recompiles (the registry is
+        append-only), but a recompile may follow bulk conflict edits —
+        the live masks are rebuilt from the per-type lists rather than
+        trusting stale bits.
+        """
+        plane = self._conflicts.compiled()
+        if plane is not self._plane:
+            self._plane = plane
+            index = plane.index
+            mask = 0
+            for type_name in self._by_type:
+                mask |= 1 << index[type_name]
+            self._live_mask = mask
+            pid_masks: dict[int, int] = {}
+            for pid, entries in self._by_pid.items():
+                pid_mask = 0
+                for entry in entries:
+                    pid_mask |= 1 << index[entry.type_name]
+                pid_masks[pid] = pid_mask
+            self._pid_type_masks = pid_masks
+        return plane
 
     # ------------------------------------------------------------------
     # mutation
@@ -79,20 +127,42 @@ class LockTable:
             table=self,
         )
         pid = process.pid
-        self._by_type.setdefault(type_name, []).append(entry)
-        self._by_pid.setdefault(pid, []).append(entry)
+        by_type = self._by_type
+        type_list = by_type.get(type_name)
+        if type_list is None:
+            by_type[type_name] = [entry]
+        else:
+            type_list.append(entry)
+        by_pid = self._by_pid
+        pid_list = by_pid.get(pid)
+        if pid_list is None:
+            by_pid[pid] = [entry]
+        else:
+            pid_list.append(entry)
         if mode is LockMode.C:
-            self._c_by_pid.setdefault(pid, []).append(entry)
+            c_list = self._c_by_pid.get(pid)
+            if c_list is None:
+                self._c_by_pid[pid] = [entry]
+            else:
+                c_list.append(entry)
         else:
             self._p_counts[pid] = self._p_counts.get(pid, 0) + 1
+        plane = self._live_plane()
+        bit = 1 << plane.id_of(type_name)
+        self._live_mask |= bit
+        pid_masks = self._pid_type_masks
+        pid_masks[pid] = pid_masks.get(pid, 0) | bit
         # Blocker index: every live conflicting lock predates this one
         # (positions are globally monotone), so each foreign holder
         # becomes a blocker of ``pid`` right now — and never later.
-        by_type = self._by_type
-        for candidate in self._conflicts.conflicting_types(type_name):
-            for other in by_type.get(candidate, ()):
-                if other.pid != pid:
-                    self._add_block_edge(other.pid, pid)
+        # One AND per live process decides holdership — the per-type
+        # entry lists are never walked here.
+        conflict_mask = plane.mask_of[type_name]
+        if conflict_mask & self._live_mask:
+            add_edge = self._add_block_edge
+            for other_pid, held in pid_masks.items():
+                if other_pid != pid and held & conflict_mask:
+                    add_edge(other_pid, pid)
         return entry
 
     def release_all(self, pid: int) -> list[LockEntry]:
@@ -111,6 +181,10 @@ class LockTable:
                 self._by_type[type_name] = survivors
             else:
                 del self._by_type[type_name]
+                index = self._plane.index.get(type_name)
+                if index is not None:
+                    self._live_mask &= ~(1 << index)
+        self._pid_type_masks.pop(pid, None)
         self._c_by_pid.pop(pid, None)
         self._p_counts.pop(pid, None)
         for waiter in self._blocks.pop(pid, ()):
@@ -194,25 +268,35 @@ class LockTable:
         Includes locks on ``type_name`` itself when the type
         self-conflicts (``CON(t, t)``), which is the common case for
         state-changing activities under perfect commutativity.  The
-        per-type lists are position-sorted by construction, so the
-        result is a k-way merge, not a sort.
+        per-type lists are position-sorted by construction and positions
+        are globally unique, so a flat collect + timsort over the sorted
+        runs reproduces the merge order without ``heapq.merge``'s
+        per-element key calls.
         """
-        lists = [
-            entries
-            for candidate in self._conflicts.conflicting_types(type_name)
-            if (entries := self._by_type.get(candidate))
-        ]
-        if not lists:
+        plane = self._live_plane()
+        live = plane.masks[plane.id_of(type_name)] & self._live_mask
+        if not live:
             return []
-        if len(lists) == 1:
-            merged: Iterable[LockEntry] = lists[0]
-        else:
-            merged = heapq.merge(
-                *lists, key=lambda entry: entry.position
-            )
-        if exclude_pid is None:
-            return list(merged)
-        return [entry for entry in merged if entry.pid != exclude_pid]
+        by_type = self._by_type
+        names = plane.names
+        if not live & (live - 1):
+            # Single live conflicting type: its list is already sorted.
+            entries = by_type[names[live.bit_length() - 1]]
+            if exclude_pid is None:
+                return list(entries)
+            return [e for e in entries if e.pid != exclude_pid]
+        result: list[LockEntry] = []
+        extend = result.extend
+        while live:
+            low = live & -live
+            entries = by_type[names[low.bit_length() - 1]]
+            if exclude_pid is None:
+                extend(entries)
+            else:
+                extend(e for e in entries if e.pid != exclude_pid)
+            live ^= low
+        result.sort(key=_BY_POSITION)
+        return result
 
     def iter_conflicting(
         self, type_name: str, exclude_pid: int | None = None
@@ -225,8 +309,12 @@ class LockTable:
         the per-type lists as-is — an early ``break`` in the caller then
         costs O(first counterexample), not O(all holders).
         """
-        for candidate in self._conflicts.conflicting_types(type_name):
-            for entry in self._by_type.get(candidate, ()):
+        plane = self._live_plane()
+        live = plane.masks[plane.id_of(type_name)] & self._live_mask
+        by_type = self._by_type
+        names = plane.names
+        for i in iter_bits(live):
+            for entry in by_type[names[i]]:
                 if exclude_pid is None or entry.pid != exclude_pid:
                     yield entry
 
@@ -238,20 +326,25 @@ class LockTable:
         The read-only half of the Comp-Rule for a RUNNING requester with
         timestamp ``ts`` (see
         :meth:`ProcessLockManager.probe_c_grants`), pushed down into the
-        table so the scan runs as plain nested loops over the live
-        per-type lists — no merge, no intermediate list, early exit on
+        table and decided per *process*, not per lock: one AND against
+        each live process's held-types mask finds the foreign holders,
+        and every lock of a process shares its timestamp/state, so the
+        per-entry scan collapses to a per-pid scan with early exit on
         the first counterexample.  ``aborting`` is the
         ``ProcessState.ABORTING`` sentinel (passed in to keep the table
         policy-free: it compares identity, it doesn't interpret states).
         """
-        by_type = self._by_type
-        for candidate in self._conflicts.conflicting_types(type_name):
-            for entry in by_type.get(candidate, ()):
-                holder = entry.process
-                if holder.pid == exclude_pid:
-                    continue
-                if holder.timestamp >= ts or holder.state is aborting:
-                    return True
+        plane = self._live_plane()
+        conflict_mask = plane.masks[plane.id_of(type_name)]
+        if not conflict_mask & self._live_mask:
+            return False
+        by_pid = self._by_pid
+        for other_pid, held in self._pid_type_masks.items():
+            if other_pid == exclude_pid or not held & conflict_mask:
+                continue
+            holder = by_pid[other_pid][0].process
+            if holder.timestamp >= ts or holder.state is aborting:
+                return True
         return False
 
     def conflicting_locks_flat(
@@ -264,14 +357,17 @@ class LockTable:
         collect + timsort over already-sorted runs beats ``heapq.merge``
         whose key callable fires once per yielded element.
         """
+        plane = self._live_plane()
+        live = plane.masks[plane.id_of(type_name)] & self._live_mask
         by_type = self._by_type
+        names = plane.names
         entries = [
             entry
-            for candidate in self._conflicts.conflicting_types(type_name)
-            for entry in by_type.get(candidate, ())
+            for i in iter_bits(live)
+            for entry in by_type[names[i]]
             if entry.process.pid != exclude_pid
         ]
-        entries.sort(key=lambda entry: entry.position)
+        entries.sort(key=_BY_POSITION)
         return entries
 
     def conflicting_younger_flat(
@@ -287,17 +383,20 @@ class LockTable:
         bucket insertion order the full scan would have produced —
         filtering never reorders survivors.
         """
+        plane = self._live_plane()
+        live = plane.masks[plane.id_of(type_name)] & self._live_mask
         by_type = self._by_type
+        names = plane.names
         entries: list[LockEntry] = []
         append = entries.append
-        for candidate in self._conflicts.conflicting_types(type_name):
-            for entry in by_type.get(candidate, ()):
+        for i in iter_bits(live):
+            for entry in by_type[names[i]]:
                 holder = entry.process
                 if holder.pid == exclude_pid:
                     continue
                 if holder.timestamp >= ts or holder.state is aborting:
                     append(entry)
-        entries.sort(key=lambda entry: entry.position)
+        entries.sort(key=_BY_POSITION)
         return entries
 
     def entry_for_activity(
@@ -364,7 +463,11 @@ class LockTable:
         * per-type lists are position-sorted;
         * the primary indexes agree;
         * the mode indexes (C lists, P counts) match the entries;
-        * the blocker index matches a naive recomputation.
+        * the blocker index matches a naive recomputation;
+        * the live-type and per-process bitmasks match a recomputation
+          from the primary lists, and the compiled conflict rows of
+          every live type agree with the dict-based matrix (the
+          dev-time oracle for the compiled plane).
 
         Syncs with the conflict matrix first: after a mid-run
         ``declare_conflict`` the blocker index is stale by design until
@@ -404,6 +507,46 @@ class LockTable:
                     f"P-lock count of P{pid} disagrees with the entries"
                 )
         self._check_blocker_index()
+        self._check_masks()
+
+    def _check_masks(self) -> None:
+        plane = self._live_plane()
+        index = plane.index
+        expected_live = 0
+        for type_name in self._by_type:
+            expected_live |= 1 << index[type_name]
+        if self._live_mask != expected_live:
+            raise ProtocolError(
+                f"live-type mask {self._live_mask:#x} disagrees with the "
+                f"per-type lists ({expected_live:#x})"
+            )
+        expected_pid_masks = {
+            pid: self._mask_of_entries(entries, index)
+            for pid, entries in self._by_pid.items()
+        }
+        if self._pid_type_masks != expected_pid_masks:
+            raise ProtocolError(
+                "per-process type masks disagree with the per-pid lists"
+            )
+        for type_name in self._by_type:
+            compiled_row = plane.conflicting_types(type_name)
+            oracle_row = self._conflicts.conflicting_types(type_name)
+            if compiled_row != oracle_row:
+                raise ProtocolError(
+                    f"compiled conflict row of {type_name!r} disagrees "
+                    f"with the dict-based matrix: "
+                    f"compiled={sorted(compiled_row)} "
+                    f"oracle={sorted(oracle_row)}"
+                )
+
+    @staticmethod
+    def _mask_of_entries(
+        entries: Iterable[LockEntry], index: dict[str, int]
+    ) -> int:
+        mask = 0
+        for entry in entries:
+            mask |= 1 << index[entry.type_name]
+        return mask
 
     def _check_blocker_index(self) -> None:
         from repro.core.reference import naive_blocked_by

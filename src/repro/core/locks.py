@@ -48,9 +48,12 @@ def can_ordered_share(held: LockMode, acquired: LockMode) -> bool:
 _lock_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class LockEntry:
     """One granted lock: a list entry of one activity type's lock list.
+
+    Slotted: entries are the single most-allocated record on the lock
+    hot path (one per grant), and slots cut the per-instance dict.
 
     Parameters
     ----------

@@ -65,6 +65,7 @@ from repro.core.decisions import (
     Grant,
     ProtocolStats,
 )
+from repro.core.cost_based import WccMemo
 from repro.core.locks import LockEntry, LockMode
 from repro.core.sharding import ShardedLockTable
 from repro.core.rules import HolderPartition, partition_holders
@@ -136,6 +137,10 @@ class ProcessLockManager:
         self._timestamps = itertools.count(1)
         self._processes: dict[int, Process] = {}
         self._token_owner: int | None = None
+        #: Memoized Figure-1 charge inputs (see :class:`WccMemo`); the
+        #: effective threshold is never cached — it is re-read from the
+        #: program or ``threshold_provider`` on every classification.
+        self._wcc_memo = WccMemo(registry)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -212,10 +217,8 @@ class ProcessLockManager:
         no return contributes an infinite addend and therefore always
         trips the threshold (Lemma 1).
         """
-        activity_type = activity.activity_type
-        comp_cost = self.registry.compensation_cost(activity_type.name)
-        process.charge_wcc(activity_type.cost + comp_cost)
-        real_pivot = activity_type.point_of_no_return
+        charge, real_pivot = self._wcc_memo.lookup(activity.name)
+        process.charge_wcc(charge)
         threshold = process.program.wcc_threshold
         if self.threshold_provider is not None:
             threshold = self.threshold_provider(process)

@@ -17,7 +17,7 @@ from repro.process.instance import Process
 from repro.process.state import ProcessState
 
 
-@dataclass
+@dataclass(slots=True)
 class HolderPartition:
     """Conflicting lock holders, split the way the rules need them.
 
@@ -64,26 +64,43 @@ def partition_holders(
     without compensating).
     """
     partition = HolderPartition()
+    if not conflicting:
+        return partition
+    requester_ts = requester.timestamp
+    aborting_state = ProcessState.ABORTING
+    running_state = ProcessState.RUNNING
+    completing_state = ProcessState.COMPLETING
+    mode_c = LockMode.C
+    aborting_add = partition.aborting.add
+    older_running_add = partition.older_running.add
+    older_running_c_add = partition.older_running_c.add
+    older_c_add = partition.older_c.add
+    older_p_add = partition.older_p.add
+    younger_completing_add = partition.younger_completing.add
+    younger_running_c_add = partition.younger_running_c.add
+    younger_running_p_add = partition.younger_running_p.add
     for entry in conflicting:
         holder = entry.process
-        if holder.state is ProcessState.ABORTING:
-            partition.aborting.add(holder.pid)
+        state = holder.state
+        pid = holder.pid
+        if state is aborting_state:
+            aborting_add(pid)
             continue
-        older = holder.timestamp < requester.timestamp
-        if older:
-            if holder.state is ProcessState.RUNNING:
-                partition.older_running.add(holder.pid)
-                if entry.mode is LockMode.C:
-                    partition.older_running_c.add(holder.pid)
-            if entry.mode is LockMode.C:
-                partition.older_c.add(holder.pid)
+        is_c = entry.mode is mode_c
+        if holder.timestamp < requester_ts:
+            if state is running_state:
+                older_running_add(pid)
+                if is_c:
+                    older_running_c_add(pid)
+            if is_c:
+                older_c_add(pid)
             else:
-                partition.older_p.add(holder.pid)
+                older_p_add(pid)
         else:
-            if holder.state is ProcessState.COMPLETING:
-                partition.younger_completing.add(holder.pid)
-            elif entry.mode is LockMode.C:
-                partition.younger_running_c.add(holder.pid)
+            if state is completing_state:
+                younger_completing_add(pid)
+            elif is_c:
+                younger_running_c_add(pid)
             else:
-                partition.younger_running_p.add(holder.pid)
+                younger_running_p_add(pid)
     return partition

@@ -40,7 +40,8 @@ class LockShard:
     """One subsystem's slice of the lock table (types + counters)."""
 
     __slots__ = (
-        "name", "types", "lock_count", "acquires", "releases", "worker"
+        "name", "types", "lock_count", "acquires", "releases", "worker",
+        "type_mask", "live_mask",
     )
 
     def __init__(self, name: str) -> None:
@@ -53,6 +54,11 @@ class LockShard:
         self.releases = 0
         #: Owning worker index under parallel execution (None = unowned).
         self.worker: int | None = None
+        #: Bitmask of compiled type ids owned by this shard.
+        self.type_mask = 0
+        #: Bitmask of owned type ids with at least one live lock — the
+        #: shard's slice of the table-wide live mask.
+        self.live_mask = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -86,6 +92,7 @@ class ShardedLockTable(LockTable):
             shard = LockShard(subsystem)
             self._shards[subsystem] = shard
         shard.types.add(type_name)
+        shard.type_mask |= 1 << self._conflicts.compiled().index[type_name]
         self._shard_by_type[type_name] = shard
         return shard
 
@@ -138,14 +145,20 @@ class ShardedLockTable(LockTable):
         shard = self.shard_of(type_name)
         shard.lock_count += 1
         shard.acquires += 1
+        shard.live_mask = self._live_mask & shard.type_mask
         return entry
 
     def release_all(self, pid: int) -> list[LockEntry]:
         released = super().release_all(pid)
+        touched: set[str] = set()
         for entry in released:
             shard = self.shard_of(entry.type_name)
             shard.lock_count -= 1
             shard.releases += 1
+            touched.add(shard.name)
+        for name in touched:
+            shard = self._shards[name]
+            shard.live_mask = self._live_mask & shard.type_mask
         return released
 
     # ------------------------------------------------------------------
@@ -204,9 +217,33 @@ class ShardedLockTable(LockTable):
         shard-local, so the shard sees the complete evidence for each of
         its edges).
         """
+        plane = self._live_plane()
+        index = plane.index
+        masks = plane.masks
+        expected_type_mask = 0
+        for type_name in shard.types:
+            expected_type_mask |= 1 << index[type_name]
+        if shard.type_mask != expected_type_mask:
+            raise ProtocolError(
+                f"shard {shard.name!r}: type mask {shard.type_mask:#x} "
+                f"disagrees with owned types ({expected_type_mask:#x})"
+            )
         count = 0
         entries = []
         for type_name in shard.types:
+            # Conflict locality as one mask test: every conflict of an
+            # owned type must stay inside the shard's type mask.
+            if masks[index[type_name]] & ~shard.type_mask:
+                foreign = [
+                    plane.names[i]
+                    for i in range(len(plane.names))
+                    if masks[index[type_name]] >> i & 1
+                    and not shard.type_mask >> i & 1
+                ]
+                raise ProtocolError(
+                    f"shard {shard.name!r}: type {type_name!r} "
+                    f"conflicts with foreign types {foreign!r}"
+                )
             type_entries = self._by_type.get(type_name)
             if not type_entries:
                 continue
@@ -222,18 +259,18 @@ class ShardedLockTable(LockTable):
                         f"shard {shard.name!r}: lock {entry} belongs to "
                         f"a terminated process"
                     )
-            for other in self._conflicts.conflicting_types(type_name):
-                if other not in shard.types:
-                    raise ProtocolError(
-                        f"shard {shard.name!r}: type {type_name!r} "
-                        f"conflicts with foreign type {other!r}"
-                    )
             count += len(type_entries)
             entries.extend(type_entries)
         if count != shard.lock_count:
             raise ProtocolError(
                 f"shard {shard.name!r}: counter says "
                 f"{shard.lock_count} locks, lists hold {count}"
+            )
+        if shard.live_mask != self._live_mask & shard.type_mask:
+            raise ProtocolError(
+                f"shard {shard.name!r}: live mask {shard.live_mask:#x} "
+                f"disagrees with the table-wide live mask slice "
+                f"({self._live_mask & shard.type_mask:#x})"
             )
         conflict = self._conflicts.conflict
         for mine in entries:

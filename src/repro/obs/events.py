@@ -24,7 +24,7 @@ from repro.core.decisions import (  # noqa: F401  (re-exported)
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Holder:
     """One blocking lock holder as seen at decision time."""
 
@@ -43,13 +43,13 @@ class Holder:
 # ----------------------------------------------------------------------
 # process lifecycle
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProcessSubmitted:
     kind = "process.submit"
     pid: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProcessInitiated:
     kind = "process.init"
     pid: int
@@ -57,14 +57,14 @@ class ProcessInitiated:
     incarnation: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProcessCommitted:
     kind = "process.commit"
     pid: int
     incarnation: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AbortBegun:
     """A process starts its abort-process execution."""
 
@@ -77,7 +77,7 @@ class AbortBegun:
     cause: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProcessAborted:
     kind = "process.abort"
     pid: int
@@ -85,7 +85,7 @@ class ProcessAborted:
     resubmit: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProcessResubmitted:
     """A cascade victim restarts with its *original* timestamp."""
 
@@ -95,7 +95,7 @@ class ProcessResubmitted:
     timestamp: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProcessCancelled:
     """A client explicitly cancelled the process (service front door).
 
@@ -113,7 +113,7 @@ class ProcessCancelled:
 # ----------------------------------------------------------------------
 # protocol decisions
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LockGranted:
     kind = "lock.grant"
     pid: int
@@ -128,7 +128,7 @@ class LockGranted:
     position: int | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LockDeferred:
     kind = "lock.defer"
     pid: int
@@ -143,7 +143,7 @@ class LockDeferred:
     blockers: tuple[Holder, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CascadeRequested:
     """Timestamp order sacrifices the named running holders."""
 
@@ -158,7 +158,7 @@ class CascadeRequested:
     victims: tuple[Holder, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SelfAbortDecision:
     """The protocol told the *requester* to abort (baselines only)."""
 
@@ -172,7 +172,7 @@ class SelfAbortDecision:
     rule: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LockConverted:
     """One Comp→Piv conversion (C lock upgraded to P in place)."""
 
@@ -182,7 +182,7 @@ class LockConverted:
     position: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ActivityClassified:
     """Figure-1 treatment decision, with the Wcc charge that drove it."""
 
@@ -200,7 +200,7 @@ class ActivityClassified:
 # ----------------------------------------------------------------------
 # activity execution spans
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ActivityStarted:
     kind = "activity.start"
     pid: int
@@ -213,7 +213,7 @@ class ActivityStarted:
     worker: int | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ActivityRetried:
     kind = "activity.retry"
     pid: int
@@ -222,7 +222,7 @@ class ActivityRetried:
     attempt: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ActivityCommitted:
     kind = "activity.commit"
     pid: int
@@ -232,7 +232,7 @@ class ActivityCommitted:
     compensation: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ActivityFailed:
     kind = "activity.fail"
     pid: int
@@ -241,7 +241,7 @@ class ActivityFailed:
     uid: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ActivityCancelled:
     """An in-flight activity of an abort victim was torn down."""
 
@@ -255,7 +255,7 @@ class ActivityCancelled:
 # ----------------------------------------------------------------------
 # wait-for bookkeeping and deadlock resolution
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WaitEdge:
     """Insertion or deletion of parked wait-for edges.
 
@@ -279,14 +279,14 @@ class WaitEdge:
     worker: int | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeadlockVictim:
     kind = "deadlock.victim"
     pid: int
     cycle: tuple[int, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UnresolvableForced:
     """Forced progress through an unresolvable wait cycle (baselines)."""
 
@@ -299,7 +299,7 @@ class UnresolvableForced:
 # ----------------------------------------------------------------------
 # fault injection
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FaultInjected:
     """One fault-injector action (any channel)."""
 
@@ -315,7 +315,7 @@ class FaultInjected:
 # ----------------------------------------------------------------------
 # resilience (circuit breakers, admission gating, adaptive Wcc*)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BreakerTransition:
     """One circuit-breaker state change, with the signal that drove it."""
 
@@ -330,7 +330,7 @@ class BreakerTransition:
     opens: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AdmissionGate:
     """An admission decision of the resilience layer."""
 
@@ -344,7 +344,7 @@ class AdmissionGate:
     deferrals: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BackpressureEngaged:
     """A shard-queue backpressure decision of the resilience layer."""
 
@@ -357,7 +357,7 @@ class BackpressureEngaged:
     deferrals: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DegradationChanged:
     """The adaptive ``Wcc*`` cap engaged or lifted."""
 
@@ -368,7 +368,7 @@ class DegradationChanged:
     open_subsystems: tuple[str, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RetryBudgetExhausted:
     """A retry budget forced a failing retriable to count as success.
 

@@ -1,0 +1,245 @@
+"""Phase-level wall-clock profiling of a scheduling run.
+
+``repro profile`` (and ``benchmarks/test_profile.py``) answer the
+question the aggregate lock-ops/sec number cannot: *where* does a run
+spend its wall clock — granting locks, parking and waking deferred
+requests, resolving deadlocks, or emitting trace events?
+
+:class:`PhaseProfiler` attributes **exclusive** time to a small fixed
+set of phases with a stack discipline: entering a phase attributes the
+elapsed interval to whatever phase was running and pushes the new one;
+exiting attributes to the exiting phase and pops.  Nested calls (a
+commit retried from inside the wake-up drain, say) therefore never
+double-count — every wall-clock nanosecond between :meth:`begin` and
+:meth:`end` lands in exactly one phase, and the shares sum to 1.0 by
+construction.  Time not spent inside any instrumented call is the
+``other`` phase (activity execution simulation, engine dispatch, ...).
+
+:func:`instrument` attaches the profiler to a built manager by wrapping
+*instance* attributes only — the classes stay untouched, un-instrumented
+runs pay nothing, and the wrapped calls add only two clock reads each,
+so the measured schedule is byte-identical to an unprofiled run (the
+profiling tests pin this).
+
+Thread-safety: the stack discipline assumes single-threaded execution.
+Under the parallel manager the coordinator-side hooks remain valid, but
+the worker-side batch probes are left un-instrumented (their time shows
+up as ``other``); profile with ``workers=1`` for full attribution.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from repro.errors import ReproError
+
+#: Phase keys, in reporting order.
+PHASES = ("grant", "park", "wake", "deadlock", "trace_emit", "other")
+
+
+class PhaseProfiler:
+    """Exclusive wall-clock attribution over the fixed phase set."""
+
+    __slots__ = ("seconds", "calls", "_stack", "_mark", "_running")
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {phase: 0.0 for phase in PHASES}
+        self.calls: dict[str, int] = {phase: 0 for phase in PHASES}
+        self._stack: list[str] = []
+        self._mark = 0.0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # the stack discipline
+    # ------------------------------------------------------------------
+    def begin(self) -> None:
+        """Start the run bracket (everything outside calls = other)."""
+        if self._running:
+            raise ReproError("profiler already running")
+        self._running = True
+        self._stack = ["other"]
+        self._mark = time.perf_counter()
+
+    def end(self) -> None:
+        """Close the run bracket."""
+        if not self._running:
+            raise ReproError("profiler not running")
+        if len(self._stack) != 1:  # pragma: no cover - defensive
+            raise ReproError(
+                f"unbalanced profiler stack at end: {self._stack}"
+            )
+        self._attribute()
+        self._running = False
+
+    def _attribute(self) -> None:
+        now = time.perf_counter()
+        self.seconds[self._stack[-1]] += now - self._mark
+        self._mark = now
+
+    def enter(self, phase: str) -> None:
+        # Hooks may fire outside the run bracket (submission-time trace
+        # emits); only bracketed time is attributed.
+        if not self._running:
+            return
+        self._attribute()
+        self._stack.append(phase)
+        self.calls[phase] += 1
+
+    def exit(self) -> None:
+        if not self._running:
+            return
+        self._attribute()
+        self._stack.pop()
+
+    # ------------------------------------------------------------------
+    # instrumentation helper
+    # ------------------------------------------------------------------
+    def wrap(self, phase: str, func: Callable) -> Callable:
+        """A callable attributing its exclusive run time to ``phase``."""
+
+        def wrapped(*args, **kwargs):
+            self.enter(phase)
+            try:
+                return func(*args, **kwargs)
+            finally:
+                self.exit()
+
+        return wrapped
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def report(self) -> dict:
+        """Per-phase seconds / share / call counts (JSON-ready).
+
+        Shares are fractions of the bracketed wall clock and sum to 1.0
+        up to float rounding — ``benchmarks/test_profile.py`` and the CI
+        profile-smoke step assert it.
+        """
+        total = self.total_seconds
+        phases = {
+            phase: {
+                "seconds": self.seconds[phase],
+                "share": (self.seconds[phase] / total) if total else 0.0,
+                "calls": self.calls[phase],
+            }
+            for phase in PHASES
+        }
+        return {"total_s": total, "phases": phases}
+
+
+class _TracerProxy:
+    """Delegating tracer wrapper that meters :meth:`emit`.
+
+    Wraps one tracer *instance reference* (never the shared
+    ``NULL_TRACER`` behaviourally — a disabled tracer's guard sites
+    read ``enabled`` off the proxy and skip the emit entirely, so the
+    proxy adds nothing to an untraced run).
+    """
+
+    __slots__ = ("_tracer", "_profiler", "enabled")
+
+    def __init__(self, tracer, profiler: PhaseProfiler) -> None:
+        self._tracer = tracer
+        self._profiler = profiler
+        self.enabled = tracer.enabled
+
+    def emit(self, event) -> None:
+        profiler = self._profiler
+        profiler.enter("trace_emit")
+        try:
+            self._tracer.emit(event)
+        finally:
+            profiler.exit()
+
+    def __getattr__(self, name):
+        return getattr(self._tracer, name)
+
+
+#: (owner attribute path, method name, phase) instrumentation map.
+_PROTOCOL_HOOKS = (
+    ("classify_regular", "grant"),
+    ("request_activity_lock", "grant"),
+    ("request_compensation_lock", "grant"),
+    ("try_commit", "grant"),
+    ("grant_c_direct", "grant"),
+)
+_MANAGER_HOOKS = (
+    ("_park", "park"),
+    ("_unpark", "park"),
+    ("_retry_parked", "wake"),
+    ("_resolve_wait_cycles", "deadlock"),
+)
+
+
+def instrument(manager, profiler: PhaseProfiler):
+    """Attach ``profiler`` to a built manager (instance-level only)."""
+    protocol = manager.protocol
+    for name, phase in _PROTOCOL_HOOKS:
+        setattr(protocol, name, profiler.wrap(phase, getattr(protocol, name)))
+    # Worker threads run the batch probes concurrently under the
+    # parallel manager; the stack discipline is single-threaded, so
+    # only meter them on a sequential run.
+    if getattr(manager.config, "workers", 1) <= 1:
+        protocol.probe_c_grants = profiler.wrap(
+            "grant", protocol.probe_c_grants
+        )
+    for name, phase in _MANAGER_HOOKS:
+        setattr(manager, name, profiler.wrap(phase, getattr(manager, name)))
+    proxy = _TracerProxy(manager.tracer, profiler)
+    manager.tracer = proxy
+    protocol.tracer = proxy
+    return manager
+
+
+def run_profiled_workload(
+    workload,
+    protocol_name: str = "process-locking",
+    seed: int = 0,
+    config=None,
+    arrivals=None,
+    tracer=None,
+):
+    """:func:`repro.sim.runner.run_workload` with phase attribution.
+
+    Returns ``(RunResult, PhaseProfiler)``; the profiler brackets
+    ``manager.run()`` only (submission setup is not interesting), and
+    the produced schedule is byte-identical to the unprofiled run.
+    """
+    from repro.errors import SchedulerError
+    from repro.scheduler.manager import make_manager
+    from repro.sim.runner import make_protocol
+
+    if arrivals is not None and len(arrivals) != len(workload.programs):
+        raise SchedulerError(
+            f"{len(arrivals)} arrival times for "
+            f"{len(workload.programs)} programs"
+        )
+    protocol = make_protocol(protocol_name, workload)
+    manager = make_manager(
+        protocol,
+        subsystems=workload.make_subsystems(),
+        config=config,
+        seed=seed,
+        tracer=tracer,
+    )
+    profiler = PhaseProfiler()
+    instrument(manager, profiler)
+    for index, program in enumerate(workload.programs):
+        at = (
+            arrivals[index]
+            if arrivals is not None
+            else workload.arrival_time(index)
+        )
+        manager.submit(program, at=at)
+    profiler.begin()
+    try:
+        result = manager.run()
+    finally:
+        profiler.end()
+    return result, profiler

@@ -34,7 +34,7 @@ from repro.obs.events import (
 from repro.obs.series import SeriesBank
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Stamped:
     """One emitted event with its virtual-time/sequence stamp."""
 

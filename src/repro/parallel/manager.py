@@ -320,21 +320,29 @@ class ParallelProcessManager(ProcessManager):
         bucket = self._inflight.by_shard.get(
             flight.activity.activity_type.subsystem
         )
-        if not bucket:
+        if not bucket or len(bucket) <= 1:
             return
-        conflicting = self.protocol.conflicts.conflicting_types(
-            flight.activity.name
-        )
+        plane = self.protocol.conflicts.compiled()
+        conflict_mask = plane.masks[plane.id_of(flight.activity.name)]
+        if not conflict_mask:
+            return
+        position = flight.entry.position
+        flight_uid = flight.activity.uid
+        gate_add = flight.gate.add
+        dependents = self._dependents
         for other in bucket.values():
-            if other is flight or other.cancelled or other.entry is None:
-                continue
-            if other.entry.position >= flight.entry.position:
-                continue
-            if other.activity.name in conflicting:
-                flight.gate.add(other.activity.uid)
-                self._dependents.setdefault(
-                    other.activity.uid, set()
-                ).add(flight.activity.uid)
+            if (
+                conflict_mask & other.type_bit
+                and other.entry.position < position
+                and not other.cancelled
+            ):
+                other_uid = other.activity.uid
+                gate_add(other_uid)
+                waiters = dependents.get(other_uid)
+                if waiters is None:
+                    dependents[other_uid] = {flight_uid}
+                else:
+                    waiters.add(flight_uid)
 
     def _flights_of(self, pid: int) -> list[InflightActivity]:
         return list(self._inflight.by_pid.get(pid, {}).values())

@@ -24,7 +24,7 @@ class RequestKind(enum.Enum):
     COMMIT = "commit"
 
 
-@dataclass
+@dataclass(slots=True)
 class ParkedRequest:
     """A lock/commit request waiting for other processes to terminate.
 
@@ -62,7 +62,7 @@ class ParkedRequest:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class InflightActivity:
     """A lock-granted activity that is executing or gated.
 
@@ -84,9 +84,14 @@ class InflightActivity:
     cancelled: bool = False
     #: Execution attempts so far (1-based; transient retries bump it).
     attempts: int = 1
+    #: ``1 << dense type id`` of the activity's type when ``entry`` is
+    #: set, else 0 — gating tests conflict membership with one AND
+    #: instead of a name lookup per inflight pair.  Dense ids are
+    #: stable across plane recompiles (the registry is append-only).
+    type_bit: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class CompensationRun:
     """A sequence of compensations being executed for one process.
 
@@ -102,7 +107,7 @@ class CompensationRun:
     victims_aborted: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessRecord:
     """Per-pid accounting across incarnations (for metrics)."""
 

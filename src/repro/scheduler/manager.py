@@ -656,6 +656,9 @@ class ProcessManager:
             started_at=self.engine.now,
             entry=entry,
         )
+        if entry is not None:
+            plane = self.protocol.conflicts.compiled()
+            flight.type_bit = 1 << plane.id_of(activity.name)
         self._inflight[activity.uid] = flight
         self._note_shard_depth(activity, +1)
         self._gate_flight(flight)
@@ -676,17 +679,33 @@ class ProcessManager:
             return
         if not self.config.gate_conflicting_executions:
             return
-        conflict = self.protocol.conflicts.conflict
-        for other in self._inflight.values():
-            if other is flight or other.cancelled or other.entry is None:
-                continue
-            if other.entry.position >= flight.entry.position:
-                continue
-            if conflict(other.activity.name, flight.activity.name):
-                flight.gate.add(other.activity.uid)
-                self._dependents.setdefault(
-                    other.activity.uid, set()
-                ).add(flight.activity.uid)
+        inflight = self._inflight
+        if len(inflight) <= 1:
+            return
+        plane = self.protocol.conflicts.compiled()
+        conflict_mask = plane.masks[plane.id_of(flight.activity.name)]
+        if not conflict_mask:
+            return
+        # One AND per inflight pair: a zero ``type_bit`` (no lock entry)
+        # can't intersect, and the flight itself fails the strict
+        # position test, so neither needs its own guard.
+        position = flight.entry.position
+        flight_uid = flight.activity.uid
+        gate_add = flight.gate.add
+        dependents = self._dependents
+        for other in inflight.values():
+            if (
+                conflict_mask & other.type_bit
+                and other.entry.position < position
+                and not other.cancelled
+            ):
+                other_uid = other.activity.uid
+                gate_add(other_uid)
+                waiters = dependents.get(other_uid)
+                if waiters is None:
+                    dependents[other_uid] = {flight_uid}
+                else:
+                    waiters.add(flight_uid)
 
     def _start_flight(self, flight: InflightActivity) -> None:
         flight.started = True

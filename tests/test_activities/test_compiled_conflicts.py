@@ -1,0 +1,176 @@
+"""Property tests: the compiled bitset plane agrees with the dict matrix.
+
+The hot path reads the conflict relation exclusively through
+:class:`CompiledConflicts` (dense type ids + per-type bitmasks); the
+dict/frozenset :class:`ConflictMatrix` stays the dev-time oracle.  These
+tests churn randomized registries and relations and assert the two
+representations never disagree — including after ``close_perfect``
+closures, post-freeze ``declare_conflict`` mutation, and late type
+registration (both of which must invalidate the cached plane while
+keeping the already-assigned dense ids stable).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.activities.commutativity import (
+    CompiledConflicts,
+    ConflictMatrix,
+    iter_bits,
+)
+from repro.activities.registry import ActivityRegistry
+from repro.errors import CommutativityError
+
+#: Base (regular) activity names; each registration adds the ``^-1``
+#: compensation partner too, so the registry holds up to 12 types.
+BASE_NAMES = [f"b{i}" for i in range(6)]
+
+
+def make_registry(n_base: int) -> ActivityRegistry:
+    registry = ActivityRegistry()
+    for name in BASE_NAMES[:n_base]:
+        registry.define_compensatable(
+            name, "shop", cost=1.0, compensation_cost=0.5
+        )
+    return registry
+
+
+def all_names(registry: ActivityRegistry) -> list[str]:
+    return [activity_type.name for activity_type in registry]
+
+
+def assert_plane_agrees(
+    plane: CompiledConflicts, matrix: ConflictMatrix
+) -> None:
+    names = all_names(matrix.registry)
+    # Dense ids cover the registry in definition order.
+    assert plane.names == names
+    assert plane.index == {name: i for i, name in enumerate(names)}
+    for first in names:
+        assert plane.conflicting_types(
+            first
+        ) == matrix.conflicting_types(first)
+        assert plane.mask_of[first] == plane.masks[plane.id_of(first)]
+        for second in names:
+            assert plane.conflict(first, second) == matrix.conflict(
+                first, second
+            )
+            assert plane.commute(first, second) == matrix.commute(
+                first, second
+            )
+    # Bitmask symmetry mirrors the symmetric relation.
+    for i, mask in enumerate(plane.masks):
+        for j in iter_bits(mask):
+            assert plane.masks[j] >> i & 1
+
+
+@st.composite
+def relation(draw):
+    n_base = draw(st.integers(min_value=1, max_value=len(BASE_NAMES)))
+    registry = make_registry(n_base)
+    names = all_names(registry)
+    pairs = draw(
+        st.lists(
+            st.tuples(st.sampled_from(names), st.sampled_from(names)),
+            max_size=12,
+        )
+    )
+    matrix = ConflictMatrix(registry)
+    for first, second in pairs:
+        matrix.declare_conflict(first, second)
+    return registry, matrix
+
+
+class TestCompiledAgreement:
+    @settings(max_examples=80, deadline=None)
+    @given(rel=relation(), close=st.booleans())
+    def test_plane_matches_dict_matrix(self, rel, close):
+        _, matrix = rel
+        if close:
+            matrix.close_perfect()
+        assert_plane_agrees(matrix.compiled(), matrix)
+
+    @settings(max_examples=60, deadline=None)
+    @given(rel=relation())
+    def test_close_perfect_closure_lands_in_the_plane(self, rel):
+        _, matrix = rel
+        before = matrix.compiled()
+        matrix.close_perfect()
+        after = matrix.compiled()
+        assert matrix.is_perfect()
+        assert_plane_agrees(after, matrix)
+        if matrix.version != before.version:
+            # Closure added pairs: the cached plane was replaced.
+            assert after is not before
+        # Perfect closure: a regular-pair conflict implies the whole
+        # {a, a^-1} x {b, b^-1} family conflicts, in bitmask form.
+        registry = matrix.registry
+        for first in all_names(registry):
+            comp_first = registry.get(first).compensated_by
+            for second in all_names(registry):
+                if not after.conflict(first, second):
+                    continue
+                comp_second = registry.get(second).compensated_by
+                if comp_first is not None:
+                    assert after.conflict(comp_first, second)
+                if comp_second is not None:
+                    assert after.conflict(first, comp_second)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rel=relation(),
+        extra=st.tuples(
+            st.sampled_from(BASE_NAMES), st.sampled_from(BASE_NAMES)
+        ),
+    )
+    def test_post_freeze_declaration_invalidates(self, rel, extra):
+        registry, matrix = rel
+        first, second = extra
+        assume(first in registry and second in registry)
+        assume(not matrix.conflict(first, second))
+        frozen = matrix.compiled()
+        assert not frozen.conflict(first, second)
+        matrix.declare_conflict(first, second)
+        recompiled = matrix.compiled()
+        assert recompiled is not frozen
+        assert recompiled.version == matrix.version
+        assert recompiled.conflict(first, second)
+        # The frozen plane is an immutable snapshot of the old state.
+        assert not frozen.conflict(first, second)
+        assert_plane_agrees(recompiled, matrix)
+
+    @settings(max_examples=40, deadline=None)
+    @given(rel=relation())
+    def test_late_registration_recompiles_with_stable_ids(self, rel):
+        registry, matrix = rel
+        frozen = matrix.compiled()
+        registry.define_compensatable(
+            "late", "shop", cost=1.0, compensation_cost=0.5
+        )
+        recompiled = matrix.compiled()
+        assert recompiled is not frozen
+        assert len(recompiled.names) == len(registry)
+        # Already-assigned dense ids never move (append-only registry).
+        assert recompiled.names[: len(frozen.names)] == frozen.names
+        matrix.declare_conflict("late", frozen.names[0])
+        assert_plane_agrees(matrix.compiled(), matrix)
+
+
+class TestPlaneValidation:
+    def test_unknown_type_raises(self):
+        matrix = ConflictMatrix(make_registry(2))
+        plane = matrix.compiled()
+        with pytest.raises(CommutativityError):
+            plane.id_of("nope")
+        with pytest.raises(CommutativityError):
+            plane.conflict("b0", "nope")
+        with pytest.raises(CommutativityError):
+            plane.conflicting_types("nope")
+
+    def test_unchanged_relation_reuses_the_plane(self):
+        matrix = ConflictMatrix(make_registry(3))
+        matrix.declare_conflict("b0", "b1")
+        assert matrix.compiled() is matrix.compiled()

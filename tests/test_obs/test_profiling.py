@@ -1,0 +1,153 @@
+"""Unit and identity tests for the phase profiler.
+
+:class:`PhaseProfiler` must (a) attribute every bracketed nanosecond to
+exactly one phase — exclusive stack discipline, shares summing to 1.0 —
+and (b) observe without participating: an instrumented run's schedule
+is byte-identical to a plain run (the profiler wraps instance
+attributes only and adds no protocol behavior).
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError, SchedulerError
+from repro.faults.harness import canonical_trace
+from repro.obs import PhaseProfiler, Tracer, run_profiled_workload
+from repro.obs.profiling import PHASES, _TracerProxy
+from repro.sim.runner import run_workload
+from repro.sim.workload import WorkloadSpec, build_workload
+
+
+def small_spec(seed=5):
+    return WorkloadSpec(
+        n_processes=10,
+        conflict_density=0.5,
+        failure_probability=0.05,
+        arrival_spacing=0.5,
+        seed=seed,
+    )
+
+
+class TestStackDiscipline:
+    def test_exclusive_attribution_and_shares(self):
+        profiler = PhaseProfiler()
+        profiler.begin()
+        profiler.enter("grant")
+        profiler.enter("wake")  # nested: grant's clock pauses
+        profiler.exit()
+        profiler.exit()
+        profiler.end()
+        report = profiler.report()
+        assert set(report["phases"]) == set(PHASES)
+        total_share = sum(
+            phase["share"] for phase in report["phases"].values()
+        )
+        assert math.isclose(total_share, 1.0, abs_tol=1e-9)
+        assert report["phases"]["grant"]["calls"] == 1
+        assert report["phases"]["wake"]["calls"] == 1
+        assert math.isclose(
+            report["total_s"], profiler.total_seconds, abs_tol=0.0
+        )
+
+    def test_enter_outside_bracket_is_inert(self):
+        profiler = PhaseProfiler()
+        profiler.enter("grant")  # submission-time hook firing early
+        profiler.exit()
+        assert profiler.calls["grant"] == 0
+        profiler.begin()
+        profiler.end()
+
+    def test_begin_twice_raises(self):
+        profiler = PhaseProfiler()
+        profiler.begin()
+        with pytest.raises(ReproError):
+            profiler.begin()
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(ReproError):
+            PhaseProfiler().end()
+
+    def test_wrap_attributes_calls(self):
+        profiler = PhaseProfiler()
+        wrapped = profiler.wrap("deadlock", lambda x: x + 1)
+        profiler.begin()
+        assert wrapped(1) == 2
+        profiler.end()
+        assert profiler.calls["deadlock"] == 1
+        assert profiler.seconds["deadlock"] >= 0
+
+
+class TestTracerProxy:
+    def test_meters_emit_and_delegates(self):
+        profiler = PhaseProfiler()
+        tracer = Tracer()
+        proxy = _TracerProxy(tracer, profiler)
+        assert proxy.enabled is True
+        profiler.begin()
+        from repro.obs.events import ProcessSubmitted
+
+        proxy.emit(ProcessSubmitted(pid=1))
+        profiler.end()
+        assert profiler.calls["trace_emit"] == 1
+        assert len(tracer) == 1
+        # Non-emit attributes pass straight through to the tracer.
+        assert proxy.stamped is tracer.stamped
+
+
+class TestProfiledRuns:
+    def test_schedule_byte_identical_to_plain_run(self, uid_floor):
+        spec = small_spec()
+        uid_floor.pin()
+        plain = run_workload(
+            build_workload(spec), "process-locking", seed=spec.seed
+        )
+        uid_floor.repin()
+        profiled, profiler = run_profiled_workload(
+            build_workload(spec), "process-locking", seed=spec.seed
+        )
+        assert canonical_trace(plain.trace.events) == canonical_trace(
+            profiled.trace.events
+        )
+        report = profiler.report()
+        total_share = sum(
+            phase["share"] for phase in report["phases"].values()
+        )
+        assert math.isclose(total_share, 1.0, abs_tol=1e-9)
+        assert report["phases"]["grant"]["calls"] > 0
+
+    def test_traced_profiled_run_identical_and_metered(
+        self, uid_floor
+    ):
+        spec = small_spec(seed=9)
+        uid_floor.pin()
+        baseline_tracer = Tracer()
+        plain = run_workload(
+            build_workload(spec),
+            "process-locking",
+            seed=spec.seed,
+            tracer=baseline_tracer,
+        )
+        uid_floor.repin()
+        tracer = Tracer()
+        profiled, profiler = run_profiled_workload(
+            build_workload(spec),
+            "process-locking",
+            seed=spec.seed,
+            tracer=tracer,
+        )
+        assert canonical_trace(plain.trace.events) == canonical_trace(
+            profiled.trace.events
+        )
+        assert profiler.calls["trace_emit"] > 0
+        assert len(tracer) == len(baseline_tracer)
+
+    def test_arrival_length_mismatch_raises(self):
+        spec = small_spec()
+        with pytest.raises(SchedulerError):
+            run_profiled_workload(
+                build_workload(spec),
+                "process-locking",
+                seed=spec.seed,
+                arrivals=[0.0],
+            )
