@@ -267,6 +267,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print each plan's compiled fault schedule (canonical form)",
     )
+    chaos.add_argument(
+        "--durability",
+        action="store_true",
+        help=(
+            "run the durability chaos campaign instead: torn tails, "
+            "checksum corruption, and partial-fsync loss against an "
+            "on-disk store, asserting recovery never applies a "
+            "partial record"
+        ),
+    )
 
     soak = sub.add_parser(
         "soak",
@@ -372,6 +382,74 @@ def build_parser() -> argparse.ArgumentParser:
             "HTTP /metrics sidecar port, 0 = ephemeral (default: "
             "REPRO_SERVE_METRICS_PORT; unset = no sidecar)"
         ),
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        choices=("log", "sqlite", "memory"),
+        help=(
+            "durable persistence backend; submissions and outcomes "
+            "survive kill -9 and replay on restart (default: "
+            "REPRO_STORE; unset = in-memory only)"
+        ),
+    )
+    serve.add_argument(
+        "--store-path",
+        default=None,
+        metavar="DIR",
+        help=(
+            "store directory (default: REPRO_STORE_PATH, else a "
+            "fresh temporary directory)"
+        ),
+    )
+    serve.add_argument(
+        "--store-fsync",
+        default=None,
+        choices=("always", "batch", "never"),
+        help="fsync policy (default: REPRO_STORE_FSYNC, batch)",
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=_positive_int,
+        default=None,
+        help=(
+            "journal records between snapshots (default: "
+            "REPRO_STORE_SNAPSHOT_EVERY)"
+        ),
+    )
+
+    store = sub.add_parser(
+        "store",
+        help=(
+            "inspect, verify, or compact a durable store written by "
+            "`repro serve --store` (see docs/persistence.md)"
+        ),
+    )
+    store.add_argument(
+        "action",
+        choices=("inspect", "verify", "compact"),
+        help=(
+            "inspect = summarize meta/journal/snapshot/subsystems; "
+            "verify = walk every frame, exit 2 on corruption; "
+            "compact = drop records recovery can no longer need"
+        ),
+    )
+    store.add_argument(
+        "--store",
+        default=None,
+        choices=("log", "sqlite", "memory"),
+        help="backend kind (default: REPRO_STORE, else log)",
+    )
+    store.add_argument(
+        "--path",
+        default=None,
+        metavar="DIR",
+        help="store directory (default: REPRO_STORE_PATH)",
+    )
+    store.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of text",
     )
 
     top = sub.add_parser(
@@ -742,6 +820,17 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.analysis.faults import campaign_json, render_campaign
     from repro.faults import run_campaign
 
+    if args.durability:
+        from repro.faults import run_durability_campaign
+
+        report = run_durability_campaign(
+            seed=args.seed, quick=args.quick
+        )
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.describe())
+        return 0 if report.ok else 1
     report = run_campaign(
         seed=args.seed,
         quick=args.quick,
@@ -805,6 +894,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         batch_k=args.batch_k,
         max_backlog=args.backlog,
         time_scale=args.time_scale,
+        store=args.store,
+        store_path=args.store_path,
+        store_fsync=args.store_fsync,
+        snapshot_every=args.snapshot_every,
     )
     run_server(
         service_config,
@@ -813,6 +906,57 @@ def cmd_serve(args: argparse.Namespace) -> int:
         metrics_port=args.metrics_port,
     )
     return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    from repro.errors import StorageError, WalCorruptionError
+    from repro.storage import Store
+
+    kind = args.store or repro_config.store_kind() or "log"
+    try:
+        store = Store.open(kind, args.path)
+    except WalCorruptionError as error:
+        print(f"store corrupt: {error}", file=sys.stderr)
+        return 2
+    except (StorageError, OSError) as error:
+        print(f"cannot open store: {error}", file=sys.stderr)
+        return 2
+    try:
+        if args.action == "verify":
+            report = store.verify()
+            if args.json:
+                print(json.dumps(report, indent=2))
+            else:
+                for name in sorted(report["namespaces"]):
+                    entry = report["namespaces"][name]
+                    status = entry["error"] or "ok"
+                    print(
+                        f"{name}: {entry['records']} records"
+                        f" [{status}]"
+                    )
+                for name, dropped in sorted(
+                    report["healed"].items()
+                ):
+                    print(f"healed torn tail: {name} -{dropped}B")
+            return 0 if report["ok"] else 2
+        if args.action == "compact":
+            report = store.compact()
+            if args.json:
+                print(json.dumps(report, indent=2))
+            else:
+                for name, row in sorted(report.items()):
+                    print(f"{name}: {row}")
+            return 0
+        print(json.dumps(store.describe(), indent=2))
+        return 0
+    except WalCorruptionError as error:
+        print(f"store corrupt: {error}", file=sys.stderr)
+        return 2
+    except StorageError as error:
+        print(f"store error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        store.close()
 
 
 def cmd_top(args: argparse.Namespace) -> int:
@@ -962,6 +1106,7 @@ _COMMANDS = {
     "scenario": cmd_scenario,
     "sweep-threshold": cmd_sweep_threshold,
     "serve": cmd_serve,
+    "store": cmd_store,
     "top": cmd_top,
     "config": cmd_config,
     "profile": cmd_profile,

@@ -40,6 +40,11 @@ __all__ = [
     "serve_host",
     "serve_metrics_port",
     "serve_port",
+    "store_fsync",
+    "store_kind",
+    "store_path",
+    "store_snapshot_every",
+    "store_sync_every",
     "workers",
 ]
 
@@ -180,6 +185,61 @@ KNOBS: dict[str, Knob] = {
                 "only via the `dump` wire verb)"
             ),
         ),
+        Knob(
+            name="store_kind",
+            env="REPRO_STORE",
+            default=None,
+            parse=_parse_optional_str,
+            description=(
+                "durable storage backend: 'log' (append-only CRC32 "
+                "frame log), 'sqlite', or 'memory' (volatile, for "
+                "benchmarks); unset = no durability"
+            ),
+        ),
+        Knob(
+            name="store_path",
+            env="REPRO_STORE_PATH",
+            default=None,
+            parse=_parse_optional_str,
+            description=(
+                "directory (log backend) or database path (sqlite) of "
+                "the durable store (unset = a fresh temp directory, "
+                "which persists nothing across restarts on purpose)"
+            ),
+        ),
+        Knob(
+            name="store_fsync",
+            env="REPRO_STORE_FSYNC",
+            default="batch",
+            parse=str,
+            description=(
+                "fsync policy of the durable store: 'always' (sync "
+                "every append), 'batch' (sync every "
+                "REPRO_STORE_SYNC_EVERY appends and at every drain "
+                "point), or 'never' (leave syncing to the OS)"
+            ),
+        ),
+        Knob(
+            name="store_sync_every",
+            env="REPRO_STORE_SYNC_EVERY",
+            default=64,
+            floor=1,
+            description=(
+                "appends between fsyncs under the 'batch' policy "
+                "(a crash can lose at most this many unsynced records)"
+            ),
+        ),
+        Knob(
+            name="store_snapshot_every",
+            env="REPRO_STORE_SNAPSHOT_EVERY",
+            default=256,
+            floor=1,
+            description=(
+                "journal records accumulated since the last snapshot "
+                "before the service takes a new one at the next "
+                "quiescent point"
+            ),
+        ),
     )
 }
 
@@ -281,3 +341,23 @@ def flight_events(override: int | None = None) -> int:
 
 def flight_path(override: str | None = None) -> str | None:
     return resolve("flight_path", override)
+
+
+def store_kind(override: str | None = None) -> str | None:
+    return resolve("store_kind", override)
+
+
+def store_path(override: str | None = None) -> str | None:
+    return resolve("store_path", override)
+
+
+def store_fsync(override: str | None = None) -> str:
+    return resolve("store_fsync", override)
+
+
+def store_sync_every(override: int | None = None) -> int:
+    return resolve("store_sync_every", override)
+
+
+def store_snapshot_every(override: int | None = None) -> int:
+    return resolve("store_snapshot_every", override)

@@ -108,3 +108,34 @@ class SubsystemWouldBlock(SubsystemError):
 
 class ScheduleError(ReproError):
     """A process schedule object is malformed (theory layer)."""
+
+
+class StorageError(ReproError):
+    """Base class for errors raised by the durable storage layer.
+
+    Covers configuration problems (unknown backend kind, missing store
+    path, metadata mismatch between a store and the service opening it)
+    as well as I/O-level failures surfaced by a backend.
+    """
+
+
+class WalCorruptionError(StorageError):
+    """A durable log holds a record that fails validation.
+
+    Raised when a complete frame's CRC32 does not match its payload,
+    when a frame's payload is not decodable, or when
+    :func:`repro.subsystems.wal.recover_store` meets a structurally
+    malformed WAL record.  A *torn tail* — an incomplete frame at the
+    end of a log, the signature of a crash mid-append — is **not**
+    corruption: recovery detects it and truncates deterministically.
+    """
+
+    def __init__(
+        self, message: str, namespace: str = "", offset: int | None = None
+    ):
+        super().__init__(message)
+        #: Store namespace (log name) the bad record lives in.
+        self.namespace = namespace
+        #: Byte offset (append-log) or sequence number (sqlite) of the
+        #: offending record, when known.
+        self.offset = offset

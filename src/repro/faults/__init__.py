@@ -18,6 +18,11 @@ Layers:
   round) behind ``repro soak``.
 """
 
+from repro.faults.durability import (
+    DurabilityReport,
+    DurabilityRound,
+    run_durability_campaign,
+)
 from repro.faults.harness import (
     DEFAULT_PROTOCOLS,
     CampaignReport,
@@ -69,6 +74,8 @@ __all__ = [
     "ChaosRunResult",
     "CorrelatedOutage",
     "DEFAULT_PROTOCOLS",
+    "DurabilityReport",
+    "DurabilityRound",
     "ExponentialBackoff",
     "FaultCounters",
     "FaultInjector",
@@ -94,6 +101,7 @@ __all__ = [
     "outage_storm",
     "run_campaign",
     "run_chaos",
+    "run_durability_campaign",
     "run_soak",
     "threshold_boundary_storm",
     "threshold_boundary_subsystems",

@@ -387,6 +387,55 @@ class RetryBudgetExhausted:
     subsystem: str | None = None
 
 
+# ----------------------------------------------------------------------
+# durable storage (repro.storage)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class StoreRecovered:
+    """Startup recovery finished replaying the durable store.
+
+    ``adopted`` processes resumed mid-flight from the snapshot,
+    ``resubmitted`` undecided submissions were re-scheduled under
+    their original pids, and ``restored`` finished processes came back
+    from terminal journal records without re-execution.
+    """
+
+    kind = "store.recovered"
+    backend: str
+    adopted: int
+    resubmitted: int
+    restored: int
+    journal_records: int
+    healed_namespaces: int
+    #: Wall-clock recovery time (replay progress metric).
+    seconds: float
+
+
+@dataclass(frozen=True, slots=True)
+class StoreSnapshot:
+    """A checkpoint of the live crash image was swapped in."""
+
+    kind = "store.snapshot"
+    #: Live processes captured in the image.
+    processes: int
+    #: Journal length the snapshot covers (its replay watermark).
+    journal_lsn: int
+
+
+@dataclass(frozen=True, slots=True)
+class StoreTornTail:
+    """Recovery truncated an incomplete record at the end of a log.
+
+    A torn tail is the signature of a crash mid-append; truncating to
+    the last complete CRC-valid frame is deterministic and loses only
+    the record(s) that were never acknowledged as durable.
+    """
+
+    kind = "store.torn_tail"
+    namespace: str
+    dropped_bytes: int
+
+
 #: kind tag -> event class, for JSONL round-trips and exporters.
 EVENT_TYPES: dict[str, type] = {
     cls.kind: cls
@@ -418,6 +467,9 @@ EVENT_TYPES: dict[str, type] = {
         BackpressureEngaged,
         DegradationChanged,
         RetryBudgetExhausted,
+        StoreRecovered,
+        StoreSnapshot,
+        StoreTornTail,
     )
 }
 

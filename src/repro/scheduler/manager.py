@@ -147,6 +147,15 @@ class ManagerConfig:
     #: ``None`` (the default) adds no hooks anywhere — schedules stay
     #: byte-identical to the pre-resilience behaviour.
     resilience: object | None = None
+    #: Durable storage facade (:class:`repro.storage.Store`) backing
+    #: the subsystem pool's WALs and record stores.
+    #: :func:`make_manager` attaches it to the pool; with ``None`` and
+    #: the ``REPRO_STORE`` knob set, a store is opened ambiently (at a
+    #: temp path unless ``REPRO_STORE_PATH`` names one), which is how
+    #: the whole test suite runs durably under ``REPRO_STORE=sqlite``.
+    #: Durability never alters scheduling decisions — schedules stay
+    #: byte-identical to the in-memory run at the same seed.
+    store: object | None = None
 
 
 @dataclass
@@ -319,6 +328,32 @@ class ProcessManager:
         """Schedule a new process for initiation at virtual time ``at``."""
         pid = next(self._pids)
         self.records[pid] = ProcessRecord(pid=pid, submitted_at=at)
+        self.stats.submitted += 1
+        if self.tracer.enabled:
+            self.tracer.emit(ProcessSubmitted(pid=pid))
+        self._pending_init[pid] = self.engine.schedule(
+            at, lambda: self._initiate(pid, program)
+        )
+        return pid
+
+    def submit_recovered(
+        self, pid: int, program: ProcessProgram, at: float = 0.0
+    ) -> int:
+        """Re-schedule a journaled submission under its original pid.
+
+        Restart recovery (:mod:`repro.storage.plane`) uses this for
+        submissions that were durably acknowledged but never reached a
+        terminal state: the process runs again from scratch, keeping
+        its pid so clients polling by pid see it complete.  The
+        existing :class:`ProcessRecord` (from the crash image) is kept
+        when present.
+        """
+        if pid in self._pending_init or pid in self._processes:
+            raise SchedulerError(
+                f"cannot re-submit live process {pid}"
+            )
+        if pid not in self.records:
+            self.records[pid] = ProcessRecord(pid=pid, submitted_at=at)
         self.stats.submitted += 1
         if self.tracer.enabled:
             self.tracer.emit(ProcessSubmitted(pid=pid))
@@ -1747,6 +1782,28 @@ class ProcessManager:
             self.protocol.audit(shards=shards)
 
 
+def _attach_store(
+    config: ManagerConfig, subsystems: SubsystemPool | None
+) -> None:
+    """Back an unattached pool with the configured durable store.
+
+    ``config.store`` wins; otherwise, when the ``REPRO_STORE`` knob
+    names a backend, a store is opened ambiently (fresh temp directory
+    unless ``REPRO_STORE_PATH`` is set) — that is how the entire test
+    suite runs durably under ``REPRO_STORE=sqlite``.  Pools that are
+    already attached, and callers without a pool, are left alone.
+    """
+    if subsystems is None or getattr(subsystems, "store", None) is not None:
+        return
+    store = config.store
+    if store is None and repro_config.store_kind() is not None:
+        from repro.storage.facade import Store
+
+        store = Store.open()
+    if store is not None and hasattr(subsystems, "attach_store"):
+        subsystems.attach_store(store)
+
+
 def make_manager(
     protocol,
     subsystems: SubsystemPool | None = None,
@@ -1765,6 +1822,7 @@ def make_manager(
     construction site can route through this factory unconditionally.
     """
     config = config or ManagerConfig()
+    _attach_store(config, subsystems)
     table = getattr(protocol, "table", None)
     if (
         config.workers > 0

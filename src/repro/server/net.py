@@ -264,6 +264,20 @@ def run_server(
                 f"http://{sidecar.host}:{sidecar.port}/metrics",
                 flush=True,
             )
+        if service.store is not None:
+            stats = service.store.stats()
+            line = (
+                f"repro-serve store {stats['kind']} at "
+                f"{stats['path']} (fsync={stats['fsync']})"
+            )
+            recovery = service.recovery
+            if recovery is not None and recovery.recovered_anything:
+                line += (
+                    f"; recovered adopted={recovery.adopted} "
+                    f"resubmitted={recovery.resubmitted} "
+                    f"restored={recovery.restored}"
+                )
+            print(line, flush=True)
 
     asyncio.run(
         serve(

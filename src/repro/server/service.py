@@ -93,6 +93,26 @@ class ServiceConfig:
     #: which is itself unset by default — the ``dump`` wire verb works
     #: regardless.
     flight_path: str | None = None
+    #: Durable persistence: a :class:`repro.storage.Store` instance, a
+    #: backend-kind string (``log`` / ``sqlite`` / ``memory``), or
+    #: ``None`` to defer to the ``REPRO_STORE`` knob (unset = run
+    #: in-memory, the seed behaviour).  When set, every acknowledged
+    #: submission and terminal outcome is journaled, snapshots are cut
+    #: on the ``snapshot_every`` cadence, and a restart on the same
+    #: store replays and resumes — see ``docs/persistence.md``.
+    store: object | None = None
+    #: Store directory (log) or database path (sqlite); ``None`` defers
+    #: to ``REPRO_STORE_PATH``, then to a fresh temporary directory.
+    store_path: str | None = None
+    #: fsync policy ``always`` / ``batch`` / ``never``; ``None`` defers
+    #: to the ``REPRO_STORE_FSYNC`` knob.
+    store_fsync: str | None = None
+    #: Batch-fsync threshold; ``None`` defers to
+    #: ``REPRO_STORE_SYNC_EVERY``.
+    store_sync_every: int | None = None
+    #: Journal records between snapshots; ``None`` defers to
+    #: ``REPRO_STORE_SNAPSHOT_EVERY``.
+    snapshot_every: int | None = None
 
 
 class ProcessLockingService:
@@ -109,12 +129,20 @@ class ProcessLockingService:
         self.flight_path = repro_config.flight_path(
             self.config.flight_path
         )
+        self.store = self._open_store()
+        sinks: tuple = (self.bus_tracer,)
+        if self.store is not None:
+            from repro.storage import JournalTracer
+
+            # Decision provenance (grants, Wcc classifications, retry
+            # exhaustions) rides the same journal as the redo records.
+            sinks = sinks + (JournalTracer(self.store.journal),)
         # The tee feeds the metrics registry and the flight ring, then
         # forwards to the bus bridge, which stamps exactly as it would
         # standalone (byte-identical wire frames).
         self.tracer = MetricsTracer(
             metrics=self.metrics,
-            sinks=(self.bus_tracer,),
+            sinks=sinks,
             recorder=self.flight,
         )
         registry = self.metrics.registry
@@ -149,6 +177,25 @@ class ProcessLockingService:
             "when a dump path is configured).",
             ("trigger",),
         )
+        # Store gauges are registered only when a store is configured,
+        # so the non-durable metrics exposition stays byte-identical.
+        self._g_store = None
+        self._g_store_journal = None
+        self._g_store_snapshot_lsn = None
+        if self.store is not None:
+            self._g_store = registry.gauge(
+                "repro_store_io",
+                "Durable-store backend I/O totals by operation.",
+                ("op",),
+            )
+            self._g_store_journal = registry.gauge(
+                "repro_store_journal_records",
+                "Redo-journal records on disk (replayed on restart).",
+            )
+            self._g_store_snapshot_lsn = registry.gauge(
+                "repro_store_snapshot_lsn",
+                "Journal watermark covered by the latest snapshot.",
+            )
         self.workload = build_workload(self.config.spec)
         manager_config = (
             self.config.manager_config or ManagerConfig()
@@ -162,13 +209,43 @@ class ProcessLockingService:
             if self.config.batch_k is not None
             else manager_config.batch_k,
         )
-        self.manager = make_manager(
-            make_protocol(self.config.protocol, self.workload),
-            subsystems=self.workload.make_subsystems(),
-            config=manager_config,
-            seed=self.config.seed,
-            tracer=self.tracer,
-        )
+        self._cancelled: set[int] = set()
+        #: Recovery outcome of this incarnation (``None`` = cold start).
+        self.recovery = None
+        self.plane = None
+        if self.store is not None:
+            from repro.storage import PersistencePlane
+
+            manager_config = replace(manager_config, store=self.store)
+            self.plane = PersistencePlane(
+                self.store,
+                self.workload.programs,
+                snapshot_every=self.config.snapshot_every,
+            )
+            self.plane.ensure_meta(
+                protocol=self.config.protocol,
+                seed=self.config.seed,
+                spec=_spec_fingerprint(self.config.spec),
+            )
+        protocol = make_protocol(self.config.protocol, self.workload)
+        pool = self.workload.make_subsystems()
+        if self.plane is not None and self.plane.has_state():
+            self.manager, self.recovery = self.plane.recover(
+                protocol,
+                config=manager_config,
+                subsystems=pool,
+                seed=self.config.seed,
+                tracer=self.tracer,
+            )
+            self._cancelled |= self.recovery.cancelled_pids
+        else:
+            self.manager = make_manager(
+                protocol,
+                subsystems=pool,
+                config=manager_config,
+                seed=self.config.seed,
+                tracer=self.tracer,
+            )
         self.max_backlog = repro_config.serve_backlog(
             self.config.max_backlog
         )
@@ -177,7 +254,6 @@ class ProcessLockingService:
         self._deferred: list[tuple[object, Future]] = []
         #: (pid set, request id, future) triples for ``wait`` submits.
         self._waiters: list[tuple[set[int], Future]] = []
-        self._cancelled: set[int] = set()
         #: pid -> wall submit time, popped into the submit-to-commit
         #: histogram when the pid turns terminal.
         self._wall_submitted: dict[int, float] = {}
@@ -193,6 +269,30 @@ class ProcessLockingService:
         # and read lock-free from the network thread (atomic swaps).
         self._pending_submissions = 0
         self._open_breakers: tuple[str, ...] = ()
+
+    def _open_store(self):
+        """Resolve the configured durability backend (or ``None``).
+
+        ``ServiceConfig.store`` may already be a
+        :class:`repro.storage.Store` (a restart test reopening the same
+        directory builds one itself) or a backend-kind string; with
+        neither, the ``REPRO_STORE`` knob decides.
+        """
+        configured = self.config.store
+        if configured is None:
+            configured = repro_config.store_kind()
+        if configured is None:
+            return None
+        if isinstance(configured, str):
+            from repro.storage import Store
+
+            return Store.open(
+                configured,
+                self.config.store_path,
+                fsync=self.config.store_fsync,
+                sync_every=self.config.store_sync_every,
+            )
+        return configured
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -221,6 +321,8 @@ class ProcessLockingService:
         self._stop.set()
         self._thread.join(timeout=10)
         self._thread = None
+        if self.store is not None:
+            self.store.close()
 
     @property
     def draining(self) -> bool:
@@ -369,12 +471,16 @@ class ProcessLockingService:
                 "bad-request", f"'at' must be a delay >= 0, got {at!r}"
             )
         catalog = self.workload.programs
-        pids = [
-            self.manager.submit(
-                catalog[(program + k) % len(catalog)], at=float(at)
-            )
-            for k in range(count)
-        ]
+        pids = []
+        for k in range(count):
+            index = (program + k) % len(catalog)
+            pid = self.manager.submit(catalog[index], at=float(at))
+            if self.plane is not None:
+                # Journaled before the ack future resolves (the flush
+                # in after_drain precedes deferred resolution), so an
+                # acknowledged pid survives a kill -9.
+                self.plane.note_submit(pid, index, float(at))
+            pids.append(pid)
         submitted_wall = time.monotonic()
         for pid in pids:
             self._wall_submitted[pid] = submitted_wall
@@ -394,6 +500,8 @@ class ProcessLockingService:
         cancelled = self.manager.cancel(pid)
         if cancelled:
             self._cancelled.add(pid)
+            if self.plane is not None:
+                self.plane.note_cancel(pid)
         self._deferred.append(
             (lambda: {"pid": pid, "cancelled": cancelled}, fut)
         )
@@ -417,6 +525,11 @@ class ProcessLockingService:
             max_events=self.manager.config.max_events
         )
         self.manager.close()
+        if self.plane is not None:
+            self.plane.after_drain(
+                self.manager, self._is_terminal, self._cancelled
+            )
+            self.plane.final(self.manager)
         self._drained.set()
         self._settle_latencies()
         self._flight_dump("drain")
@@ -461,6 +574,13 @@ class ProcessLockingService:
             )
 
     def _post_drain(self) -> None:
+        if self.plane is not None:
+            # Durability point: terminals journaled, snapshot cadence
+            # honoured, everything flushed — before any future below
+            # acknowledges a client.
+            self.plane.after_drain(
+                self.manager, self._is_terminal, self._cancelled
+            )
         self._settle_latencies()
         for builder, fut in self._deferred:
             if not fut.set_running_or_notify_cancel():
@@ -575,7 +695,31 @@ class ProcessLockingService:
                 "dropped": counters.dropped,
                 "subscribers": self.bus.subscriber_count,
             },
+            **(
+                {"store": self._store_body()}
+                if self.store is not None
+                else {}
+            ),
         }
+
+    def _store_body(self) -> dict:
+        body = self.store.stats()
+        # The path is host-local noise on the wire (and randomized for
+        # ambient temp stores, which would break the byte-deterministic
+        # scripted-session guarantee); the serve banner and
+        # `repro store inspect` carry it for operators.
+        body.pop("path", None)
+        body["journal_records"] = self.plane.journal_len
+        body["snapshot_lsn"] = self.plane._snapshot_lsn
+        if self.recovery is not None:
+            body["recovered"] = {
+                "adopted": self.recovery.adopted,
+                "resubmitted": self.recovery.resubmitted,
+                "restored": self.recovery.restored,
+                "healed": self.recovery.healed,
+                "seconds": round(self.recovery.seconds, 6),
+            }
+        return body
 
     def _refresh_service_gauges(self) -> None:
         """Fold server-side state into the registry before a snapshot.
@@ -594,6 +738,17 @@ class ProcessLockingService:
         self._g_bus.set(float(counters.delivered), ("delivered",))
         self._g_bus.set(float(counters.dropped), ("dropped",))
         self._g_subscribers.set(float(self.bus.subscriber_count))
+        if self._g_store is not None:
+            stats = self.store.stats()
+            self._g_store.set(float(stats["appends"]), ("appends",))
+            self._g_store.set(float(stats["fsyncs"]), ("fsyncs",))
+            self._g_store.set(
+                float(stats["bytes_written"]), ("bytes",)
+            )
+            self._g_store_journal.set(float(self.plane.journal_len))
+            self._g_store_snapshot_lsn.set(
+                float(self.plane._snapshot_lsn)
+            )
 
     def metrics_snapshot(self) -> dict:
         """The registry as JSON (the ``metrics`` wire verb's body)."""
@@ -642,6 +797,21 @@ class ServiceError(Exception):
         super().__init__(message)
         self.code = code
         self.message = message
+
+
+def _spec_fingerprint(spec: WorkloadSpec) -> str:
+    """Canonical JSON identity of a workload spec.
+
+    Stored in the meta document so a restart against a store written
+    for a *different* world (other catalog, other conflict matrix)
+    fails loudly instead of replaying nonsense.
+    """
+    import json
+    from dataclasses import asdict
+
+    return json.dumps(
+        asdict(spec), sort_keys=True, separators=(",", ":"), default=str
+    )
 
 
 def _int_arg(request: dict, name: str, default, minimum: int):

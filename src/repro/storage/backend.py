@@ -1,0 +1,418 @@
+"""Storage backends: where durable frames physically live.
+
+A backend stores ordered opaque payloads per **namespace** (one logical
+log: the scheduler journal, a snapshot slot, one subsystem's WAL, ...).
+Three implementations share the same five-method surface:
+
+* :class:`AppendLogBackend` — one append-only file of CRC32-framed
+  records (:mod:`repro.storage.codec`) per namespace, with an fsync
+  policy (``always`` / ``batch`` / ``never``).  Torn tails are healed
+  (truncated) at open; CRC mismatches raise
+  :class:`~repro.errors.WalCorruptionError`.
+* :class:`SqliteBackend` — one ``frames`` table in a single database
+  file; appends become inserts, the fsync policy maps onto sqlite's
+  journaling pragmas, and the stored CRC32 is re-verified on read.
+* :class:`MemoryBackend` — a dict of lists; persists nothing and
+  exists so benchmarks can price durability against a true no-op and
+  tests can exercise the facade without touching disk.
+
+All mutating calls are serialized by one lock per backend: the journal
+tee can emit from shard workers while the engine thread appends.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+import zlib
+
+from repro.errors import StorageError, WalCorruptionError
+from repro.storage.codec import encode_frame, scan_frames
+
+FSYNC_POLICIES = ("always", "batch", "never")
+
+
+def _check_policy(fsync: str) -> str:
+    if fsync not in FSYNC_POLICIES:
+        raise StorageError(
+            f"unknown fsync policy {fsync!r}; "
+            f"expected one of {FSYNC_POLICIES}"
+        )
+    return fsync
+
+
+class MemoryBackend:
+    """Frames in process memory — the durability no-op baseline."""
+
+    kind = "memory"
+
+    def __init__(self, fsync: str = "batch", sync_every: int = 64) -> None:
+        _check_policy(fsync)
+        self._frames: dict[str, list[bytes]] = {}
+        self._mutex = threading.Lock()
+        self.appends = 0
+        self.fsyncs = 0
+        self.bytes_written = 0
+
+    def append(self, namespace: str, payload: bytes) -> None:
+        with self._mutex:
+            self._frames.setdefault(namespace, []).append(bytes(payload))
+            self.appends += 1
+            self.bytes_written += len(payload)
+
+    def replace(self, namespace: str, payloads: list[bytes]) -> None:
+        with self._mutex:
+            self._frames[namespace] = [bytes(p) for p in payloads]
+            self.bytes_written += sum(len(p) for p in payloads)
+
+    def read_all(self, namespace: str) -> list[bytes]:
+        with self._mutex:
+            return list(self._frames.get(namespace, []))
+
+    def namespaces(self) -> list[str]:
+        with self._mutex:
+            return sorted(self._frames)
+
+    def heal(self) -> dict[str, int]:
+        """Nothing to heal in memory."""
+        return {}
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class AppendLogBackend:
+    """One CRC32-framed append-only file per namespace.
+
+    ``root`` is a directory; namespace ``a/b`` maps to file ``a@b.log``
+    (namespaces never contain ``@``).  Appends write straight through
+    to the OS (unbuffered), so a killed *process* loses nothing; only a
+    machine crash can lose the un-fsynced suffix, which is exactly what
+    the ``batch``/``never`` policies trade for speed.
+    """
+
+    kind = "log"
+    _SUFFIX = ".log"
+
+    def __init__(
+        self, root: str, fsync: str = "batch", sync_every: int = 64
+    ) -> None:
+        self.root = str(root)
+        self.fsync = _check_policy(fsync)
+        self.sync_every = max(1, int(sync_every))
+        os.makedirs(self.root, exist_ok=True)
+        self._files: dict[str, object] = {}
+        self._unsynced: dict[str, int] = {}
+        self._mutex = threading.Lock()
+        self.appends = 0
+        self.fsyncs = 0
+        self.bytes_written = 0
+
+    # -- namespace <-> filename ----------------------------------------
+    def _path(self, namespace: str) -> str:
+        if "@" in namespace or namespace.startswith("."):
+            raise StorageError(f"illegal namespace {namespace!r}")
+        return os.path.join(
+            self.root, namespace.replace("/", "@") + self._SUFFIX
+        )
+
+    def namespaces(self) -> list[str]:
+        found = []
+        for entry in os.listdir(self.root):
+            if entry.endswith(self._SUFFIX):
+                found.append(
+                    entry[: -len(self._SUFFIX)].replace("@", "/")
+                )
+        return sorted(found)
+
+    def _handle(self, namespace: str):
+        handle = self._files.get(namespace)
+        if handle is None:
+            handle = open(self._path(namespace), "ab", buffering=0)
+            self._files[namespace] = handle
+        return handle
+
+    # -- writes --------------------------------------------------------
+    def append(self, namespace: str, payload: bytes) -> None:
+        frame = encode_frame(payload)
+        with self._mutex:
+            handle = self._handle(namespace)
+            handle.write(frame)
+            self.appends += 1
+            self.bytes_written += len(frame)
+            if self.fsync == "always":
+                os.fsync(handle.fileno())
+                self.fsyncs += 1
+            elif self.fsync == "batch":
+                pending = self._unsynced.get(namespace, 0) + 1
+                if pending >= self.sync_every:
+                    os.fsync(handle.fileno())
+                    self.fsyncs += 1
+                    pending = 0
+                self._unsynced[namespace] = pending
+
+    def replace(self, namespace: str, payloads: list[bytes]) -> None:
+        """Atomically swap a namespace's whole content (tmp + rename)."""
+        path = self._path(namespace)
+        tmp = path + ".tmp"
+        with self._mutex:
+            handle = self._files.pop(namespace, None)
+            if handle is not None:
+                handle.close()
+            with open(tmp, "wb") as out:
+                for payload in payloads:
+                    frame = encode_frame(payload)
+                    out.write(frame)
+                    self.bytes_written += len(frame)
+                out.flush()
+                if self.fsync != "never":
+                    os.fsync(out.fileno())
+                    self.fsyncs += 1
+            os.replace(tmp, path)
+            if self.fsync != "never":
+                self._fsync_dir()
+            self._unsynced.pop(namespace, None)
+
+    def _fsync_dir(self) -> None:
+        fd = os.open(self.root, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+            self.fsyncs += 1
+        finally:
+            os.close(fd)
+
+    # -- reads & recovery ----------------------------------------------
+    def read_all(self, namespace: str) -> list[bytes]:
+        path = self._path(namespace)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            return []
+        return scan_frames(data, namespace=namespace).payloads
+
+    def heal(self) -> dict[str, int]:
+        """Truncate every torn tail; ``{namespace: dropped_bytes}``.
+
+        Corrupt (complete but CRC-failing) frames are *not* healed —
+        they raise, because silently dropping acknowledged records
+        would turn bit rot into data loss.
+        """
+        healed: dict[str, int] = {}
+        with self._mutex:
+            for namespace in self.namespaces():
+                path = self._path(namespace)
+                with open(path, "rb") as handle:
+                    data = handle.read()
+                result = scan_frames(data, namespace=namespace)
+                if result.torn:
+                    handle = self._files.pop(namespace, None)
+                    if handle is not None:
+                        handle.close()
+                    with open(path, "r+b") as out:
+                        out.truncate(result.good_bytes)
+                        out.flush()
+                        os.fsync(out.fileno())
+                        self.fsyncs += 1
+                    healed[namespace] = result.torn_bytes
+        return healed
+
+    # -- lifecycle -----------------------------------------------------
+    def flush(self) -> None:
+        with self._mutex:
+            if self.fsync == "never":
+                return
+            for namespace, handle in self._files.items():
+                if self.fsync == "always":
+                    continue
+                if self._unsynced.get(namespace, 0):
+                    os.fsync(handle.fileno())
+                    self.fsyncs += 1
+                    self._unsynced[namespace] = 0
+
+    def close(self) -> None:
+        self.flush()
+        with self._mutex:
+            for handle in self._files.values():
+                handle.close()
+            self._files.clear()
+
+
+class SqliteBackend:
+    """Every namespace as rows of one ``frames`` table.
+
+    The stored CRC32 is verified again on every read, so a corrupted
+    payload surfaces as :class:`~repro.errors.WalCorruptionError`
+    exactly like a corrupt log frame.  The fsync policy maps onto
+    sqlite: ``always`` commits (synchronous=FULL) per append, ``batch``
+    commits every ``sync_every`` appends (synchronous=NORMAL), and
+    ``never`` commits only at flush points (synchronous=OFF).
+    """
+
+    kind = "sqlite"
+    _PRAGMAS = {"always": "FULL", "batch": "NORMAL", "never": "OFF"}
+
+    def __init__(
+        self, path: str, fsync: str = "batch", sync_every: int = 64
+    ) -> None:
+        self.path = str(path)
+        self.fsync = _check_policy(fsync)
+        self.sync_every = max(1, int(sync_every))
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute(
+            f"PRAGMA synchronous={self._PRAGMAS[self.fsync]}"
+        )
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS frames ("
+            " ns TEXT NOT NULL,"
+            " seq INTEGER NOT NULL,"
+            " crc INTEGER NOT NULL,"
+            " payload BLOB NOT NULL,"
+            " PRIMARY KEY (ns, seq))"
+        )
+        self._conn.commit()
+        self._next_seq: dict[str, int] = {}
+        self._uncommitted = 0
+        self._mutex = threading.Lock()
+        self.appends = 0
+        self.fsyncs = 0
+        self.bytes_written = 0
+
+    def _seq(self, namespace: str) -> int:
+        seq = self._next_seq.get(namespace)
+        if seq is None:
+            row = self._conn.execute(
+                "SELECT COALESCE(MAX(seq), 0) FROM frames WHERE ns = ?",
+                (namespace,),
+            ).fetchone()
+            seq = int(row[0]) + 1
+        self._next_seq[namespace] = seq + 1
+        return seq
+
+    def append(self, namespace: str, payload: bytes) -> None:
+        with self._mutex:
+            self._conn.execute(
+                "INSERT INTO frames (ns, seq, crc, payload) "
+                "VALUES (?, ?, ?, ?)",
+                (
+                    namespace,
+                    self._seq(namespace),
+                    zlib.crc32(payload),
+                    sqlite3.Binary(payload),
+                ),
+            )
+            self.appends += 1
+            self.bytes_written += len(payload)
+            self._uncommitted += 1
+            if self.fsync == "always" or (
+                self.fsync == "batch"
+                and self._uncommitted >= self.sync_every
+            ):
+                self._conn.commit()
+                self.fsyncs += 1
+                self._uncommitted = 0
+
+    def replace(self, namespace: str, payloads: list[bytes]) -> None:
+        with self._mutex:
+            self._conn.execute(
+                "DELETE FROM frames WHERE ns = ?", (namespace,)
+            )
+            for seq, payload in enumerate(payloads, start=1):
+                self._conn.execute(
+                    "INSERT INTO frames (ns, seq, crc, payload) "
+                    "VALUES (?, ?, ?, ?)",
+                    (
+                        namespace,
+                        seq,
+                        zlib.crc32(payload),
+                        sqlite3.Binary(payload),
+                    ),
+                )
+                self.bytes_written += len(payload)
+            self._next_seq[namespace] = len(payloads) + 1
+            self._conn.commit()
+            self.fsyncs += 1
+            self._uncommitted = 0
+
+    def read_all(self, namespace: str) -> list[bytes]:
+        with self._mutex:
+            rows = self._conn.execute(
+                "SELECT seq, crc, payload FROM frames "
+                "WHERE ns = ? ORDER BY seq",
+                (namespace,),
+            ).fetchall()
+        payloads = []
+        for seq, crc, payload in rows:
+            payload = bytes(payload)
+            if zlib.crc32(payload) != crc:
+                raise WalCorruptionError(
+                    f"row {seq} fails its CRC32 check",
+                    namespace=namespace,
+                    offset=seq,
+                )
+            payloads.append(payload)
+        return payloads
+
+    def namespaces(self) -> list[str]:
+        with self._mutex:
+            rows = self._conn.execute(
+                "SELECT DISTINCT ns FROM frames ORDER BY ns"
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def heal(self) -> dict[str, int]:
+        """Sqlite commits are atomic; there is no torn tail to heal."""
+        return {}
+
+    def flush(self) -> None:
+        with self._mutex:
+            if self._conn is not None and self._uncommitted:
+                self._conn.commit()
+                self.fsyncs += 1
+                self._uncommitted = 0
+
+    def close(self) -> None:
+        with self._mutex:
+            if self._conn is None:
+                return
+            self._conn.commit()
+            self._conn.close()
+            self._conn = None
+
+
+BACKENDS = {
+    "memory": MemoryBackend,
+    "log": AppendLogBackend,
+    "sqlite": SqliteBackend,
+}
+
+
+def open_backend(
+    kind: str, path: str, fsync: str = "batch", sync_every: int = 64
+):
+    """Construct the backend for ``kind`` rooted at ``path``."""
+    if kind == "memory":
+        return MemoryBackend(fsync=fsync, sync_every=sync_every)
+    if kind == "log":
+        return AppendLogBackend(
+            path, fsync=fsync, sync_every=sync_every
+        )
+    if kind == "sqlite":
+        # A directory (the usual ``--store-path``) gets a conventional
+        # database file inside it, so log and sqlite stores can share
+        # path handling; an explicit ``*.db`` path is used verbatim.
+        if not path.endswith(".db"):
+            os.makedirs(path, exist_ok=True)
+            path = os.path.join(path, "repro.db")
+        return SqliteBackend(path, fsync=fsync, sync_every=sync_every)
+    raise StorageError(
+        f"unknown store backend {kind!r}; "
+        f"expected one of {sorted(BACKENDS)}"
+    )

@@ -1,0 +1,372 @@
+"""The durable store facade: one repository per persistence concern.
+
+:class:`Store` owns a backend (:mod:`repro.storage.backend`) and hands
+out narrow repositories over it:
+
+* :class:`MetaRepository` — the store's identity document (protocol,
+  workload spec, seed, format version), written once and verified on
+  every reopen so a server cannot replay a journal produced by a
+  different world.
+* :class:`JournalRepository` — the scheduler's logical redo journal:
+  one JSON record per submission, terminal outcome, lock grant, Wcc
+  classification, or retry-budget event, in emit order.
+* :class:`SnapshotRepository` — a single-slot checkpoint document
+  (atomic whole-namespace replace), holding the serialized crash image
+  plus the journal watermark it covers.
+* :class:`FrameRepository` — ordered JSON records in one namespace;
+  the per-subsystem WAL (``sswal/<name>``) and redo data
+  (``ssdata/<name>``) repositories are instances of it.
+
+JSON is canonical (sorted keys, compact separators) so identical
+logical records are identical bytes — the torn-tail property tests
+rely on byte-stable frames.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+from repro import config as repro_config
+from repro.errors import StorageError, WalCorruptionError
+from repro.storage.backend import open_backend
+
+#: Bumped when the on-disk record formats change shape.
+FORMAT_VERSION = 1
+
+META_NS = "meta"
+JOURNAL_NS = "journal"
+SNAPSHOT_NS = "snapshot"
+SUBSYSTEM_WAL_PREFIX = "sswal/"
+SUBSYSTEM_DATA_PREFIX = "ssdata/"
+
+
+def dumps(record: dict) -> bytes:
+    """Canonical JSON bytes for one record."""
+    return json.dumps(
+        record, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def loads(payload: bytes, namespace: str = "") -> dict:
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WalCorruptionError(
+            f"undecodable record: {exc}", namespace=namespace
+        ) from None
+
+
+class FrameRepository:
+    """Ordered JSON records in one backend namespace."""
+
+    def __init__(self, backend, namespace: str) -> None:
+        self._backend = backend
+        self.namespace = namespace
+
+    def append(self, record: dict) -> None:
+        self._backend.append(self.namespace, dumps(record))
+
+    def records(self) -> list[dict]:
+        return [
+            loads(payload, self.namespace)
+            for payload in self._backend.read_all(self.namespace)
+        ]
+
+    def rewrite(self, records: list[dict]) -> None:
+        self._backend.replace(
+            self.namespace, [dumps(record) for record in records]
+        )
+
+    def __len__(self) -> int:
+        return len(self._backend.read_all(self.namespace))
+
+
+class JournalRepository(FrameRepository):
+    """The scheduler's redo journal; LSN = record index."""
+
+    def __init__(self, backend) -> None:
+        super().__init__(backend, JOURNAL_NS)
+        #: Records appended through this handle (gauge fodder; the
+        #: authoritative count is ``len(self)``).
+        self.appended = 0
+
+    def append(self, record: dict) -> None:
+        super().append(record)
+        self.appended += 1
+
+
+class SnapshotRepository:
+    """Single-slot checkpoint document, swapped atomically."""
+
+    def __init__(self, backend) -> None:
+        self._backend = backend
+
+    def save(self, document: dict) -> None:
+        self._backend.replace(SNAPSHOT_NS, [dumps(document)])
+
+    def load(self) -> dict | None:
+        payloads = self._backend.read_all(SNAPSHOT_NS)
+        if not payloads:
+            return None
+        return loads(payloads[-1], SNAPSHOT_NS)
+
+
+class MetaRepository:
+    """The store's identity document."""
+
+    def __init__(self, backend) -> None:
+        self._backend = backend
+
+    def load(self) -> dict | None:
+        payloads = self._backend.read_all(META_NS)
+        if not payloads:
+            return None
+        return loads(payloads[-1], META_NS)
+
+    def ensure(self, expected: dict) -> dict:
+        """Write ``expected`` on first open; verify compatibility after.
+
+        Raises :class:`StorageError` when the store on disk was written
+        by a different world (protocol/spec/seed/format mismatch) —
+        replaying such a journal would be silent nonsense.
+        """
+        expected = dict(expected, format=FORMAT_VERSION)
+        current = self.load()
+        if current is None:
+            self._backend.replace(META_NS, [dumps(expected)])
+            return expected
+        mismatched = {
+            key: (current.get(key), value)
+            for key, value in expected.items()
+            if current.get(key) != value
+        }
+        if mismatched:
+            detail = "; ".join(
+                f"{key}: store has {have!r}, caller wants {want!r}"
+                for key, (have, want) in sorted(mismatched.items())
+            )
+            raise StorageError(
+                f"store metadata mismatch ({detail}); refusing to "
+                "replay a journal written by a different configuration"
+            )
+        return current
+
+
+class Store:
+    """Facade over one durable backend; repository per concern."""
+
+    def __init__(self, backend) -> None:
+        self.backend = backend
+        self.meta = MetaRepository(backend)
+        self.journal = JournalRepository(backend)
+        self.snapshots = SnapshotRepository(backend)
+        #: Namespaces healed at open: ``{namespace: dropped_bytes}``.
+        self.healed: dict[str, int] = backend.heal()
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        kind: str | None = None,
+        path: str | None = None,
+        fsync: str | None = None,
+        sync_every: int | None = None,
+    ) -> "Store":
+        """Open a store, resolving every argument via ``REPRO_STORE_*``.
+
+        With no path configured anywhere, a fresh temporary directory
+        is used — durable within the process lifetime only, which is
+        what ambient durability under the test suite wants.
+        """
+        kind = repro_config.store_kind(kind)
+        if kind is None:
+            raise StorageError(
+                "no store backend configured: pass kind= or set "
+                "REPRO_STORE to 'log', 'sqlite', or 'memory'"
+            )
+        path = repro_config.store_path(path)
+        if path is None:
+            path = tempfile.mkdtemp(prefix="repro-store-")
+        backend = open_backend(
+            kind,
+            path,
+            fsync=repro_config.store_fsync(fsync),
+            sync_every=repro_config.store_sync_every(sync_every),
+        )
+        return cls(backend)
+
+    # -- subsystem repositories ----------------------------------------
+    def subsystem_wal(self, name: str) -> FrameRepository:
+        return FrameRepository(self.backend, SUBSYSTEM_WAL_PREFIX + name)
+
+    def subsystem_data(self, name: str) -> FrameRepository:
+        return FrameRepository(
+            self.backend, SUBSYSTEM_DATA_PREFIX + name
+        )
+
+    def subsystem_names(self) -> list[str]:
+        return [
+            namespace[len(SUBSYSTEM_WAL_PREFIX):]
+            for namespace in self.backend.namespaces()
+            if namespace.startswith(SUBSYSTEM_WAL_PREFIX)
+        ]
+
+    # -- maintenance ---------------------------------------------------
+    def flush(self) -> None:
+        self.backend.flush()
+
+    def close(self) -> None:
+        self.backend.close()
+
+    def stats(self) -> dict:
+        return {
+            "kind": self.backend.kind,
+            "path": getattr(
+                self.backend, "root", getattr(self.backend, "path", "")
+            ),
+            "fsync": getattr(self.backend, "fsync", "n/a"),
+            "appends": self.backend.appends,
+            "fsyncs": self.backend.fsyncs,
+            "bytes_written": self.backend.bytes_written,
+            "healed": dict(self.healed),
+        }
+
+    def verify(self) -> dict:
+        """Walk every namespace; report decodability and corruption.
+
+        Returns ``{"ok": bool, "namespaces": {ns: {...}},
+        "corrupt": [...]}`` without raising — the CLI maps ``corrupt``
+        to exit code 2.
+        """
+        report: dict = {"ok": True, "namespaces": {}, "corrupt": []}
+        for namespace in self.backend.namespaces():
+            entry: dict = {"records": 0, "error": None}
+            try:
+                payloads = self.backend.read_all(namespace)
+                entry["records"] = len(payloads)
+                for payload in payloads:
+                    loads(payload, namespace)
+            except WalCorruptionError as exc:
+                entry["error"] = str(exc)
+                report["corrupt"].append(namespace)
+                report["ok"] = False
+            report["namespaces"][namespace] = entry
+        report["healed"] = dict(self.healed)
+        return report
+
+    def describe(self) -> dict:
+        """Inspection summary: meta, snapshot, journal, subsystems."""
+        snapshot = self.snapshots.load()
+        journal = self.journal.records()
+        kinds: dict[str, int] = {}
+        for record in journal:
+            kind = record.get("kind", "?")
+            kinds[kind] = kinds.get(kind, 0) + 1
+        return {
+            "meta": self.meta.load(),
+            "stats": self.stats(),
+            "journal": {"records": len(journal), "kinds": kinds},
+            "snapshot": None
+            if snapshot is None
+            else {
+                "journal_lsn": snapshot.get("journal_lsn"),
+                "crashed_at": snapshot.get("crashed_at"),
+                "processes": len(snapshot.get("processes", [])),
+                "max_pid": snapshot.get("max_pid"),
+            },
+            "subsystems": {
+                name: {
+                    "wal_records": len(self.subsystem_wal(name)),
+                    "data_records": len(self.subsystem_data(name)),
+                }
+                for name in self.subsystem_names()
+            },
+        }
+
+    def compact(self) -> dict:
+        """Drop records the next recovery can no longer need.
+
+        * journal — keeps pre-watermark submissions that are still
+          undecided (no terminal record, not live in the snapshot:
+          exactly the pending-initiation processes) plus everything
+          past the snapshot watermark; with no snapshot the journal is
+          untouched.
+        * subsystem WALs — keep only the write records of loser
+          transactions (no terminal record yet); winners' undo
+          information is dead weight.
+        * subsystem data — last-write-wins rewrite, one record per
+          live key.
+        """
+        before = {
+            namespace: len(self.backend.read_all(namespace))
+            for namespace in self.backend.namespaces()
+        }
+        snapshot = self.snapshots.load()
+        if snapshot is not None:
+            watermark = int(snapshot.get("journal_lsn", 0))
+            live_pids = {
+                entry["pid"] for entry in snapshot.get("processes", [])
+            }
+            journal = self.journal.records()
+            head, tail = journal[:watermark], journal[watermark:]
+            terminal_pids = {
+                record["pid"]
+                for record in head
+                if record.get("kind") == "terminal"
+            }
+            kept_head = [
+                record
+                for record in head
+                if record.get("kind") == "submit"
+                and record["pid"] not in terminal_pids
+                and record["pid"] not in live_pids
+            ]
+            self.journal.rewrite(kept_head + tail)
+            snapshot = dict(snapshot, journal_lsn=len(kept_head))
+            self.snapshots.save(snapshot)
+        for name in self.subsystem_names():
+            wal_repo = self.subsystem_wal(name)
+            records = wal_repo.records()
+            terminated = {
+                record["txn_id"]
+                for record in records
+                if record.get("kind") != "write"
+            }
+            wal_repo.rewrite(
+                [
+                    record
+                    for record in records
+                    if record.get("kind") == "write"
+                    and record["txn_id"] not in terminated
+                ]
+            )
+            data_repo = self.subsystem_data(name)
+            state: dict[str, dict] = {}
+            for record in data_repo.records():
+                if record.get("deleted"):
+                    state.pop(record["key"], None)
+                else:
+                    state[record["key"]] = record
+            data_repo.rewrite(
+                [state[key] for key in sorted(state)]
+            )
+        after = {
+            namespace: len(self.backend.read_all(namespace))
+            for namespace in self.backend.namespaces()
+        }
+        return {
+            "before": before,
+            "after": after,
+            "dropped": {
+                namespace: before.get(namespace, 0)
+                - after.get(namespace, 0)
+                for namespace in before
+            },
+        }
+
+
+def default_store_dir() -> str:
+    """A stable default path for CLI flows that want one."""
+    return os.path.join(os.getcwd(), "repro-store")

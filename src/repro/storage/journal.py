@@ -1,0 +1,257 @@
+"""Serialization between live scheduler state and durable records.
+
+The persistence plane stores three shapes:
+
+* **journal records** — flat dicts appended to
+  :class:`~repro.storage.facade.JournalRepository`:
+  ``submit`` / ``terminal`` / ``cancel`` drive recovery; ``grant``,
+  ``wcc`` and ``retry-exhausted`` are informational redo detail
+  captured by :class:`JournalTracer` (they make ``repro store
+  inspect`` explain *why* the journal looks the way it does, and feed
+  replay-progress metrics).
+* **snapshot documents** — a serialized
+  :class:`~repro.scheduler.recovery.CrashImage` plus the journal
+  watermark (``journal_lsn``) the image covers.
+* **process records** — :class:`~repro.scheduler.events.ProcessRecord`
+  as a plain dict inside terminal journal records.
+
+Programs are referenced by **catalog index**: the persistence plane is
+always bound to a submission catalog (the workload's program list),
+and the catalog is deterministically rebuilt from the workload spec on
+restart — storing indexes keeps snapshots small and avoids pickling
+program graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+from repro.errors import StorageError
+from repro.scheduler.events import ProcessRecord
+from repro.scheduler.recovery import (
+    CrashImage,
+    LedgerRecord,
+    ProcessSnapshot,
+    ScopeRecord,
+)
+from repro.theory.schedule import EventKind, ScheduleEvent
+
+
+class ProgramCodec:
+    """Maps catalog programs to stable indexes and back."""
+
+    def __init__(self, catalog) -> None:
+        self.catalog = list(catalog)
+        self._index = {
+            id(program): index
+            for index, program in enumerate(self.catalog)
+        }
+
+    def index_of(self, program) -> int:
+        try:
+            return self._index[id(program)]
+        except KeyError:
+            raise StorageError(
+                "cannot persist a process whose program is not in the "
+                "submission catalog"
+            ) from None
+
+    def program_at(self, index: int):
+        try:
+            return self.catalog[index]
+        except IndexError:
+            raise StorageError(
+                f"snapshot references catalog program {index}, but the "
+                f"catalog only has {len(self.catalog)} entries"
+            ) from None
+
+
+# ----------------------------------------------------------------------
+# process snapshots
+# ----------------------------------------------------------------------
+def snapshot_to_dict(
+    snapshot: ProcessSnapshot, codec: ProgramCodec
+) -> dict:
+    return {
+        "pid": snapshot.pid,
+        "timestamp": snapshot.timestamp,
+        "incarnation": snapshot.incarnation,
+        "program": codec.index_of(snapshot.program),
+        "state": snapshot.state,
+        "wcc": snapshot.wcc,
+        "next_seq": snapshot.next_seq,
+        "current_node_id": snapshot.current_node_id,
+        "pending_launch": list(snapshot.pending_launch),
+        "unwinding": snapshot.unwinding,
+        "ledger": [asdict(record) for record in snapshot.ledger],
+        "scopes": [asdict(record) for record in snapshot.scopes],
+        "pivot_treated": snapshot.pivot_treated,
+    }
+
+
+def snapshot_from_dict(data: dict, codec: ProgramCodec) -> ProcessSnapshot:
+    return ProcessSnapshot(
+        pid=data["pid"],
+        timestamp=data["timestamp"],
+        incarnation=data["incarnation"],
+        program=codec.program_at(data["program"]),
+        state=data["state"],
+        wcc=data["wcc"],
+        next_seq=data["next_seq"],
+        current_node_id=data["current_node_id"],
+        pending_launch=tuple(data["pending_launch"]),
+        unwinding=data["unwinding"],
+        ledger=tuple(
+            LedgerRecord(**record) for record in data["ledger"]
+        ),
+        scopes=tuple(
+            ScopeRecord(**record) for record in data["scopes"]
+        ),
+        pivot_treated=data["pivot_treated"],
+    )
+
+
+# ----------------------------------------------------------------------
+# trace events (the splice)
+# ----------------------------------------------------------------------
+def trace_event_to_dict(event: ScheduleEvent) -> dict:
+    return {
+        "position": event.position,
+        "process": list(event.process),
+        "kind": event.kind.value,
+        "name": event.name,
+        "uid": event.uid,
+        "compensates": event.compensates,
+        "compensatable": event.compensatable,
+        "point_of_no_return": event.point_of_no_return,
+    }
+
+
+def trace_event_from_dict(data: dict) -> ScheduleEvent:
+    return ScheduleEvent(
+        position=data["position"],
+        process=tuple(data["process"]),
+        kind=EventKind(data["kind"]),
+        name=data["name"],
+        uid=data["uid"],
+        compensates=data["compensates"],
+        compensatable=data["compensatable"],
+        point_of_no_return=data["point_of_no_return"],
+    )
+
+
+# ----------------------------------------------------------------------
+# process records
+# ----------------------------------------------------------------------
+def record_to_dict(record: ProcessRecord) -> dict:
+    return asdict(record)
+
+
+def record_from_dict(data: dict) -> ProcessRecord:
+    return ProcessRecord(**data)
+
+
+# ----------------------------------------------------------------------
+# the whole crash image
+# ----------------------------------------------------------------------
+def image_to_dict(
+    image: CrashImage, codec: ProgramCodec, journal_lsn: int
+) -> dict:
+    return {
+        "journal_lsn": journal_lsn,
+        "crashed_at": image.crashed_at,
+        "max_pid": image.max_pid,
+        "processes": [
+            snapshot_to_dict(snapshot, codec)
+            for snapshot in image.snapshots
+        ],
+        "trace": [
+            trace_event_to_dict(event) for event in image.trace_events
+        ],
+        "records": {
+            str(pid): record_to_dict(record)
+            for pid, record in image.records.items()
+        },
+    }
+
+
+def image_from_dict(data: dict, codec: ProgramCodec) -> CrashImage:
+    return CrashImage(
+        snapshots=[
+            snapshot_from_dict(entry, codec)
+            for entry in data["processes"]
+        ],
+        trace_events=[
+            trace_event_from_dict(entry) for entry in data["trace"]
+        ],
+        records={
+            int(pid): record_from_dict(record)
+            for pid, record in data["records"].items()
+        },
+        crashed_at=data["crashed_at"],
+        max_pid=data["max_pid"],
+    )
+
+
+# ----------------------------------------------------------------------
+# journal tee
+# ----------------------------------------------------------------------
+class JournalTracer:
+    """A tracer-protocol sink that journals decision events.
+
+    Installed next to the bus bridge in the service's
+    :class:`~repro.obs.metrics.MetricsTracer` sink tuple; it receives
+    every event the engine emits and appends the durability-relevant
+    subset — lock grants, Wcc classifications, exhausted retry budgets
+    — as informational journal records.  Emits can arrive from shard
+    workers; the backend serializes appends internally.
+    """
+
+    enabled = True
+
+    def __init__(self, journal) -> None:
+        self._journal = journal
+        self.offset = 0.0
+        self._clock = lambda: 0.0
+
+    def bind_clock(self, clock) -> None:
+        self._clock = clock
+
+    def bind_sampler(self, sampler) -> None:
+        pass
+
+    def emit(self, event) -> None:
+        kind = getattr(event, "kind", "")
+        if kind == "lock.grant":
+            self._journal.append(
+                {
+                    "kind": "grant",
+                    "t": self._clock() + self.offset,
+                    "pid": event.pid,
+                    "name": event.activity,
+                    "mode": event.mode,
+                    "position": event.position,
+                }
+            )
+        elif kind == "wcc.classify":
+            self._journal.append(
+                {
+                    "kind": "wcc",
+                    "t": self._clock() + self.offset,
+                    "pid": event.pid,
+                    "name": event.activity,
+                    "mode": event.mode,
+                    "wcc": event.wcc,
+                    "pseudo_pivot": event.pseudo_pivot,
+                }
+            )
+        elif kind == "retry.budget_exhausted":
+            self._journal.append(
+                {
+                    "kind": "retry-exhausted",
+                    "t": self._clock() + self.offset,
+                    "pid": event.pid,
+                    "name": event.activity,
+                    "attempts": event.attempts,
+                }
+            )

@@ -1,0 +1,315 @@
+"""The persistence plane: snapshot + redo-journal recovery for a manager.
+
+:class:`PersistencePlane` sits between a durable
+:class:`~repro.storage.facade.Store` and one
+:class:`~repro.scheduler.manager.ProcessManager` (usually the one
+inside :class:`~repro.server.service.ProcessLockingService`) and owns
+the durability protocol:
+
+* every accepted submission is journaled (``submit`` records) *before*
+  the client is acknowledged;
+* every terminal outcome is journaled (``terminal`` records, carrying
+  the final :class:`~repro.scheduler.events.ProcessRecord`) at the next
+  quiescent point;
+* once enough journal records accumulate, a **snapshot** — the
+  existing :func:`repro.scheduler.recovery.crash` image, serialized —
+  is swapped in atomically.
+
+Restart recovery composes the pieces: heal torn tails, load the
+snapshot, rebuild the crash image, run it through the *existing*
+:func:`repro.scheduler.recovery.recover` machinery (locks re-acquired
+in sharing order, processes adopted mid-flight), then walk the journal
+— terminal records restore finished processes without re-execution,
+and undecided submissions are re-scheduled under their original pids.
+
+Semantics (documented in ``docs/persistence.md``): process *outcomes*
+are exactly-once — a journaled terminal is never re-run — while
+activity *executions* between the last snapshot and a crash are
+at-least-once, because live processes restart from their snapshot
+state.  The spliced trace stays CT/P-RC-checkable end to end, which is
+what the kill-9 tests assert.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro import config as repro_config
+from repro.activities.activity import ensure_uid_floor
+from repro.obs.events import StoreRecovered, StoreSnapshot, StoreTornTail
+from repro.scheduler.events import ProcessRecord
+from repro.scheduler.recovery import CrashImage, crash, recover
+from repro.storage.journal import (
+    ProgramCodec,
+    image_from_dict,
+    image_to_dict,
+    record_from_dict,
+    record_to_dict,
+)
+
+
+@dataclass
+class RecoveryInfo:
+    """What a restart found and did."""
+
+    #: Live processes adopted from the snapshot (resume mid-flight).
+    adopted: int = 0
+    #: Journaled submissions re-scheduled under their original pids.
+    resubmitted: int = 0
+    #: Finished processes restored from terminal records (not re-run).
+    restored: int = 0
+    journal_records: int = 0
+    snapshot_lsn: int = 0
+    #: Pids whose terminal outcome was a client cancel (the service
+    #: re-seeds its cancelled set from this).
+    cancelled_pids: set[int] = field(default_factory=set)
+    #: Torn tails truncated at open: ``{namespace: dropped_bytes}``.
+    healed: dict[str, int] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    @property
+    def recovered_anything(self) -> bool:
+        return bool(self.adopted or self.resubmitted or self.restored)
+
+
+class PersistencePlane:
+    """Drives one durable store for one manager lifecycle."""
+
+    def __init__(
+        self,
+        store,
+        catalog,
+        snapshot_every: int | None = None,
+    ) -> None:
+        self.store = store
+        self.codec = ProgramCodec(catalog)
+        self.snapshot_every = repro_config.store_snapshot_every(
+            snapshot_every
+        )
+        #: Journal length found on disk at open (appends via
+        #: ``store.journal.appended`` count from here).
+        self._base_len = len(self.store.journal)
+        self._snapshot_lsn = 0
+        self._journaled_terminal: set[int] = set()
+        self.last_recovery: RecoveryInfo | None = None
+
+    # ------------------------------------------------------------------
+    # identity & state probes
+    # ------------------------------------------------------------------
+    def ensure_meta(self, **identity) -> None:
+        """Write-or-verify the store's identity document."""
+        self.store.meta.ensure(identity)
+
+    def has_state(self) -> bool:
+        return (
+            self._base_len > 0
+            or self.store.snapshots.load() is not None
+        )
+
+    @property
+    def journal_len(self) -> int:
+        return self._base_len + self.store.journal.appended
+
+    # ------------------------------------------------------------------
+    # startup recovery
+    # ------------------------------------------------------------------
+    def recover(
+        self,
+        protocol,
+        config=None,
+        subsystems=None,
+        seed: int = 0,
+        tracer=None,
+    ):
+        """Rebuild a manager from the store; ``(manager, info)``.
+
+        ``protocol`` must be fresh (its lock table is rebuilt from the
+        journal), exactly as :func:`repro.scheduler.recovery.recover`
+        requires.
+        """
+        started = time.monotonic()
+        info = RecoveryInfo(healed=dict(self.store.healed))
+        document = self.store.snapshots.load()
+        journal = self.store.journal.records()
+        info.journal_records = len(journal)
+        if document is not None:
+            image = image_from_dict(document, self.codec)
+            info.snapshot_lsn = int(document.get("journal_lsn", 0))
+            self._snapshot_lsn = info.snapshot_lsn
+        else:
+            image = CrashImage(snapshots=[], trace_events=[])
+        image_pids = {
+            snapshot.pid for snapshot in image.snapshots
+        }
+        # Journal pass 1: the latest terminal record per pid.  A pid
+        # that is live in the snapshot re-executes from its snapshot
+        # state instead (its post-snapshot trace was lost with the
+        # crash, so restoring the terminal would leave the spliced
+        # schedule incomplete); its stale terminal record is ignored
+        # and a fresh one is journaled when it finishes again.
+        terminal: dict[int, dict] = {}
+        max_pid = image.max_pid
+        for record in journal:
+            kind = record.get("kind")
+            if kind in ("submit", "terminal"):
+                max_pid = max(max_pid, int(record["pid"]))
+            if kind == "terminal" and record["pid"] not in image_pids:
+                terminal[record["pid"]] = record
+        image.max_pid = max_pid
+        if tracer is not None and tracer.enabled:
+            # Keep stamped times monotone across incarnations.
+            tracer.offset = (
+                getattr(tracer, "offset", 0.0) + image.crashed_at
+            )
+        manager = recover(
+            image,
+            protocol,
+            config=config,
+            subsystems=subsystems,
+            seed=seed,
+            tracer=tracer,
+        )
+        # recover() floors the activity-uid counter over live ledgers;
+        # after a *process* restart (counters reborn at 1) finished
+        # processes' uids live only in the trace, so floor over those
+        # too — a uid collision would corrupt compensation pairing in
+        # the spliced schedule.
+        ensure_uid_floor(
+            max(
+                (event.uid or 0 for event in image.trace_events),
+                default=0,
+            )
+        )
+        info.adopted = len(image.snapshots)
+        # Journal pass 2: restore finished processes, re-schedule the
+        # undecided remainder under their original pids.
+        for pid in sorted(terminal):
+            record = terminal[pid]
+            stored = record.get("record")
+            process_record = (
+                record_from_dict(stored)
+                if stored
+                else ProcessRecord(pid=pid, submitted_at=0.0)
+            )
+            manager.records[pid] = process_record
+            manager.stats.submitted += 1
+            if process_record.committed_at is not None:
+                manager.stats.committed += 1
+            if record.get("outcome") == "cancelled":
+                info.cancelled_pids.add(pid)
+                manager.stats.cancellations += 1
+            self._journaled_terminal.add(pid)
+            info.restored += 1
+        seen: set[int] = set()
+        for record in journal:
+            if record.get("kind") != "submit":
+                continue
+            pid = int(record["pid"])
+            if pid in image_pids or pid in terminal or pid in seen:
+                continue
+            seen.add(pid)
+            manager.submit_recovered(
+                pid, self.codec.program_at(int(record["program"]))
+            )
+            info.resubmitted += 1
+        info.seconds = time.monotonic() - started
+        self.last_recovery = info
+        if tracer is not None and tracer.enabled:
+            for namespace, dropped in sorted(info.healed.items()):
+                tracer.emit(
+                    StoreTornTail(
+                        namespace=namespace, dropped_bytes=dropped
+                    )
+                )
+            tracer.emit(
+                StoreRecovered(
+                    backend=self.store.backend.kind,
+                    adopted=info.adopted,
+                    resubmitted=info.resubmitted,
+                    restored=info.restored,
+                    journal_records=info.journal_records,
+                    healed_namespaces=len(info.healed),
+                    seconds=round(info.seconds, 6),
+                )
+            )
+        return manager, info
+
+    # ------------------------------------------------------------------
+    # runtime capture
+    # ------------------------------------------------------------------
+    def note_submit(
+        self, pid: int, program_index: int, at: float = 0.0
+    ) -> None:
+        """Journal one accepted submission (before the client ack)."""
+        self.store.journal.append(
+            {
+                "kind": "submit",
+                "pid": pid,
+                "program": program_index,
+                "at": at,
+            }
+        )
+
+    def note_cancel(self, pid: int) -> None:
+        self.store.journal.append({"kind": "cancel", "pid": pid})
+
+    def after_drain(
+        self, manager, is_terminal, cancelled: set[int]
+    ) -> bool:
+        """Quiescent-point bookkeeping; returns True on a snapshot.
+
+        Journals newly terminal processes, takes a snapshot when the
+        journal has outgrown the cadence, and flushes so everything
+        acknowledged after this point is durable.
+        """
+        for pid in sorted(manager.records):
+            if pid in self._journaled_terminal or not is_terminal(pid):
+                continue
+            record = manager.records[pid]
+            if record.committed_at is not None:
+                outcome = "committed"
+            elif pid in cancelled:
+                outcome = "cancelled"
+            else:
+                outcome = "aborted"
+            self.store.journal.append(
+                {
+                    "kind": "terminal",
+                    "pid": pid,
+                    "outcome": outcome,
+                    "record": record_to_dict(record),
+                }
+            )
+            self._journaled_terminal.add(pid)
+        took = False
+        if (
+            self.journal_len - self._snapshot_lsn
+            >= self.snapshot_every
+        ):
+            self.snapshot(manager)
+            took = True
+        self.store.flush()
+        return took
+
+    def snapshot(self, manager) -> int:
+        """Serialize the manager's crash image; returns the watermark."""
+        image = crash(manager)
+        lsn = self.journal_len
+        self.store.snapshots.save(
+            image_to_dict(image, self.codec, journal_lsn=lsn)
+        )
+        self._snapshot_lsn = lsn
+        tracer = manager.tracer
+        if tracer.enabled:
+            tracer.emit(
+                StoreSnapshot(
+                    processes=len(image.snapshots), journal_lsn=lsn
+                )
+            )
+        return lsn
+
+    def final(self, manager) -> None:
+        """Drain-time checkpoint: snapshot the settled world and sync."""
+        self.snapshot(manager)
+        self.store.flush()

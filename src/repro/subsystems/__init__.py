@@ -8,19 +8,23 @@ from repro.subsystems.programs import (
     TransactionProgram,
     inverse_program,
 )
-from repro.subsystems.storage import RecordStore
+from repro.subsystems.storage import DurableRecordStore, RecordStore
 from repro.subsystems.subsystem import SubsystemPool, TransactionalSubsystem
 from repro.subsystems.transactions import Transaction, TransactionState
 from repro.subsystems.wal import (
+    DurableWriteAheadLog,
     WalKind,
     WalRecord,
     WriteAheadLog,
     recover_store,
+    validate_wal,
 )
 
 __all__ = [
     "DataLockManager",
     "DataLockMode",
+    "DurableRecordStore",
+    "DurableWriteAheadLog",
     "Operation",
     "OpKind",
     "ProgramCatalog",
@@ -35,4 +39,5 @@ __all__ = [
     "WriteAheadLog",
     "inverse_program",
     "recover_store",
+    "validate_wal",
 ]

@@ -45,3 +45,33 @@ class RecordStore:
 
     def __contains__(self, key: str) -> bool:
         return key in self._records
+
+
+class DurableRecordStore(RecordStore):
+    """A record store whose committed state survives restarts.
+
+    Every mutation appends a redo record (``{"key", "value"}``, or a
+    ``deleted`` marker) to the backing repository; construction replays
+    the existing redo log last-write-wins.  Undo-based crash recovery
+    (:func:`~repro.subsystems.wal.recover_store`) works unchanged on
+    top: the before-image writes it issues are themselves redo-logged,
+    so the rolled-back state is what the next incarnation reloads.
+    """
+
+    def __init__(self, repository, default: object = 0) -> None:
+        super().__init__(default=default)
+        self._repository = repository
+        for record in repository.records():
+            if record.get("deleted"):
+                self._records.pop(record["key"], None)
+            else:
+                self._records[record["key"]] = record["value"]
+
+    def write(self, key: str, value: object) -> object:
+        previous = super().write(key, value)
+        self._repository.append({"key": key, "value": value})
+        return previous
+
+    def delete(self, key: str) -> None:
+        super().delete(key)
+        self._repository.append({"key": key, "deleted": True})

@@ -25,9 +25,13 @@ from repro.errors import (
 )
 from repro.subsystems.lock_manager import DataLockManager
 from repro.subsystems.programs import ProgramCatalog, TransactionProgram
-from repro.subsystems.storage import RecordStore
+from repro.subsystems.storage import DurableRecordStore, RecordStore
 from repro.subsystems.transactions import Transaction, TransactionState
-from repro.subsystems.wal import WriteAheadLog, recover_store
+from repro.subsystems.wal import (
+    DurableWriteAheadLog,
+    WriteAheadLog,
+    recover_store,
+)
 
 
 class TransactionalSubsystem:
@@ -75,6 +79,33 @@ class TransactionalSubsystem:
     def is_down(self, now: float) -> bool:
         """Whether the subsystem is inside an outage window at ``now``."""
         return now < self.down_until
+
+    # ------------------------------------------------------------------
+    # durability (repro.storage)
+    # ------------------------------------------------------------------
+    def attach_store(self, store) -> int:
+        """Back this subsystem with a durable store; returns undo count.
+
+        Replaces the record store with a
+        :class:`~repro.subsystems.storage.DurableRecordStore` (reloaded
+        from the store's redo log) and the WAL with a
+        :class:`~repro.subsystems.wal.DurableWriteAheadLog`, then runs
+        :func:`~repro.subsystems.wal.recover_store` so any losers of a
+        previous incarnation are rolled back before new work starts.
+        Must be called before the first transaction begins — live
+        transactions keep references to the stores they started with.
+        """
+        durable_store = DurableRecordStore(
+            store.subsystem_data(self.name),
+            default=self.store._default,
+        )
+        for key, value in self.store.snapshot().items():
+            durable_store.write(key, value)
+        self.store = durable_store
+        self.wal = DurableWriteAheadLog(
+            store.subsystem_wal(self.name)
+        )
+        return recover_store(self.store, self.wal)
 
     # ------------------------------------------------------------------
     # execution paths
@@ -239,10 +270,40 @@ class TransactionalSubsystem:
 
 
 class SubsystemPool:
-    """The universe of available subsystems, keyed by name."""
+    """The universe of available subsystems, keyed by name.
 
-    def __init__(self) -> None:
+    A pool may be backed by a durable :class:`repro.storage.Store`
+    (``store=`` or a later :meth:`attach_store`): every subsystem —
+    existing and future — then persists its WAL and record store
+    through it.  :func:`~repro.scheduler.manager.make_manager` attaches
+    the store configured on :class:`ManagerConfig` (or ambiently via
+    the ``REPRO_STORE`` knob) exactly once per pool.
+    """
+
+    def __init__(self, store=None) -> None:
         self._subsystems: dict[str, TransactionalSubsystem] = {}
+        self.store = None
+        if store is not None:
+            self.attach_store(store)
+
+    def attach_store(self, store) -> int:
+        """Back every subsystem with ``store``; returns total undos.
+
+        Idempotent for the same store object; re-attaching a
+        *different* store is refused — half the history in one place
+        and half in another would make neither recoverable.
+        """
+        if self.store is store:
+            return 0
+        if self.store is not None:
+            raise SubsystemError(
+                "subsystem pool is already attached to a store"
+            )
+        self.store = store
+        return sum(
+            subsystem.attach_store(store)
+            for subsystem in self._subsystems.values()
+        )
 
     def create(
         self, name: str, durable: bool = False
@@ -251,6 +312,8 @@ class SubsystemPool:
             raise SubsystemError(f"subsystem {name!r} already exists")
         subsystem = TransactionalSubsystem(name, durable=durable)
         self._subsystems[name] = subsystem
+        if self.store is not None:
+            subsystem.attach_store(self.store)
         return subsystem
 
     def get(self, name: str) -> TransactionalSubsystem:

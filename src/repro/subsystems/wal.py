@@ -14,6 +14,14 @@ undo-based WAL to the in-memory substrate:
 Strict 2PL guarantees no two uncommitted transactions ever wrote the
 same record concurrently, which is what makes reverse-order physical
 undo correct.
+
+:class:`WriteAheadLog` keeps the log in memory (the seed behaviour —
+crashes are simulated inside one process image).
+:class:`DurableWriteAheadLog` appends every record through a
+:class:`~repro.storage.facade.FrameRepository` as well, so the log
+survives a real process death and is reloaded on the next start;
+:func:`recover_store` then rolls back the losers of the *previous*
+incarnation from disk.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ import enum
 import itertools
 from dataclasses import dataclass
 
+from repro.errors import WalCorruptionError
 from repro.subsystems.storage import RecordStore
 
 
@@ -52,6 +61,10 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     # appends
     # ------------------------------------------------------------------
+    def _append(self, record: WalRecord) -> None:
+        """Store one record (durable subclasses write through here)."""
+        self._records.append(record)
+
     def log_write(self, txn_id: int, key: str, before: object) -> int:
         """Record a before-image; returns the LSN."""
         record = WalRecord(
@@ -61,21 +74,21 @@ class WriteAheadLog:
             key=key,
             before=before,
         )
-        self._records.append(record)
+        self._append(record)
         return record.lsn
 
     def log_commit(self, txn_id: int) -> int:
         record = WalRecord(
             lsn=next(self._lsns), txn_id=txn_id, kind=WalKind.COMMIT
         )
-        self._records.append(record)
+        self._append(record)
         return record.lsn
 
     def log_abort(self, txn_id: int) -> int:
         record = WalRecord(
             lsn=next(self._lsns), txn_id=txn_id, kind=WalKind.ABORT
         )
-        self._records.append(record)
+        self._append(record)
         return record.lsn
 
     # ------------------------------------------------------------------
@@ -103,13 +116,105 @@ class WriteAheadLog:
         return len(self._records)
 
 
+class DurableWriteAheadLog(WriteAheadLog):
+    """A write-ahead log that also lives on disk.
+
+    Same :class:`WalRecord` protocol as the in-memory log; every append
+    writes through to the backing repository (one JSON record per
+    frame), and construction reloads whatever an earlier incarnation
+    left behind — LSNs continue past the highest reloaded one, so the
+    log stays globally ordered across restarts.
+    """
+
+    def __init__(self, repository) -> None:
+        super().__init__()
+        self._repository = repository
+        for data in repository.records():
+            self._records.append(_record_from_dict(data))
+        if self._records:
+            self._lsns = itertools.count(
+                max(record.lsn for record in self._records) + 1
+            )
+
+    def _append(self, record: WalRecord) -> None:
+        super()._append(record)
+        self._repository.append(_record_to_dict(record))
+
+
+def _record_to_dict(record: WalRecord) -> dict:
+    return {
+        "lsn": record.lsn,
+        "txn_id": record.txn_id,
+        "kind": record.kind.value,
+        "key": record.key,
+        "before": record.before,
+    }
+
+
+def _record_from_dict(data: dict) -> WalRecord:
+    namespace = ""
+    try:
+        return WalRecord(
+            lsn=int(data["lsn"]),
+            txn_id=int(data["txn_id"]),
+            kind=WalKind(data["kind"]),
+            key=data.get("key", ""),
+            before=data.get("before"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WalCorruptionError(
+            f"malformed WAL record {data!r}: {exc}", namespace=namespace
+        ) from None
+
+
+def validate_wal(wal: WriteAheadLog) -> None:
+    """Structural validation of a WAL before it is trusted for undo.
+
+    Raises :class:`~repro.errors.WalCorruptionError` on records that
+    can only come from a damaged log: wrong types, non-positive or
+    non-increasing LSNs, or write records without a key.  (Byte-level
+    damage — torn tails, CRC failures — is caught earlier by the
+    storage codec; this guards the logical layer.)
+    """
+    last_lsn = 0
+    for record in wal.records:
+        if not isinstance(record, WalRecord):
+            raise WalCorruptionError(
+                f"not a WAL record: {record!r}"
+            )
+        if not isinstance(record.kind, WalKind):
+            raise WalCorruptionError(
+                f"record {record.lsn} has unknown kind "
+                f"{record.kind!r}"
+            )
+        if not isinstance(record.lsn, int) or record.lsn <= last_lsn:
+            raise WalCorruptionError(
+                f"LSN {record.lsn!r} after {last_lsn} breaks the "
+                "append order"
+            )
+        if not isinstance(record.txn_id, int) or record.txn_id <= 0:
+            raise WalCorruptionError(
+                f"record {record.lsn} has bad transaction id "
+                f"{record.txn_id!r}"
+            )
+        if record.kind is WalKind.WRITE and not record.key:
+            raise WalCorruptionError(
+                f"write record {record.lsn} carries no key"
+            )
+        last_lsn = record.lsn
+
+
 def recover_store(store: RecordStore, wal: WriteAheadLog) -> int:
     """Undo every loser transaction's writes; returns the undo count.
 
-    Before-images are applied in reverse LSN order, then an abort record
-    is logged for each loser so the log reaches a terminal state for
-    every transaction.
+    The log is structurally validated first — a malformed record
+    surfaces as a typed :class:`~repro.errors.WalCorruptionError`
+    instead of whatever exception the undo loop would have tripped
+    over.  Before-images are then applied in reverse LSN order, and an
+    abort record is logged for each loser so the log reaches a
+    terminal state for every transaction.
     """
+    validate_wal(wal)
     losers = wal.losers()
     undone = 0
     for record in reversed(wal.records):

@@ -251,6 +251,12 @@ EXEMPLARS = [
     ev.RetryBudgetExhausted(
         pid=1, activity="ship", uid=9, attempts=5, subsystem="shop"
     ),
+    ev.StoreRecovered(
+        backend="log", adopted=2, resubmitted=1, restored=5,
+        journal_records=120, healed_namespaces=1, seconds=0.004,
+    ),
+    ev.StoreSnapshot(processes=3, journal_lsn=120),
+    ev.StoreTornTail(namespace="sswal/bank", dropped_bytes=17),
 ]
 
 

@@ -1,0 +1,182 @@
+"""Backend contract: memory, append-only log, and sqlite behave alike."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import StorageError, WalCorruptionError
+from repro.storage import (
+    AppendLogBackend,
+    MemoryBackend,
+    SqliteBackend,
+    encode_frame,
+    open_backend,
+)
+
+
+def _make(kind: str, tmp_path):
+    if kind == "memory":
+        return MemoryBackend()
+    if kind == "log":
+        return AppendLogBackend(str(tmp_path / "store"))
+    return SqliteBackend(str(tmp_path / "store.db"))
+
+
+KINDS = ("memory", "log", "sqlite")
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_append_read_roundtrip(kind, tmp_path):
+    backend = _make(kind, tmp_path)
+    backend.append("journal", b"one")
+    backend.append("journal", b"two")
+    backend.append("sswal/bank", b"iii")
+    assert backend.read_all("journal") == [b"one", b"two"]
+    assert backend.read_all("sswal/bank") == [b"iii"]
+    assert backend.read_all("absent") == []
+    assert set(backend.namespaces()) == {"journal", "sswal/bank"}
+    assert backend.appends == 3
+    backend.close()
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_replace_swaps_whole_namespace(kind, tmp_path):
+    backend = _make(kind, tmp_path)
+    backend.append("snapshot", b"old")
+    backend.replace("snapshot", [b"new"])
+    assert backend.read_all("snapshot") == [b"new"]
+    backend.close()
+
+
+@pytest.mark.parametrize("kind", ("log", "sqlite"))
+def test_data_survives_reopen(kind, tmp_path):
+    backend = _make(kind, tmp_path)
+    backend.append("journal", b"durable")
+    backend.close()
+    again = _make(kind, tmp_path)
+    assert again.read_all("journal") == [b"durable"]
+    again.append("journal", b"more")
+    again.close()
+    third = _make(kind, tmp_path)
+    assert third.read_all("journal") == [b"durable", b"more"]
+    third.close()
+
+
+@pytest.mark.parametrize("kind", ("log", "sqlite"))
+def test_close_is_idempotent(kind, tmp_path):
+    backend = _make(kind, tmp_path)
+    backend.append("journal", b"x")
+    backend.close()
+    backend.close()
+    backend.flush()
+
+
+def test_log_heal_truncates_torn_tail(tmp_path):
+    backend = AppendLogBackend(str(tmp_path / "store"))
+    backend.append("journal", b"keep-me")
+    backend.close()
+    path = tmp_path / "store" / "journal.log"
+    pristine = path.read_bytes()
+    path.write_bytes(pristine + encode_frame(b"torn")[:-2])
+    again = AppendLogBackend(str(tmp_path / "store"))
+    healed = again.heal()
+    assert healed == {"journal": len(encode_frame(b"torn")) - 2}
+    assert again.read_all("journal") == [b"keep-me"]
+    again.close()
+    assert path.read_bytes() == pristine
+
+
+def test_log_corrupt_frame_raises_typed_error(tmp_path):
+    backend = AppendLogBackend(str(tmp_path / "store"))
+    backend.append("journal", b"payload")
+    backend.close()
+    path = tmp_path / "store" / "journal.log"
+    data = bytearray(path.read_bytes())
+    data[-1] ^= 0xFF
+    path.write_bytes(bytes(data))
+    again = AppendLogBackend(str(tmp_path / "store"))
+    with pytest.raises(WalCorruptionError):
+        again.read_all("journal")
+
+
+def test_sqlite_corrupt_payload_raises_typed_error(tmp_path):
+    backend = SqliteBackend(str(tmp_path / "store.db"))
+    backend.append("journal", b"payload")
+    backend.flush()
+    backend._conn.execute(
+        "UPDATE frames SET payload = ? WHERE ns = 'journal'",
+        (b"tampered",),
+    )
+    backend._conn.commit()
+    with pytest.raises(WalCorruptionError):
+        backend.read_all("journal")
+    backend.close()
+
+
+def test_log_namespace_maps_to_filesystem_safely(tmp_path):
+    backend = AppendLogBackend(str(tmp_path / "store"))
+    backend.append("sswal/bank", b"x")
+    backend.close()
+    assert (tmp_path / "store" / "sswal@bank.log").exists()
+    again = AppendLogBackend(str(tmp_path / "store"))
+    assert again.read_all("sswal/bank") == [b"x"]
+    again.close()
+
+
+def test_log_rejects_unsafe_namespaces(tmp_path):
+    backend = AppendLogBackend(str(tmp_path / "store"))
+    with pytest.raises(StorageError):
+        backend.append("evil@ns", b"x")
+    with pytest.raises(StorageError):
+        backend.append(".hidden", b"x")
+
+
+def test_fsync_policies_count_syncs(tmp_path):
+    always = AppendLogBackend(
+        str(tmp_path / "always"), fsync="always"
+    )
+    always.append("journal", b"a")
+    always.append("journal", b"b")
+    assert always.fsyncs == 2
+    always.close()
+
+    batch = AppendLogBackend(
+        str(tmp_path / "batch"), fsync="batch", sync_every=3
+    )
+    for index in range(7):
+        batch.append("journal", b"%d" % index)
+    assert batch.fsyncs == 2  # at 3 and 6
+    batch.flush()
+    assert batch.fsyncs == 3  # the straggler
+    batch.close()
+
+    never = AppendLogBackend(str(tmp_path / "never"), fsync="never")
+    never.append("journal", b"a")
+    never.flush()
+    assert never.fsyncs == 0
+    never.close()
+
+
+def test_unbuffered_append_is_visible_without_close(tmp_path):
+    """kill -9 semantics: bytes reach the file on append, not close."""
+    backend = AppendLogBackend(str(tmp_path / "store"), fsync="never")
+    backend.append("journal", b"ack-this")
+    size = os.path.getsize(tmp_path / "store" / "journal.log")
+    assert size == len(encode_frame(b"ack-this"))
+    backend.close()
+
+
+def test_open_backend_dispatch(tmp_path):
+    log = open_backend("log", str(tmp_path / "a"))
+    assert log.kind == "log"
+    log.close()
+    lite = open_backend("sqlite", str(tmp_path / "b"))
+    assert lite.kind == "sqlite"
+    assert lite.path.endswith("repro.db")
+    lite.close()
+    mem = open_backend("memory", str(tmp_path / "c"))
+    assert mem.kind == "memory"
+    with pytest.raises(StorageError):
+        open_backend("tape", str(tmp_path / "d"))

@@ -1,0 +1,155 @@
+"""Store facade: repositories, identity, verify, and compaction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError, WalCorruptionError
+from repro.storage import Store
+
+
+def _open(tmp_path, kind="log"):
+    return Store.open(kind, str(tmp_path / "store"))
+
+
+def test_journal_appends_and_reloads(tmp_path):
+    store = _open(tmp_path)
+    store.journal.append({"kind": "submit", "pid": 1, "program": 0})
+    store.journal.append({"kind": "terminal", "pid": 1})
+    assert store.journal.appended == 2
+    assert len(store.journal) == 2
+    store.close()
+    again = _open(tmp_path)
+    records = again.journal.records()
+    assert [r["kind"] for r in records] == ["submit", "terminal"]
+    assert again.journal.appended == 0
+    again.close()
+
+
+def test_snapshot_is_a_single_slot(tmp_path):
+    store = _open(tmp_path)
+    assert store.snapshots.load() is None
+    store.snapshots.save({"version": 1})
+    store.snapshots.save({"version": 2})
+    assert store.snapshots.load() == {"version": 2}
+    store.close()
+    again = _open(tmp_path)
+    assert again.snapshots.load() == {"version": 2}
+    again.close()
+
+
+def test_meta_ensure_writes_then_verifies(tmp_path):
+    store = _open(tmp_path)
+    store.meta.ensure({"protocol": "process-locking", "seed": 0})
+    store.close()
+    again = _open(tmp_path)
+    again.meta.ensure({"protocol": "process-locking", "seed": 0})
+    with pytest.raises(StorageError, match="seed"):
+        again.meta.ensure({"protocol": "process-locking", "seed": 7})
+    again.close()
+
+
+def test_subsystem_repositories_are_namespaced(tmp_path):
+    store = _open(tmp_path)
+    store.subsystem_wal("bank").append({"lsn": 1})
+    store.subsystem_wal("shop").append({"lsn": 9})
+    store.subsystem_data("bank").append({"key": "k", "value": 3})
+    assert store.subsystem_wal("bank").records() == [{"lsn": 1}]
+    assert store.subsystem_wal("shop").records() == [{"lsn": 9}]
+    assert sorted(store.subsystem_names()) == ["bank", "shop"]
+    store.close()
+
+
+def test_verify_reports_clean_and_corrupt(tmp_path):
+    store = _open(tmp_path)
+    store.journal.append({"kind": "submit", "pid": 1})
+    store.close()
+    clean = _open(tmp_path)
+    report = clean.verify()
+    assert report["ok"]
+    assert report["namespaces"]["journal"]["records"] == 1
+    clean.close()
+    # Flip one byte inside the journal's only frame.
+    path = tmp_path / "store" / "journal.log"
+    data = bytearray(path.read_bytes())
+    data[12] ^= 0xFF
+    path.write_bytes(bytes(data))
+    with pytest.raises(WalCorruptionError):
+        # heal() at open walks the file and trips on the bad CRC.
+        _open(tmp_path)
+
+
+def test_loads_rejects_undecodable_payloads(tmp_path):
+    store = _open(tmp_path)
+    store.backend.append("journal", b"\xff\xfenot-json")
+    with pytest.raises(WalCorruptionError):
+        store.journal.records()
+    store.close()
+
+
+def test_compact_drops_decided_journal_and_won_wal(tmp_path):
+    store = _open(tmp_path)
+    store.meta.ensure({"world": "w"})
+    # Journal: pid 1 decided, pid 2 still pending at the watermark.
+    store.journal.append({"kind": "submit", "pid": 1, "program": 0})
+    store.journal.append({"kind": "submit", "pid": 2, "program": 1})
+    store.journal.append({"kind": "terminal", "pid": 1})
+    store.snapshots.save({"journal_lsn": 3, "processes": []})
+    store.journal.append({"kind": "submit", "pid": 3, "program": 0})
+    # Subsystem WAL: txn 1 committed (droppable), txn 2 a loser.
+    wal = store.subsystem_wal("bank")
+    wal.append({"lsn": 1, "txn_id": 1, "kind": "write", "key": "k"})
+    wal.append({"lsn": 2, "txn_id": 1, "kind": "commit"})
+    wal.append({"lsn": 3, "txn_id": 2, "kind": "write", "key": "k"})
+    # Subsystem data: three versions of one key.
+    data = store.subsystem_data("bank")
+    data.append({"key": "k", "value": 1})
+    data.append({"key": "k", "value": 2})
+    data.append({"key": "dead", "value": 9})
+    data.append({"key": "dead", "deleted": True})
+    report = store.compact()
+    journal = store.journal.records()
+    # Kept: pid 2's undecided pre-watermark submit + the tail.
+    assert [(r["kind"], r["pid"]) for r in journal] == [
+        ("submit", 2),
+        ("submit", 3),
+    ]
+    # The snapshot watermark now covers the kept head.
+    assert store.snapshots.load()["journal_lsn"] == 1
+    # WAL keeps only the loser's records.
+    kept_wal = store.subsystem_wal("bank").records()
+    assert [r["txn_id"] for r in kept_wal] == [2]
+    # Data is last-write-wins; the deleted key is gone entirely.
+    assert store.subsystem_data("bank").records() == [
+        {"key": "k", "value": 2}
+    ]
+    assert report["before"]["journal"] == 4
+    assert report["after"]["journal"] == 2
+    assert report["dropped"]["journal"] == 2
+    store.close()
+
+
+def test_compact_without_snapshot_keeps_journal(tmp_path):
+    store = _open(tmp_path)
+    store.journal.append({"kind": "submit", "pid": 1, "program": 0})
+    store.compact()
+    assert len(store.journal.records()) == 1
+    store.close()
+
+
+def test_stats_shape(tmp_path):
+    store = _open(tmp_path)
+    store.journal.append({"kind": "submit", "pid": 1})
+    stats = store.stats()
+    assert stats["kind"] == "log"
+    assert stats["appends"] == 1
+    assert stats["bytes_written"] > 0
+    assert stats["healed"] == {}
+    store.close()
+
+
+def test_open_memory_backend(tmp_path):
+    store = Store.open("memory", str(tmp_path))
+    store.journal.append({"kind": "submit", "pid": 1})
+    assert len(store.journal) == 1
+    store.close()

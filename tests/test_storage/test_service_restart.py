@@ -1,0 +1,251 @@
+"""Restart recovery through the service: in-thread and kill -9.
+
+The contract under test is the one ``docs/persistence.md`` states:
+every submission acknowledged by a durable server survives its death —
+after a restart on the same store, each acknowledged pid reaches a
+terminal state (commit, abort-with-compensation, or cancel), the pid
+sequence never regresses, and the spliced schedule still passes the
+``check`` battery (completeness, CT, P-RC).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.server.service import ProcessLockingService, ServiceConfig
+from repro.sim.workload import WorkloadSpec
+
+SPEC = WorkloadSpec(
+    n_processes=6,
+    conflict_density=0.4,
+    failure_probability=0.08,
+    grounded=True,
+    seed=5,
+)
+
+
+def _service(tmp_path, **overrides) -> ProcessLockingService:
+    config = ServiceConfig(
+        spec=SPEC,
+        seed=5,
+        store="log",
+        store_path=str(tmp_path / "store"),
+        store_fsync="never",
+        snapshot_every=overrides.pop("snapshot_every", 32),
+        **overrides,
+    )
+    return ProcessLockingService(config).start()
+
+
+class TestInThreadRestart:
+    def test_clean_stop_then_restart_restores_everything(
+        self, tmp_path
+    ):
+        first = _service(tmp_path)
+        outcome = first.execute(
+            {"cmd": "submit", "count": 6, "wait": True}
+        ).result(timeout=60)
+        first.stop()
+        second = _service(tmp_path)
+        try:
+            assert second.recovery is not None
+            assert second.recovery.restored == 6
+            for row in outcome["outcomes"]:
+                status = second.execute(
+                    {"cmd": "status", "pid": row["pid"]}
+                ).result(timeout=30)
+                assert status["state"] == "done"
+                assert status["outcome"] == row["outcome"]
+            report = second.execute({"cmd": "check"}).result(
+                timeout=30
+            )
+            assert report["complete"]
+            assert report["correct_termination"]
+            assert report["process_recoverable"]
+            fresh = second.execute(
+                {"cmd": "submit", "count": 1}
+            ).result(timeout=30)
+            assert fresh["pids"] == [7]
+        finally:
+            second.stop()
+
+    def test_abrupt_death_mid_flight_recovers(self, tmp_path):
+        """Engine thread killed between ticks: no drain, no close."""
+        first = _service(tmp_path, time_scale=30.0, snapshot_every=8)
+        pids = []
+        for k in range(6):
+            body = first.execute(
+                {"cmd": "submit", "program": k, "at": float(k)}
+            ).result(timeout=30)
+            pids += body["pids"]
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            stats = first.execute({"cmd": "stats"}).result(timeout=30)
+            if stats["manager"]["committed"] >= 1:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("no process committed before the kill")
+        # Kill the engine thread without drain/flush/close — the
+        # in-thread analog of SIGKILL (unbuffered appends are already
+        # in the files; the store object is simply abandoned).
+        first._stop.set()
+        first._thread.join(timeout=10)
+        second = _service(tmp_path, snapshot_every=8)
+        try:
+            assert second.recovery is not None
+            assert second.recovery.recovered_anything
+            # Force a drain-to-quiescence pass, then assert terminality.
+            second.execute({"cmd": "ping"}).result(timeout=60)
+            for pid in pids:
+                status = second.execute(
+                    {"cmd": "status", "pid": pid}
+                ).result(timeout=30)
+                assert status["state"] == "done", (
+                    f"P{pid} not terminal after restart: {status}"
+                )
+            report = second.execute({"cmd": "check"}).result(
+                timeout=30
+            )
+            assert report["complete"]
+            assert report["correct_termination"]
+            assert report["process_recoverable"]
+        finally:
+            second.stop()
+
+    def test_cancelled_outcome_survives_restart(self, tmp_path):
+        first = _service(tmp_path, time_scale=5.0)
+        body = first.execute(
+            {"cmd": "submit", "count": 1, "at": 50.0}
+        ).result(timeout=30)
+        (pid,) = body["pids"]
+        cancelled = first.execute(
+            {"cmd": "cancel", "pid": pid}
+        ).result(timeout=30)
+        assert cancelled["cancelled"]
+        first.stop()
+        second = _service(tmp_path)
+        try:
+            status = second.execute(
+                {"cmd": "status", "pid": pid}
+            ).result(timeout=30)
+            assert status["state"] == "done"
+            assert status["outcome"] == "cancelled"
+        finally:
+            second.stop()
+
+
+@pytest.mark.slow
+class TestKillNine:
+    """A real server process, a real SIGKILL, a real restart."""
+
+    def _spawn(self, store_path, time_scale):
+        env = dict(os.environ)
+        src = os.path.join(os.getcwd(), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        env.pop("REPRO_STORE", None)
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--processes",
+                "6",
+                "--seed",
+                "5",
+                "--store",
+                "log",
+                "--store-path",
+                str(store_path),
+                "--snapshot-every",
+                "16",
+                "--time-scale",
+                str(time_scale),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        port = None
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if not line:
+                break
+            match = re.search(
+                r"listening on [\d.]+:(\d+)", line
+            )
+            if match:
+                port = int(match.group(1))
+                break
+        if port is None:
+            process.kill()
+            pytest.fail("server never announced its port")
+        return process, port
+
+    def test_kill_nine_mid_workload_recovers(self, tmp_path):
+        from repro.client import ServiceClient
+
+        store_path = tmp_path / "store"
+        server, port = self._spawn(store_path, time_scale=25.0)
+        submitted = []
+        try:
+            with ServiceClient("127.0.0.1", port, timeout=30) as client:
+                for k in range(8):
+                    body = client.submit(
+                        program=k, count=3, at=float(2 * k)
+                    )
+                    submitted += body["pids"]
+                deadline = time.monotonic() + 60
+                while time.monotonic() < deadline:
+                    stats = client.stats()
+                    committed = stats["manager"]["committed"]
+                    if 2 <= committed < len(submitted):
+                        break
+                    time.sleep(0.05)
+                else:
+                    pytest.fail(
+                        "workload never reached the kill window"
+                    )
+        finally:
+            # The moment under test: no drain, no flush, no goodbye.
+            server.send_signal(signal.SIGKILL)
+            server.wait(timeout=30)
+
+        restarted, port = self._spawn(store_path, time_scale=0.0)
+        try:
+            with ServiceClient("127.0.0.1", port, timeout=60) as client:
+                client.ping()  # eager mode: one batch drains fully
+                for pid in submitted:
+                    status = client.status(pid)
+                    assert status["state"] == "done", (
+                        f"P{pid} not terminal after kill -9 restart:"
+                        f" {status}"
+                    )
+                report = client.check(stride=4)
+                assert report["complete"]
+                assert report["correct_termination"]
+                assert report["process_recoverable"]
+                assert report["violations"] == 0
+                fresh = client.submit(count=1, wait=True)
+                assert fresh["pids"] == [max(submitted) + 1]
+                stats = client.stats()
+                assert stats["store"]["kind"] == "log"
+                assert stats["store"]["recovered"]["restored"] > 0
+                client.drain()
+        finally:
+            restarted.terminate()
+            restarted.wait(timeout=30)
